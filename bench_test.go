@@ -1,0 +1,699 @@
+// Benchmarks regenerating the paper's evaluation (one benchmark per table
+// and figure, §V), plus the ablations called out in DESIGN.md §6 and
+// micro-benchmarks of the real implementation underneath.
+//
+// The Fig/Table benchmarks execute the calibrated model + discrete-event
+// simulation at the paper's data scale and report the headline quantity of
+// the corresponding figure as a custom metric (seconds of simulated time,
+// speedup factors, CPU load), so `go test -bench .` prints the
+// reproduction next to the benchmark name. The paper-vs-ours comparison is
+// recorded in EXPERIMENTS.md.
+package cyclojoin_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"cyclojoin"
+	"cyclojoin/internal/core"
+	"cyclojoin/internal/costmodel"
+	"cyclojoin/internal/experiments"
+	"cyclojoin/internal/join"
+	"cyclojoin/internal/join/hashjoin"
+	"cyclojoin/internal/join/nested"
+	"cyclojoin/internal/join/sortmerge"
+	"cyclojoin/internal/kerneltcp"
+	"cyclojoin/internal/rdma"
+	"cyclojoin/internal/rdma/memlink"
+	"cyclojoin/internal/rdma/tcplink"
+	"cyclojoin/internal/relation"
+	"cyclojoin/internal/ring"
+	"cyclojoin/internal/simnet"
+	"cyclojoin/internal/workload"
+)
+
+// ---- paper tables and figures ----
+
+// BenchmarkFig03CPUOverhead regenerates the Fig 3 transport overhead
+// decomposition.
+func BenchmarkFig03CPUOverhead(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3Rows()
+		total = rows[2].Total()
+	}
+	b.ReportMetric(total*100, "rdma-residual-%")
+}
+
+// BenchmarkFig05ChunkSize regenerates the Fig 5 throughput sweep and
+// reports the chunk size's share of the link at 4 kB (the paper's
+// saturation knee).
+func BenchmarkFig05ChunkSize(b *testing.B) {
+	cal := costmodel.Default()
+	var at4k float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5Rows(cal)
+		for _, r := range rows {
+			if r.ChunkBytes == 4<<10 {
+				at4k = r.Throughput / cal.EffectiveBandwidth()
+			}
+		}
+	}
+	b.ReportMetric(at4k*100, "linkshare-4kB-%")
+}
+
+// BenchmarkFig07FixedData regenerates Fig 7 and reports the six-node setup
+// time (paper: 2.7 s, down from 16.2 s).
+func BenchmarkFig07FixedData(b *testing.B) {
+	cal := costmodel.Default()
+	var rows []experiments.ScaleRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig7Rows(cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[5].Setup.Seconds(), "setup6-s")
+	b.ReportMetric(rows[5].Join.Seconds(), "join6-s")
+}
+
+// BenchmarkFig08ScaleUp regenerates Fig 8 and reports the 19.2 GB join
+// phase (paper: 16.2 s).
+func BenchmarkFig08ScaleUp(b *testing.B) {
+	cal := costmodel.Default()
+	var rows []experiments.ScaleRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig8Rows(cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[5].Join.Seconds(), "join19GB-s")
+}
+
+// BenchmarkFig09Skew regenerates Fig 9 and reports the z=0.9 cyclo-join
+// advantage (paper: ≈5×).
+func BenchmarkFig09Skew(b *testing.B) {
+	cal := costmodel.Default()
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig9Rows(cal)
+		adv = rows[len(rows)-1].Advantage()
+	}
+	b.ReportMetric(adv, "advantage-z0.9-x")
+}
+
+// BenchmarkFig10SortMergeFixed regenerates Fig 10 and reports the
+// single-host sort setup (the figure's dominating bar).
+func BenchmarkFig10SortMergeFixed(b *testing.B) {
+	cal := costmodel.Default()
+	var rows []experiments.ScaleRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig10Rows(cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Setup.Seconds(), "sort1-s")
+	b.ReportMetric(rows[5].Setup.Seconds(), "sort6-s")
+}
+
+// BenchmarkFig11SortMergeScaleUp regenerates Fig 11 and reports the
+// six-node merge and sync times (paper: 6.4 s + 2.3 s).
+func BenchmarkFig11SortMergeScaleUp(b *testing.B) {
+	cal := costmodel.Default()
+	var rows []experiments.ScaleRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig11Rows(cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[5].Join.Seconds(), "join6-s")
+	b.ReportMetric(rows[5].Sync.Seconds(), "sync6-s")
+}
+
+// BenchmarkFig12RDMAvsTCP regenerates Fig 12 and reports the 4-thread
+// TCP/RDMA wall-clock ratio (the paper's largest gap).
+func BenchmarkFig12RDMAvsTCP(b *testing.B) {
+	cal := costmodel.Default()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig12Rows(cal)
+		ratio = rows[3].TCP.Wall().Seconds() / rows[3].RDMA.Wall().Seconds()
+	}
+	b.ReportMetric(ratio, "tcp/rdma-4t-x")
+}
+
+// BenchmarkTable1CPULoad regenerates Table I and reports the 4-thread
+// loads (paper: TCP 86 %, RDMA 100 %).
+func BenchmarkTable1CPULoad(b *testing.B) {
+	cal := costmodel.Default()
+	var tcp, rdma float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig12Rows(cal)
+		tcp, rdma = rows[3].TCP.CPULoad, rows[3].RDMA.CPULoad
+	}
+	b.ReportMetric(tcp*100, "tcp4t-%")
+	b.ReportMetric(rdma*100, "rdma4t-%")
+}
+
+// ---- ablations (DESIGN.md §6) ----
+
+// BenchmarkAblationRingDepth sweeps the per-host ring-buffer depth under a
+// skewed per-fragment load and reports the simulated revolution time —
+// the slack that §V-D credits for skew balancing.
+func BenchmarkAblationRingDepth(b *testing.B) {
+	for _, slots := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("slots=%d", slots), func(b *testing.B) {
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := simnet.Run(simnet.Config{
+					Hosts:        6,
+					Slots:        slots,
+					Bandwidth:    1.1e9,
+					FragsPerHost: 8,
+					FragBytes:    func(f int) int { return 16 << 20 },
+					Work: func(f, h int) time.Duration {
+						if f%11 == 0 {
+							return 200 * time.Millisecond // hot fragment
+						}
+						return 15 * time.Millisecond
+					},
+					ReturnHome: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall = res.Wall
+			}
+			b.ReportMetric(wall.Seconds(), "simwall-s")
+		})
+	}
+}
+
+// BenchmarkAblationRotateSmaller measures a real distributed join rotating
+// the smaller versus the larger relation (§IV-B's guidance).
+func BenchmarkAblationRotateSmaller(b *testing.B) {
+	big, err := workload.Generate(workload.Spec{Name: "BIG", Tuples: 400_000, KeyDomain: 100_000, Seed: 1, PayloadWidth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	small, err := workload.Generate(workload.Spec{Name: "SMALL", Tuples: 50_000, KeyDomain: 100_000, Seed: 2, PayloadWidth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rotateSmaller := range []bool{false, true} {
+		b.Run(fmt.Sprintf("rotateSmaller=%v", rotateSmaller), func(b *testing.B) {
+			cluster, err := core.NewCluster(core.Config{
+				Nodes:     3,
+				Algorithm: hashjoin.Join{},
+				Predicate: join.Equi{},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				_ = cluster.Close()
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// R=big rotates unless the swap is enabled.
+				if _, err := cluster.JoinRelations(big, small, rotateSmaller); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSetupReuse compares re-running Station before every
+// revolution against reusing the stationed state (§IV-D's amortization).
+func BenchmarkAblationSetupReuse(b *testing.B) {
+	r, err := workload.Generate(workload.Spec{Name: "R", Tuples: 200_000, KeyDomain: 100_000, Seed: 3, PayloadWidth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := workload.Generate(workload.Spec{Name: "S", Tuples: 200_000, KeyDomain: 100_000, Seed: 4, PayloadWidth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newCluster := func() *core.Cluster {
+		cluster, err := core.NewCluster(core.Config{
+			Nodes:     3,
+			Algorithm: sortmerge.Join{},
+			Predicate: join.Equi{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cluster
+	}
+	b.Run("stationEveryTime", func(b *testing.B) {
+		cluster := newCluster()
+		defer func() {
+			_ = cluster.Close()
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.JoinRelations(r, s, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reuseSetup", func(b *testing.B) {
+		cluster := newCluster()
+		defer func() {
+			_ = cluster.Close()
+		}()
+		if _, err := cluster.JoinRelations(r, s, false); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.Rotate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFragmentSize sweeps the ring-buffer element size and
+// reports the simulated revolution time — small fragments drown in per-WR
+// overhead (Fig 5's lesson applied to the ring).
+func BenchmarkAblationFragmentSize(b *testing.B) {
+	cal := costmodel.Default()
+	const perHostBytes = 1 << 30 // 1 GB of rotating data per host
+	for _, frag := range []int{64 << 10, 1 << 20, 16 << 20, 128 << 20} {
+		b.Run(byteLabel(frag), func(b *testing.B) {
+			frags := perHostBytes / frag
+			work := time.Duration(float64(frag/cal.TupleBytes) * float64(cal.HashProbePerTupleCore) / 4)
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := simnet.Run(simnet.Config{
+					Hosts:            6,
+					Slots:            8,
+					Bandwidth:        cal.EffectiveBandwidth(),
+					TransferOverhead: 40 * time.Microsecond, // WR post + doorbell + completion per element
+					FragsPerHost:     frags,
+					FragBytes:        func(f int) int { return frag },
+					Work:             func(f, h int) time.Duration { return work },
+					ReturnHome:       true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall = res.Wall
+			}
+			b.ReportMetric(wall.Seconds(), "simwall-s")
+		})
+	}
+}
+
+// BenchmarkAblationRadixBits sweeps the radix fan-out of the real hash
+// join: too few partitions overflow the cache, too many thrash during
+// clustering.
+func BenchmarkAblationRadixBits(b *testing.B) {
+	r, err := workload.Generate(workload.Spec{Name: "R", Tuples: 1_000_000, KeyDomain: 1_000_000, Seed: 5, PayloadWidth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := workload.Generate(workload.Spec{Name: "S", Tuples: 1_000_000, KeyDomain: 1_000_000, Seed: 6, PayloadWidth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bits := range []int{0, 4, 8, 12} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			opts := join.Options{RadixBits: bits}
+			st, err := (hashjoin.Join{}).SetupStationary(s, join.Equi{}, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var c join.Counter
+				if err := st.Join(r, &c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- micro-benchmarks of the real implementation ----
+
+func benchRelations(b *testing.B, tuples int) (*relation.Relation, *relation.Relation) {
+	b.Helper()
+	r, err := workload.Generate(workload.Spec{Name: "R", Tuples: tuples, KeyDomain: tuples, Seed: 7, PayloadWidth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := workload.Generate(workload.Spec{Name: "S", Tuples: tuples, KeyDomain: tuples, Seed: 8, PayloadWidth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, s
+}
+
+func BenchmarkHashJoinSetup(b *testing.B) {
+	_, s := benchRelations(b, 1_000_000)
+	b.SetBytes(int64(s.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (hashjoin.Join{}).SetupStationary(s, join.Equi{}, join.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinProbe(b *testing.B) {
+	r, s := benchRelations(b, 1_000_000)
+	st, err := (hashjoin.Join{}).SetupStationary(s, join.Equi{}, join.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(r.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Join(r, join.Discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortMergeSetup(b *testing.B) {
+	r, _ := benchRelations(b, 1_000_000)
+	b.SetBytes(int64(r.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (sortmerge.Join{}).SetupRotating(r, join.Equi{}, join.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortMergeJoinPhase(b *testing.B) {
+	r, s := benchRelations(b, 1_000_000)
+	st, err := (sortmerge.Join{}).SetupStationary(s, join.Equi{}, join.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sorted, err := (sortmerge.Join{}).SetupRotating(r, join.Equi{}, join.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(r.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Join(sorted, join.Discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNestedLoops(b *testing.B) {
+	r, s := benchRelations(b, 8_000)
+	st, err := (nested.Join{}).SetupStationary(s, join.Equi{}, join.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Join(r, join.Discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFragmentCodec(b *testing.B) {
+	r, _ := benchRelations(b, 100_000)
+	frag := &relation.Fragment{Rel: r, Index: 0, Of: 1}
+	buf := make([]byte, relation.EncodedSize(frag))
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := relation.Encode(frag, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := relation.Decode(buf[:n], "R"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRingRevolution runs a full real revolution over in-process
+// links: fragments, framing, flow control, the works.
+func BenchmarkRingRevolution(b *testing.B) {
+	const nodes = 4
+	procs := make([]ring.Processor, nodes)
+	for i := range procs {
+		procs[i] = ring.ProcessorFunc(func(f *relation.Fragment) error { return nil })
+	}
+	rg, err := ring.New(ring.Config{Nodes: nodes}, nil, procs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		_ = rg.Close()
+	}()
+	rel := workload.Sequential("R", 400_000, 4)
+	frags, err := relation.Partition(rel, nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perNode := make([][]*relation.Fragment, nodes)
+	for i, f := range frags {
+		perNode[i] = []*relation.Fragment{f}
+	}
+	b.SetBytes(int64(rel.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rg.Run(perNode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCycloJoinEndToEnd measures a complete distributed join through
+// the public API.
+func BenchmarkCycloJoinEndToEnd(b *testing.B) {
+	r, s := benchRelations(b, 200_000)
+	cluster, err := cyclojoin.NewCluster(cyclojoin.Config{
+		Nodes:     4,
+		Algorithm: cyclojoin.HashJoin(),
+		Predicate: cyclojoin.EquiJoin(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		_ = cluster.Close()
+	}()
+	b.SetBytes(int64(r.Bytes() + s.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.JoinRelations(r, s, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func byteLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dkB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// BenchmarkTransportThroughput is the real-code analogue of the Fig 12
+// comparison: the same message stream pushed through the zero-copy
+// in-process link, the TCP-socket link, and the kernel-TCP baseline with
+// its extra staging copies.
+func BenchmarkTransportThroughput(b *testing.B) {
+	const msgSize = 1 << 20
+	run := func(b *testing.B, qa, qb rdma.QueuePair) {
+		b.Helper()
+		dev := rdma.OpenDevice("bench")
+		const inflight = 4
+		for i := 0; i < inflight; i++ {
+			rb, err := dev.Register(msgSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := qb.PostRecv(rb); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sendBufs := make([]*rdma.Buffer, inflight)
+		for i := range sendBufs {
+			sb, err := dev.Register(msgSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sb.SetLen(msgSize); err != nil {
+				b.Fatal(err)
+			}
+			sendBufs[i] = sb
+		}
+		b.SetBytes(msgSize)
+		b.ResetTimer()
+		go func() {
+			i := 0
+			for sent := 0; sent < b.N; sent++ {
+				if err := qa.PostSend(sendBufs[i%inflight]); err != nil {
+					return
+				}
+				if (sent+1)%inflight == 0 {
+					// Reap send completions to recycle buffers.
+					for j := 0; j < inflight; j++ {
+						if c, ok := <-qa.Completions(); !ok || c.Err != nil {
+							return
+						}
+					}
+				}
+				i++
+			}
+		}()
+		received := 0
+		for received < b.N {
+			c, ok := <-qb.Completions()
+			if !ok {
+				b.Fatal("receiver CQ closed")
+			}
+			if c.Err != nil {
+				b.Fatal(c.Err)
+			}
+			if c.Op != rdma.OpRecv {
+				continue
+			}
+			received++
+			if err := qb.PostRecv(c.Buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		_ = qa.Close()
+		_ = qb.Close()
+	}
+
+	b.Run("memlink", func(b *testing.B) {
+		qa, qb := memlink.Pair()
+		run(b, qa, qb)
+	})
+	b.Run("tcplink", func(b *testing.B) {
+		c1, c2 := loopbackPair(b)
+		run(b, tcplink.New(c1), tcplink.New(c2))
+	})
+	b.Run("kerneltcp", func(b *testing.B) {
+		c1, c2 := loopbackPair(b)
+		qa, _ := kerneltcp.New(c1)
+		qb, _ := kerneltcp.New(c2)
+		run(b, qa, qb)
+	})
+}
+
+// loopbackPair returns two connected TCP sockets on 127.0.0.1.
+func loopbackPair(b *testing.B) (net.Conn, net.Conn) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		_ = ln.Close()
+	}()
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		conn, err := ln.Accept()
+		ch <- accepted{conn, err}
+	}()
+	dial, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		b.Fatal(acc.err)
+	}
+	return dial, acc.conn
+}
+
+// BenchmarkRegistrationCost quantifies why the ring registers its buffer
+// pool once up front (§III-C): the modeled registration cost of a pool vs
+// the cost of registering per transfer.
+func BenchmarkRegistrationCost(b *testing.B) {
+	const bufBytes = 4 << 20
+	b.Run("onceUpFront", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dev := rdma.OpenDevice("bench")
+			if _, err := dev.RegisterPool(4, bufBytes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("perTransfer", func(b *testing.B) {
+		dev := rdma.OpenDevice("bench")
+		for i := 0; i < b.N; i++ {
+			if _, err := dev.Register(bufBytes); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(dev.Stats().ModeledCost.Seconds()/float64(b.N)*1e6, "modeled-us/op")
+	})
+}
+
+// BenchmarkAblationTransportMode compares the ring's two wirings: two-sided
+// send/recv versus one-sided write-with-immediate plus credits.
+func BenchmarkAblationTransportMode(b *testing.B) {
+	rel := workload.Sequential("R", 400_000, 4)
+	for _, writes := range []bool{false, true} {
+		name := "sendrecv"
+		if writes {
+			name = "onesided"
+		}
+		b.Run(name, func(b *testing.B) {
+			const nodes = 4
+			procs := make([]ring.Processor, nodes)
+			for i := range procs {
+				procs[i] = ring.ProcessorFunc(func(f *relation.Fragment) error { return nil })
+			}
+			rg, err := ring.New(ring.Config{Nodes: nodes, OneSidedWrites: writes}, nil, procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				_ = rg.Close()
+			}()
+			frags, err := relation.Partition(rel, nodes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			perNode := make([][]*relation.Fragment, nodes)
+			for i, f := range frags {
+				perNode[i] = []*relation.Fragment{f}
+			}
+			b.SetBytes(int64(rel.Bytes()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rg.Run(perNode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

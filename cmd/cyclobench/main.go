@@ -1,0 +1,66 @@
+// Command cyclobench regenerates the paper's evaluation tables and figures
+// (§V) from the calibrated cost model and the discrete-event ring
+// simulator.
+//
+// Usage:
+//
+//	cyclobench                  # run every experiment
+//	cyclobench -run fig7        # one experiment (fig3 fig5 fig7..fig12 table1)
+//	cyclobench -list            # list experiment ids
+//
+// The printed "paper:" notes state what the original evaluation reported,
+// so shapes can be compared at a glance; EXPERIMENTS.md records the full
+// paper-vs-reproduction comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cyclojoin/internal/costmodel"
+	"cyclojoin/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	runID := flag.String("run", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	cal := costmodel.Default()
+	selected := experiments.All()
+	if *runID != "" {
+		e, err := experiments.ByID(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		selected = []experiments.Experiment{e}
+	}
+	for i, e := range selected {
+		tbl, err := e.Run(cal)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cyclobench: %s: %v\n", e.ID, err)
+			return 1
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "cyclobench: render %s: %v\n", e.ID, err)
+			return 1
+		}
+		if i < len(selected)-1 {
+			fmt.Println()
+		}
+	}
+	return 0
+}

@@ -1,0 +1,91 @@
+// Hot set: §II-C's storage discipline — "the combined main memory ...
+// large enough to hold the hot set of the database; other data may be kept
+// in slower, distributed disk space."
+//
+// Five relations share a memory budget big enough for two. The store keeps
+// the recently used ones resident and spills the rest to disk; queries pull
+// whichever relation they need — hot ones from memory, cold ones reloaded
+// transparently — and the access statistics show which relations have
+// earned their place in the spinning hot set.
+//
+//	go run ./examples/hotset
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cyclojoin"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "hotset")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		_ = os.RemoveAll(dir)
+	}()
+
+	// Budget: ~2 of the 5 relations fit in memory at once.
+	const relTuples = 50_000 // 600 kB each
+	store, err := cyclojoin.NewHotSetStore(1_300_000, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"orders", "customers", "lineitems", "regions", "suppliers"}
+	for _, name := range names {
+		if err := store.Register(name, cyclojoin.SequentialRelation(name, relTuples, 4)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cluster, err := cyclojoin.NewCluster(cyclojoin.Config{
+		Nodes:     3,
+		Algorithm: cyclojoin.HashJoin(),
+		Predicate: cyclojoin.EquiJoin(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		_ = cluster.Close()
+	}()
+
+	// A query mix that hammers orders⋈customers and touches the rest once.
+	pairs := [][2]string{
+		{"orders", "customers"},
+		{"orders", "customers"},
+		{"lineitems", "orders"},
+		{"orders", "customers"},
+		{"regions", "suppliers"},
+		{"orders", "customers"},
+	}
+	for _, p := range pairs {
+		r, err := store.Get(p[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := store.Get(p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cluster.JoinRelations(r, s, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s ⋈ %s: %d matches\n", p[0], p[1], res.Matches())
+	}
+
+	stats := store.Stats()
+	fmt.Printf("\nstore: %d hits, %d reloads from disk, %d spills\n", stats.Hits, stats.Reloads, stats.Spills)
+	fmt.Println("hot set by access count:")
+	for _, h := range store.Hottest() {
+		state := "on disk"
+		if h.Resident {
+			state = "in memory"
+		}
+		fmt.Printf("  %-10s %d accesses (%s)\n", h.Name, h.Accesses, state)
+	}
+}

@@ -1,0 +1,3 @@
+module cyclojoin
+
+go 1.22

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cyclojoin/internal/join"
+	"cyclojoin/internal/join/hashjoin"
+	"cyclojoin/internal/join/jointest"
+	"cyclojoin/internal/relation"
+	"cyclojoin/internal/ring"
+	"cyclojoin/internal/workload"
+)
+
+// TestDistributedJoinProperty drives random ring sizes, cardinalities, key
+// domains and transport modes through the full stack and compares against
+// the oracle — the repository's broadest property test.
+func TestDistributedJoinProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is slow")
+	}
+	f := func(seed int64, nodesRaw, rRaw, sRaw, domRaw uint16, oneSided bool) bool {
+		nodes := int(nodesRaw%5) + 1
+		rN := int(rRaw % 800)
+		sN := int(sRaw % 800)
+		domain := int(domRaw%200) + 1
+		rng := rand.New(rand.NewSource(seed))
+		r := jointest.RandomRelation(rng, "R", rN, domain, 4)
+		s := jointest.RandomRelation(rng, "S", sN, domain, 4)
+
+		c, err := NewCluster(Config{
+			Nodes:      nodes,
+			Algorithm:  hashjoin.Join{},
+			Predicate:  join.Equi{},
+			Ring:       ring.Config{OneSidedWrites: oneSided},
+			Collectors: func(int) join.Collector { return join.NewPairSet() },
+		})
+		if err != nil {
+			return false
+		}
+		defer func() {
+			_ = c.Close()
+		}()
+		res, err := c.JoinRelations(r, s, false)
+		if err != nil {
+			return false
+		}
+		want := join.NewPairSet()
+		jointest.Oracle(r, s, join.Equi{}, want)
+		got := map[[2]uint64]int{}
+		for _, col := range res.Collectors {
+			for k, v := range col.(*join.PairSet).Pairs() {
+				got[k] += v
+			}
+		}
+		wantPairs := want.Pairs()
+		if len(got) != len(wantPairs) {
+			return false
+		}
+		for k, v := range wantPairs {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchCountInvariantAcrossRingSizes: the total match count must be
+// identical for every ring size and transport mode — the fragment layout
+// is an implementation detail.
+func TestMatchCountInvariantAcrossRingSizes(t *testing.T) {
+	r, err := workload.Generate(workload.Spec{Name: "R", Tuples: 3000, KeyDomain: 500, Seed: 51, PayloadWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.Generate(workload.Spec{Name: "S", Tuples: 2500, KeyDomain: 500, Seed: 52, PayloadWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(workload.ExpectedMatches(workload.Multiplicities(r), workload.Multiplicities(s)))
+	for _, nodes := range []int{1, 2, 3, 4, 5, 6} {
+		for _, oneSided := range []bool{false, true} {
+			c, err := NewCluster(Config{
+				Nodes:     nodes,
+				Algorithm: hashjoin.Join{},
+				Predicate: join.Equi{},
+				Ring:      ring.Config{OneSidedWrites: oneSided},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.JoinRelations(r, s, false)
+			if err != nil {
+				t.Fatalf("nodes=%d oneSided=%v: %v", nodes, oneSided, err)
+			}
+			if got := res.Matches(); got != want {
+				t.Errorf("nodes=%d oneSided=%v: matches = %d, want %d", nodes, oneSided, got, want)
+			}
+			_ = c.Close()
+		}
+	}
+}
+
+// TestUnevenFragmentDistribution: cyclo-join must tolerate arbitrary
+// initial placement of the rotating fragments (§IV-A: "we do not care how
+// the data is distributed").
+func TestUnevenFragmentDistribution(t *testing.T) {
+	const nodes = 3
+	c, err := NewCluster(Config{Nodes: nodes, Algorithm: hashjoin.Join{}, Predicate: join.Equi{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = c.Close()
+	}()
+	r := workload.Sequential("R", 900, 4)
+	s := workload.Sequential("S", 900, 4)
+	sFrags, err := relation.Partition(s, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All rotating fragments start at host 0.
+	rParts, err := relation.Partition(r, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFrags := make([][]*relation.Fragment, nodes)
+	rFrags[0] = rParts
+	res, err := c.Join(sFrags, rFrags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Matches(); got != 900 {
+		t.Errorf("matches = %d, want 900", got)
+	}
+}

@@ -1,0 +1,256 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cyclojoin/internal/workload"
+)
+
+// Paper-scale workload constants used across the figure tests.
+const (
+	fig7Tuples  = 140_000_000 // per relation (§V-B)
+	fig8RTotal  = 840_000_000 // |R| at 19.2 GB over 6 nodes
+	fig12Tuples = 160_000_000 // §V-G
+)
+
+func TestDefaultAnchorsSetup(t *testing.T) {
+	c := Default()
+	// §V-B: 16.2 s hash-table setup for the 1.6 GB stationary relation.
+	got := c.HashSetupTime(fig7Tuples).Seconds()
+	if math.Abs(got-16.2) > 0.3 {
+		t.Errorf("single-host hash setup = %.2fs, paper reports 16.2s", got)
+	}
+	// Distribution over six hosts cuts it by the node count (2.7 s).
+	got6 := c.HashSetupTime(fig7Tuples / 6).Seconds()
+	if math.Abs(got6-2.7) > 0.2 {
+		t.Errorf("six-host hash setup = %.2fs, paper reports 2.7s", got6)
+	}
+}
+
+func TestDefaultAnchorsJoinPhase(t *testing.T) {
+	c := Default()
+	// §V-E: hash join phase 16.2 s for |R| = 840 M tuples on 4 cores.
+	got := c.HashProbeTime(fig8RTotal, 4).Seconds()
+	if math.Abs(got-16.2) > 0.3 {
+		t.Errorf("hash join phase = %.2fs, paper reports 16.2s", got)
+	}
+	// §V-E/F: merge join phase 6.4 s for the same volume.
+	gotMerge := c.MergeTime(fig8RTotal, 4).Seconds()
+	if math.Abs(gotMerge-6.4) > 0.3 {
+		t.Errorf("merge join phase = %.2fs, paper reports 6.4s", gotMerge)
+	}
+}
+
+func TestEffectiveBandwidthMatchesSectionVF(t *testing.T) {
+	c := Default()
+	// §V-F: 9.6 GB crossed each link in 8.7 s ≈ 1.1 GB/s.
+	secs := 9.6e9 / c.EffectiveBandwidth()
+	if math.Abs(secs-8.7) > 0.3 {
+		t.Errorf("9.6 GB transfer = %.2fs, paper reports 8.7s", secs)
+	}
+}
+
+func TestRDMAThroughputShape(t *testing.T) {
+	c := Default()
+	// Monotone non-decreasing in chunk size.
+	prev := 0.0
+	for _, chunk := range []int{1, 64, 1024, 4096, 64 << 10, 1 << 20, 1 << 30} {
+		tp := c.RDMAThroughput(chunk)
+		if tp < prev {
+			t.Errorf("throughput decreased at chunk %d", chunk)
+		}
+		prev = tp
+	}
+	// Fig 5: tiny transfers are overhead-bound...
+	if frac := c.RDMAThroughput(1) / c.EffectiveBandwidth(); frac > 0.01 {
+		t.Errorf("1 B chunks reach %.1f%% of link; should be negligible", frac*100)
+	}
+	// ...link saturates in the ≳4 kB–1 MB region (§III-C: "maximum
+	// network throughput for units of size 1 MB and larger").
+	if frac := c.RDMAThroughput(4096) / c.EffectiveBandwidth(); frac < 0.5 {
+		t.Errorf("4 kB chunks reach only %.1f%% of link", frac*100)
+	}
+	if frac := c.RDMAThroughput(1<<20) / c.EffectiveBandwidth(); frac < 0.99 {
+		t.Errorf("1 MB chunks reach only %.1f%% of link", frac*100)
+	}
+	if c.RDMAThroughput(0) != 0 || c.RDMAThroughput(-1) != 0 {
+		t.Error("non-positive chunk must yield zero throughput")
+	}
+}
+
+func TestSortSetupShape(t *testing.T) {
+	c := Default()
+	// Single-host sort of a Fig 10 fragment is in the tens of seconds —
+	// far above the 16.2 s hash setup, which is Fig 10's whole point.
+	single := c.SortSetupTime(fig7Tuples)
+	if single < 50*time.Second || single > 120*time.Second {
+		t.Errorf("single-host sort = %v, expected tens of seconds", single)
+	}
+	if c.SortSetupTime(fig7Tuples) <= c.HashSetupTime(fig7Tuples) {
+		t.Error("sorting must cost more than hash-table generation")
+	}
+	// Superlinear: sorting 6 small fragments in parallel beats one big.
+	if 6*c.SortSetupTime(fig7Tuples/6) >= c.SortSetupTime(fig7Tuples)*6 {
+		t.Log("n log n growth sanity")
+	}
+	if c.SortSetupTime(1) != 0 || c.SortSetupTime(0) != 0 {
+		t.Error("degenerate sorts must be free")
+	}
+}
+
+// fig9Tuples is the skew experiment's per-relation cardinality (36 M
+// 12-byte tuples = 412 MB, §V-D). The key domain matches the tuple count:
+// uniform data is then duplicate-free.
+const fig9Tuples = 36_000_000
+
+// TestSkewedProbeUniformFlat reproduces Fig 9's left edge: with uniform
+// data, distribution does NOT accelerate the join phase (Equation ⋆).
+func TestSkewedProbeUniformFlat(t *testing.T) {
+	c := Default()
+	head, ones := workload.CompactZipf(0, fig9Tuples, fig9Tuples)
+	local := c.SkewedProbeTime(head, ones, 1, 4).Seconds()
+	cyclo := c.SkewedProbeTime(head, ones, 6, 4).Seconds()
+	if ratio := local / cyclo; ratio > 1.2 {
+		t.Errorf("uniform data: local/cyclo = %.2f, want ≈1 (join phase unaffected by distribution)", ratio)
+	}
+}
+
+// TestSkewedProbeAdvantageGrows reproduces Fig 9's right side: the
+// cyclo-join advantage grows with the Zipf factor, reaching ≈5× at z=0.9.
+func TestSkewedProbeAdvantageGrows(t *testing.T) {
+	c := Default()
+	advantage := func(z float64) float64 {
+		head, ones := workload.CompactZipf(z, fig9Tuples, fig9Tuples)
+		local := c.SkewedProbeTime(head, ones, 1, 4).Seconds()
+		cyclo := c.SkewedProbeTime(head, ones, 6, 4).Seconds()
+		return local / cyclo
+	}
+	a3, a6, a7, a9 := advantage(0.3), advantage(0.6), advantage(0.7), advantage(0.9)
+	if !(a3 < a6 && a6 < a7 && a7 < a9) {
+		t.Errorf("advantage not monotone in z: %.2f %.2f %.2f %.2f", a3, a6, a7, a9)
+	}
+	if a9 < 3 || a9 > 8 {
+		t.Errorf("advantage at z=0.9 = %.2fx, paper reports ≈5x", a9)
+	}
+	// At z=0.3 the skew effect has not kicked in yet (Fig 9: noticeable
+	// only from z=0.6).
+	if a3 > 2 {
+		t.Errorf("advantage at z=0.3 = %.2fx, should be small", a3)
+	}
+}
+
+// TestSkewedProbeDegradation: the local join must degrade dramatically at
+// high skew (the "toward nested loops" effect, log-scale Fig 9).
+func TestSkewedProbeDegradation(t *testing.T) {
+	c := Default()
+	head0, ones0 := workload.CompactZipf(0, fig9Tuples, fig9Tuples)
+	head9, ones9 := workload.CompactZipf(0.9, fig9Tuples, fig9Tuples)
+	flat := c.SkewedProbeTime(head0, ones0, 1, 4).Seconds()
+	skewed := c.SkewedProbeTime(head9, ones9, 1, 4).Seconds()
+	if skewed < 20*flat {
+		t.Errorf("z=0.9 local join only %.1fx over uniform; Fig 9's log scale implies orders of magnitude", skewed/flat)
+	}
+}
+
+func TestRDMAJoinPhaseTable1(t *testing.T) {
+	c := Default()
+	bytes := float64(fig12Tuples * c.TupleBytes) // 1.92 GB? see experiment for the 6.7 GB figure
+	// Table I right column: RDMA load matches the computing cores.
+	wantLoad := []float64{0.25, 0.50, 0.75, 1.00}
+	for threads := 1; threads <= 4; threads++ {
+		out := c.RDMAJoinPhase(fig12Tuples, bytes, threads)
+		if math.Abs(out.CPULoad-wantLoad[threads-1]) > 0.02 {
+			t.Errorf("RDMA load at %d threads = %.2f, want %.2f", threads, out.CPULoad, wantLoad[threads-1])
+		}
+	}
+}
+
+// TestTCPJoinPhaseTable1 pins the Table I left column within a few points:
+// 31 / 59 / 84 / 86 %.
+func TestTCPJoinPhaseTable1(t *testing.T) {
+	c := Default()
+	const bytesEachWay = 6.7e9 // §V-G: 2×6.7 GB data volume; |R| crosses each link
+	want := []float64{0.31, 0.59, 0.84, 0.86}
+	for threads := 1; threads <= 4; threads++ {
+		out := c.TCPJoinPhase(fig12Tuples, bytesEachWay, threads)
+		if math.Abs(out.CPULoad-want[threads-1]) > 0.05 {
+			t.Errorf("TCP load at %d threads = %.2f, want %.2f", threads, out.CPULoad, want[threads-1])
+		}
+	}
+}
+
+// TestTCPSlowerThanRDMAEverywhere is Fig 12's headline: "The RDMA-based
+// cyclo-join outperforms the TCP-based one in all configurations", with the
+// largest absolute gap at 4 threads.
+func TestTCPSlowerThanRDMAEverywhere(t *testing.T) {
+	c := Default()
+	const bytesEachWay = 6.7e9
+	var gaps []time.Duration
+	for threads := 1; threads <= 4; threads++ {
+		r := c.RDMAJoinPhase(fig12Tuples, bytesEachWay, threads)
+		k := c.TCPJoinPhase(fig12Tuples, bytesEachWay, threads)
+		if k.Wall() <= r.Wall() {
+			t.Errorf("%d threads: TCP %v not slower than RDMA %v", threads, k.Wall(), r.Wall())
+		}
+		gaps = append(gaps, k.Wall()-r.Wall())
+	}
+	for i := 0; i < 3; i++ {
+		if gaps[3] < gaps[i] {
+			t.Errorf("largest RDMA-vs-TCP gap should be at 4 threads: gaps=%v", gaps)
+		}
+	}
+}
+
+// TestTCPCannotHideSync: §V-G's closing observation — TCP always exposes
+// synchronization time, even when compute alone exceeds transfer.
+func TestTCPCannotHideSync(t *testing.T) {
+	c := Default()
+	out := c.TCPJoinPhase(fig12Tuples, 6.7e9, 1)
+	if out.Sync <= 0 {
+		t.Error("TCP join phase must expose sync time")
+	}
+	rdma := c.RDMAJoinPhase(fig12Tuples, 6.7e9, 1)
+	if rdma.Sync != 0 {
+		t.Errorf("RDMA at 1 thread is compute-bound; sync = %v, want 0", rdma.Sync)
+	}
+}
+
+func TestFig3Breakdown(t *testing.T) {
+	bars := Fig3Breakdown()
+	if len(bars) != 3 {
+		t.Fatalf("%d bars, want 3", len(bars))
+	}
+	tcp, toe, rdma := bars[0], bars[1], bars[2]
+	if math.Abs(tcp.Total()-1.0) > 1e-9 {
+		t.Errorf("kernel TCP bar must total 1.0, got %.2f", tcp.Total())
+	}
+	// §III-A: data movement ≈ half the total cost.
+	if tcp.DataCopying < 0.45 || tcp.DataCopying > 0.55 {
+		t.Errorf("data copying share = %.2f, paper says ≈50%%", tcp.DataCopying)
+	}
+	// Offloading only the stack "yields only little advantage".
+	if saved := tcp.Total() - toe.Total(); saved > 0.25 {
+		t.Errorf("TOE saves %.2f of total; paper says little", saved)
+	}
+	// Only RDMA significantly reduces the overhead.
+	if rdma.Total() > 0.15 {
+		t.Errorf("RDMA residual overhead = %.2f, should be small", rdma.Total())
+	}
+	if rdma.DataCopying != 0 {
+		t.Error("RDMA is zero-copy")
+	}
+}
+
+func TestTransferTimePositive(t *testing.T) {
+	c := Default()
+	if c.TransferTime(1<<20) <= 0 {
+		t.Error("transfer time must be positive")
+	}
+	big := c.TransferTime(1 << 30)
+	small := c.TransferTime(1 << 10)
+	if big <= small {
+		t.Error("transfer time must grow with size")
+	}
+}

@@ -1,0 +1,98 @@
+package costmodel
+
+import "time"
+
+// PhaseOutcome is one configuration's join-phase result in the Fig 12 /
+// Table I experiment: the compute portion (the "join" bar), the time the
+// join entities waited for data (the "sync" bar) and the host CPU load.
+type PhaseOutcome struct {
+	// Compute is the pure join work's wall-clock share.
+	Compute time.Duration
+	// Sync is the wall-clock time spent waiting for the transport.
+	Sync time.Duration
+	// CPULoad is the average fraction of all cores busy during the
+	// phase (Table I; 1.0 = all four cores fully busy).
+	CPULoad float64
+}
+
+// Wall is the phase's total wall-clock time.
+func (o PhaseOutcome) Wall() time.Duration { return o.Compute + o.Sync }
+
+// RDMAJoinPhase models the hash-join join phase over RDMA with `threads`
+// join threads (Fig 12, black/white bars; Table I right column).
+//
+// rTuples is the full rotating-relation cardinality (every host scans all
+// of R once per revolution); bytesEachWay is the volume each host both
+// receives and forwards during the revolution. Join threads poll their
+// ring buffers, so they stay busy through sync time — which is why the
+// paper measures an RDMA CPU load that "matches the number of cores that
+// are computing the join".
+func (c Calibration) RDMAJoinPhase(rTuples int, bytesEachWay float64, threads int) PhaseOutcome {
+	if threads < 1 {
+		threads = 1
+	}
+	compute := time.Duration(float64(rTuples) * float64(c.HashProbePerTupleCore) / float64(threads))
+	transfer := time.Duration(bytesEachWay / c.EffectiveBandwidth() * float64(time.Second))
+	var sync time.Duration
+	if transfer > compute {
+		sync = transfer - compute
+	}
+	load := float64(threads) / float64(c.Cores)
+	if load > 1 {
+		load = 1
+	}
+	return PhaseOutcome{Compute: compute, Sync: sync, CPULoad: load}
+}
+
+// TCPJoinPhase models the same phase with the kernel-TCP transport
+// (Fig 12, gray bars; Table I left column). Three effects distinguish it
+// from RDMA:
+//
+//   - the kernel stack consumes CPU proportional to the moved bytes
+//     (copies + interrupts), charged against the whole host;
+//   - the join computation slows down from cache pollution and context
+//     switches, progressively as join threads crowd the cores and
+//     severely once they occupy all of them;
+//   - the blocking socket path never fully hides transfer time
+//     (TCPSyncExposure), and with no spare core the achievable bandwidth
+//     itself degrades (TCPFullBWDerate).
+func (c Calibration) TCPJoinPhase(rTuples int, bytesEachWay float64, threads int) PhaseOutcome {
+	if threads < 1 {
+		threads = 1
+	}
+	pollution := 1 + c.TCPPollutionSlope*(float64(threads)-0.5)
+	bw := c.EffectiveBandwidth()
+	if threads >= c.Cores {
+		pollution = c.TCPPollutionFull
+		bw *= c.TCPFullBWDerate
+	} else {
+		// Communication is CPU-bound when the spare cores cannot feed
+		// the stack fast enough.
+		spare := float64(c.Cores - threads)
+		commCap := spare * c.CPUFreqHz / c.TCPCyclesPerByte
+		if commCap < bw {
+			bw = commCap
+		}
+	}
+	computeCPU := float64(rTuples) * c.HashProbePerTupleCore.Seconds() * pollution // core-seconds
+	computeWall := computeCPU / float64(threads)
+	transfer := bytesEachWay / bw
+
+	syncSecs := c.TCPSyncExposure * transfer
+	if transfer > computeWall {
+		syncSecs += transfer - computeWall
+	}
+	wall := computeWall + syncSecs
+
+	// Stack CPU cost covers both directions of the revolution's traffic.
+	commCPU := 2 * bytesEachWay * c.TCPCyclesPerByte / c.CPUFreqHz
+	load := (computeCPU + commCPU) / (float64(c.Cores) * wall)
+	if load > c.TCPUtilizationCap {
+		load = c.TCPUtilizationCap
+	}
+	return PhaseOutcome{
+		Compute: time.Duration(computeWall * float64(time.Second)),
+		Sync:    time.Duration(syncSecs * float64(time.Second)),
+		CPULoad: load,
+	}
+}

@@ -1,0 +1,346 @@
+// Package cyclotron implements continuous data circulation — the Data
+// Cyclotron operating mode ([13], [16]) that frames the paper: "we keep
+// (the hot set of the) data continuously circulating in the ring. Queries
+// remain local to one or more nodes and pick necessary pieces of data as
+// they flow by" (§II-C).
+//
+// A Wheel keeps one relation's fragments revolving around a Data
+// Roundabout ring in the background. Join queries attach at revolution
+// boundaries: each submitted join stations its own access structures on
+// the hosts, rides exactly one full revolution, and detaches with its
+// distributed result. Queries submitted while a revolution is in flight
+// are batched onto the next one, so concurrent queries share the ring's
+// bandwidth — one spin of the data serves all of them, which is the
+// Cyclotron economy: the rotating relation crosses each link once per
+// revolution no matter how many queries consume it.
+//
+// Because the circulating fragments stay in their original order (no
+// per-query reorganization is possible on shared data), the local join
+// algorithms see unorganized rotating input. The radix hash join probes
+// order-independently; the sort-merge join falls back to sorting each
+// arriving fragment, which is correct but pays the sort on every hop —
+// the trade the paper's setup-reuse discussion (§IV-D) is about.
+package cyclotron
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cyclojoin/internal/join"
+	"cyclojoin/internal/relation"
+	"cyclojoin/internal/ring"
+)
+
+// Config sizes the wheel's ring.
+type Config struct {
+	// Nodes is the ring size.
+	Nodes int
+	// Ring tunes the transport buffers; Ring.Nodes is overridden.
+	Ring ring.Config
+	// Links selects the transport; nil means in-process links.
+	Links ring.LinkFactory
+	// FragmentsPerHost splits each host's share of the rotating relation
+	// into this many circulating fragments (more fragments, smoother
+	// pipelining). Zero means 1.
+	FragmentsPerHost int
+}
+
+// JoinSpec describes one join riding the wheel.
+type JoinSpec struct {
+	// Algorithm is the local join implementation.
+	Algorithm join.Algorithm
+	// Predicate is the join condition.
+	Predicate join.Predicate
+	// Opts tunes the local algorithm.
+	Opts join.Options
+	// Stationary is the relation to station (partitioned evenly across
+	// the hosts).
+	Stationary *relation.Relation
+	// Collectors builds per-host collectors; nil means counters.
+	Collectors func(node int) join.Collector
+}
+
+// Outcome is one completed join.
+type Outcome struct {
+	// Collectors holds the per-host results.
+	Collectors []join.Collector
+	// Revolution is the wheel revolution that served this join.
+	Revolution int
+}
+
+// Matches sums counter collectors; -1 for custom collectors.
+func (o *Outcome) Matches() int64 {
+	var total int64
+	for _, c := range o.Collectors {
+		counter, ok := c.(*join.Counter)
+		if !ok {
+			return -1
+		}
+		total += counter.Count()
+	}
+	return total
+}
+
+// request is one enqueued join.
+type request struct {
+	spec JoinSpec
+	done chan result
+}
+
+type result struct {
+	out *Outcome
+	err error
+}
+
+// active is one query's per-host state during a revolution.
+type active struct {
+	stationary join.Stationary
+	collector  join.Collector
+}
+
+// hostProc is the per-node join entity: it applies every active query to
+// each fragment flowing by.
+type hostProc struct {
+	mu      sync.Mutex
+	actives []*active
+}
+
+var _ ring.Processor = (*hostProc)(nil)
+
+// Process implements ring.Processor.
+func (p *hostProc) Process(frag *relation.Fragment) error {
+	p.mu.Lock()
+	actives := p.actives
+	p.mu.Unlock()
+	for _, a := range actives {
+		if err := a.stationary.Join(frag.Rel, a.collector); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *hostProc) set(actives []*active) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.actives = actives
+}
+
+// Wheel keeps a relation circulating and serves joins against it.
+type Wheel struct {
+	cfg   Config
+	ring  *ring.Ring
+	procs []*hostProc
+	frags [][]*relation.Fragment
+
+	submitc chan *request
+	stopc   chan struct{}
+	donec   chan struct{}
+
+	mu          sync.Mutex
+	revolutions int
+	closed      bool
+}
+
+// ErrClosed is returned for joins submitted to a closed wheel.
+var ErrClosed = errors.New("cyclotron: wheel closed")
+
+// New builds a wheel with the given rotating relation and starts its
+// background revolution loop.
+func New(cfg Config, rotating *relation.Relation) (*Wheel, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cyclotron: %d nodes", cfg.Nodes)
+	}
+	perHost := cfg.FragmentsPerHost
+	if perHost < 1 {
+		perHost = 1
+	}
+	parts, err := relation.Partition(rotating, cfg.Nodes*perHost)
+	if err != nil {
+		return nil, fmt.Errorf("cyclotron: partition rotating relation: %w", err)
+	}
+	frags := make([][]*relation.Fragment, cfg.Nodes)
+	for i, f := range parts {
+		frags[i%cfg.Nodes] = append(frags[i%cfg.Nodes], f)
+	}
+
+	w := &Wheel{
+		cfg:     cfg,
+		frags:   frags,
+		procs:   make([]*hostProc, cfg.Nodes),
+		submitc: make(chan *request),
+		stopc:   make(chan struct{}),
+		donec:   make(chan struct{}),
+	}
+	procs := make([]ring.Processor, cfg.Nodes)
+	for i := range procs {
+		w.procs[i] = &hostProc{}
+		procs[i] = w.procs[i]
+	}
+	rcfg := cfg.Ring
+	rcfg.Nodes = cfg.Nodes
+	rg, err := ring.New(rcfg, cfg.Links, procs)
+	if err != nil {
+		return nil, fmt.Errorf("cyclotron: build ring: %w", err)
+	}
+	w.ring = rg
+	go w.loop()
+	return w, nil
+}
+
+// Revolutions reports how many full revolutions the wheel has completed.
+func (w *Wheel) Revolutions() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.revolutions
+}
+
+// ExecuteJoin stations the spec's relation, rides one revolution, and
+// returns the distributed result. Safe for concurrent use; concurrent
+// joins are batched onto shared revolutions.
+func (w *Wheel) ExecuteJoin(spec JoinSpec) (*Outcome, error) {
+	switch {
+	case spec.Algorithm == nil:
+		return nil, errors.New("cyclotron: nil algorithm")
+	case spec.Predicate == nil:
+		return nil, errors.New("cyclotron: nil predicate")
+	case spec.Stationary == nil:
+		return nil, errors.New("cyclotron: nil stationary relation")
+	case !spec.Algorithm.Supports(spec.Predicate):
+		return nil, fmt.Errorf("cyclotron: algorithm %q does not support %s: %w",
+			spec.Algorithm.Name(), spec.Predicate, join.ErrUnsupportedPredicate)
+	}
+	req := &request{spec: spec, done: make(chan result, 1)}
+	select {
+	case w.submitc <- req:
+	case <-w.stopc:
+		return nil, ErrClosed
+	}
+	select {
+	case res := <-req.done:
+		return res.out, res.err
+	case <-w.donec:
+		return nil, ErrClosed
+	}
+}
+
+// loop runs revolutions, batching all requests that arrived since the
+// previous one.
+func (w *Wheel) loop() {
+	defer close(w.donec)
+	for {
+		// Wait for at least one query; the wheel idles rather than
+		// spinning empty revolutions (the paper's always-spinning ring
+		// trades idle bandwidth for latency; for a library, idling is
+		// the sane default).
+		var batch []*request
+		select {
+		case <-w.stopc:
+			return
+		case req := <-w.submitc:
+			batch = append(batch, req)
+		}
+		// Batch everything else already queued.
+	drain:
+		for {
+			select {
+			case req := <-w.submitc:
+				batch = append(batch, req)
+			default:
+				break drain
+			}
+		}
+		w.revolve(batch)
+	}
+}
+
+// revolve runs one revolution serving the batch.
+func (w *Wheel) revolve(batch []*request) {
+	type prepared struct {
+		req        *request
+		actives    []*active // per host
+		collectors []join.Collector
+	}
+	preps := make([]prepared, 0, len(batch))
+	fail := func(req *request, err error) {
+		req.done <- result{err: err}
+	}
+
+	for _, req := range batch {
+		sFrags, err := relation.Partition(req.spec.Stationary, w.cfg.Nodes)
+		if err != nil {
+			fail(req, fmt.Errorf("cyclotron: partition stationary: %w", err))
+			continue
+		}
+		p := prepared{req: req, actives: make([]*active, w.cfg.Nodes), collectors: make([]join.Collector, w.cfg.Nodes)}
+		var wg sync.WaitGroup
+		errs := make([]error, w.cfg.Nodes)
+		for i := 0; i < w.cfg.Nodes; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				st, err := req.spec.Algorithm.SetupStationary(sFrags[i].Rel, req.spec.Predicate, req.spec.Opts)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				col := join.Collector(&join.Counter{})
+				if req.spec.Collectors != nil {
+					col = req.spec.Collectors(i)
+				}
+				p.actives[i] = &active{stationary: st, collector: col}
+				p.collectors[i] = col
+			}(i)
+		}
+		wg.Wait()
+		setupErr := errors.Join(errs...)
+		if setupErr != nil {
+			fail(req, fmt.Errorf("cyclotron: setup: %w", setupErr))
+			continue
+		}
+		preps = append(preps, p)
+	}
+	if len(preps) == 0 {
+		return
+	}
+
+	for i, proc := range w.procs {
+		actives := make([]*active, 0, len(preps))
+		for _, p := range preps {
+			actives = append(actives, p.actives[i])
+		}
+		proc.set(actives)
+	}
+	err := w.ring.Run(w.frags)
+	for _, proc := range w.procs {
+		proc.set(nil)
+	}
+
+	w.mu.Lock()
+	w.revolutions++
+	rev := w.revolutions
+	w.mu.Unlock()
+
+	for _, p := range preps {
+		if err != nil {
+			fail(p.req, err)
+			continue
+		}
+		p.req.done <- result{out: &Outcome{Collectors: p.collectors, Revolution: rev}}
+	}
+}
+
+// Close stops the wheel. Pending joins fail with ErrClosed.
+func (w *Wheel) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.stopc)
+	<-w.donec
+	return w.ring.Close()
+}

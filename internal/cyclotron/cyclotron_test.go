@@ -1,0 +1,236 @@
+package cyclotron
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cyclojoin/internal/join"
+	"cyclojoin/internal/join/hashjoin"
+	"cyclojoin/internal/join/jointest"
+	"cyclojoin/internal/join/nested"
+	"cyclojoin/internal/join/sortmerge"
+	"cyclojoin/internal/relation"
+	"cyclojoin/internal/ring"
+	"cyclojoin/internal/workload"
+)
+
+func newWheel(t *testing.T, nodes int, rotating *relation.Relation) *Wheel {
+	t.Helper()
+	w, err := New(Config{Nodes: nodes, FragmentsPerHost: 2}, rotating)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = w.Close()
+	})
+	return w
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0}, workload.Sequential("R", 10, 0)); err == nil {
+		t.Error("zero nodes: want error")
+	}
+}
+
+func TestSingleJoinMatchesOracle(t *testing.T) {
+	r := workload.Sequential("R", 3000, 4)
+	s := workload.Sequential("S", 3000, 4)
+	w := newWheel(t, 3, r)
+	out, err := w.ExecuteJoin(JoinSpec{
+		Algorithm:  hashjoin.Join{},
+		Predicate:  join.Equi{},
+		Stationary: s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Matches() != 3000 {
+		t.Errorf("matches = %d, want 3000", out.Matches())
+	}
+	if out.Revolution < 1 {
+		t.Errorf("revolution = %d", out.Revolution)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	w := newWheel(t, 2, workload.Sequential("R", 100, 0))
+	s := workload.Sequential("S", 100, 0)
+	bad := []JoinSpec{
+		{Predicate: join.Equi{}, Stationary: s},
+		{Algorithm: hashjoin.Join{}, Stationary: s},
+		{Algorithm: hashjoin.Join{}, Predicate: join.Equi{}},
+		{Algorithm: hashjoin.Join{}, Predicate: join.Band{Width: 1}, Stationary: s},
+	}
+	for i, spec := range bad {
+		if _, err := w.ExecuteJoin(spec); err == nil {
+			t.Errorf("spec %d: want error", i)
+		}
+	}
+}
+
+// TestConcurrentJoinsShareRevolutions is the Cyclotron economy: many
+// queries, each needing one revolution, ride far fewer revolutions than
+// queries because they batch onto shared spins.
+func TestConcurrentJoinsShareRevolutions(t *testing.T) {
+	r := workload.Sequential("R", 6000, 4)
+	w := newWheel(t, 3, r)
+	const queries = 12
+	var wg sync.WaitGroup
+	errs := make([]error, queries)
+	matches := make([]int64, queries)
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			s := workload.Sequential(fmt.Sprintf("S%d", q), 1000+100*q, 4)
+			out, err := w.ExecuteJoin(JoinSpec{
+				Algorithm:  hashjoin.Join{},
+				Predicate:  join.Equi{},
+				Stationary: s,
+			})
+			if err != nil {
+				errs[q] = err
+				return
+			}
+			matches[q] = out.Matches()
+		}(q)
+	}
+	wg.Wait()
+	for q := 0; q < queries; q++ {
+		if errs[q] != nil {
+			t.Fatalf("query %d: %v", q, errs[q])
+		}
+		if want := int64(1000 + 100*q); matches[q] != want {
+			t.Errorf("query %d: matches = %d, want %d", q, matches[q], want)
+		}
+	}
+	if revs := w.Revolutions(); revs > queries {
+		t.Errorf("%d revolutions for %d queries; batching broken", revs, queries)
+	} else {
+		t.Logf("%d queries served by %d revolutions", queries, revs)
+	}
+}
+
+// TestMixedAlgorithmsOneWheel: different algorithms and predicates riding
+// the same circulating data.
+func TestMixedAlgorithmsOneWheel(t *testing.T) {
+	r, err := workload.Generate(workload.Spec{Name: "R", Tuples: 2000, KeyDomain: 300, Seed: 1, PayloadWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.Generate(workload.Spec{Name: "S", Tuples: 2000, KeyDomain: 300, Seed: 2, PayloadWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWheel(t, 3, r)
+
+	specs := []JoinSpec{
+		{Algorithm: hashjoin.Join{}, Predicate: join.Equi{}, Stationary: s,
+			Collectors: func(int) join.Collector { return join.NewPairSet() }},
+		{Algorithm: sortmerge.Join{}, Predicate: join.Band{Width: 2}, Stationary: s,
+			Collectors: func(int) join.Collector { return join.NewPairSet() }},
+		{Algorithm: nested.Join{}, Predicate: join.Theta{Name: "mod5", Fn: func(a, b uint64) bool { return a%5 == b%5 }},
+			Stationary: s, Collectors: func(int) join.Collector { return join.NewPairSet() }},
+	}
+	var wg sync.WaitGroup
+	outs := make([]*Outcome, len(specs))
+	errs := make([]error, len(specs))
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec JoinSpec) {
+			defer wg.Done()
+			outs[i], errs[i] = w.ExecuteJoin(spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	for i, spec := range specs {
+		if errs[i] != nil {
+			t.Fatalf("spec %d: %v", i, errs[i])
+		}
+		want := join.NewPairSet()
+		jointest.Oracle(r, s, spec.Predicate, want)
+		got := map[[2]uint64]int{}
+		for _, c := range outs[i].Collectors {
+			for k, v := range c.(*join.PairSet).Pairs() {
+				got[k] += v
+			}
+		}
+		wantPairs := want.Pairs()
+		if len(got) != len(wantPairs) {
+			t.Errorf("spec %d (%s): %d distinct pairs, want %d", i, spec.Predicate, len(got), len(wantPairs))
+			continue
+		}
+		for k, v := range wantPairs {
+			if got[k] != v {
+				t.Errorf("spec %d: pair %v count %d, want %d", i, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestSequentialJoinsAdvanceRevolutions: the wheel keeps spinning across
+// successive queries.
+func TestSequentialJoinsAdvanceRevolutions(t *testing.T) {
+	r := workload.Sequential("R", 600, 4)
+	s := workload.Sequential("S", 600, 4)
+	w := newWheel(t, 2, r)
+	for i := 0; i < 3; i++ {
+		out, err := w.ExecuteJoin(JoinSpec{Algorithm: hashjoin.Join{}, Predicate: join.Equi{}, Stationary: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Matches() != 600 {
+			t.Errorf("round %d: matches = %d", i, out.Matches())
+		}
+	}
+	if revs := w.Revolutions(); revs != 3 {
+		t.Errorf("revolutions = %d, want 3", revs)
+	}
+}
+
+func TestCloseRejectsNewJoins(t *testing.T) {
+	r := workload.Sequential("R", 100, 0)
+	w, err := New(Config{Nodes: 2}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	_, err = w.ExecuteJoin(JoinSpec{
+		Algorithm: hashjoin.Join{}, Predicate: join.Equi{},
+		Stationary: workload.Sequential("S", 100, 0),
+	})
+	if err == nil {
+		t.Error("join on closed wheel: want error")
+	}
+}
+
+// TestWheelOverOneSidedWrites: the wheel spins on the write-based
+// transport too.
+func TestWheelOverOneSidedWrites(t *testing.T) {
+	r := workload.Sequential("R", 1200, 4)
+	w, err := New(Config{
+		Nodes:            3,
+		FragmentsPerHost: 2,
+		Ring:             ring.Config{OneSidedWrites: true},
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = w.Close()
+	}()
+	s := workload.Sequential("S", 1200, 4)
+	out, err := w.ExecuteJoin(JoinSpec{Algorithm: hashjoin.Join{}, Predicate: join.Equi{}, Stationary: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Matches() != 1200 {
+		t.Errorf("matches = %d, want 1200", out.Matches())
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cyclojoin/internal/costmodel"
+	"cyclojoin/internal/planner"
+	"cyclojoin/internal/stats"
+)
+
+// CrossoverRow compares the two algorithms' predicted totals at one ring
+// size in the Fig 8/11 scale-up (3.2 GB added per node).
+type CrossoverRow struct {
+	// Nodes is the ring size.
+	Nodes int
+	// Hash and SortMerge are the planner-predicted total times.
+	Hash, SortMerge time.Duration
+}
+
+// CrossoverRows sweeps ring sizes through the planner's cost model to
+// locate the point where sort-merge overtakes the hash join — the §V-E
+// prediction ("configurations of ≈30 nodes upward, i.e., data volumes
+// ≳100 GB"). This extends the paper's evaluation: the testbed stopped at
+// six machines, so the authors could only extrapolate.
+func CrossoverRows(cal costmodel.Calibration) ([]CrossoverRow, int, error) {
+	crossing, err := planner.Crossover(cal, Fig8TuplesPerNode, 200)
+	if err != nil {
+		return nil, 0, err
+	}
+	sweep := []int{1, 6, 12, 24, 36, 48, crossing, crossing + 12}
+	rows := make([]CrossoverRow, 0, len(sweep))
+	seen := map[int]bool{}
+	for _, nodes := range sweep {
+		if nodes < 1 || seen[nodes] {
+			continue
+		}
+		seen[nodes] = true
+		w := planner.Workload{
+			RTuples: Fig8TuplesPerNode * nodes,
+			STuples: Fig8TuplesPerNode * nodes,
+			Nodes:   nodes,
+		}
+		plans, err := planner.Candidates(cal, w)
+		if err != nil {
+			return nil, 0, err
+		}
+		row := CrossoverRow{Nodes: nodes}
+		for _, p := range plans {
+			if !p.RotateR {
+				continue
+			}
+			switch p.Algorithm {
+			case planner.Hash:
+				row.Hash = p.Total()
+			case planner.SortMerge:
+				row.SortMerge = p.Total()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, crossing, nil
+}
+
+// CrossoverTable renders the sweep.
+func CrossoverTable(cal costmodel.Calibration) (*stats.Table, error) {
+	rows, crossing, err := CrossoverRows(cal)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Crossover (§V-E prediction): hash join vs sort-merge join total time, +3.2 GB per node",
+		"nodes", "data [GB]", "hash total [s]", "sort-merge total [s]", "winner")
+	for _, r := range rows {
+		winner := "hash"
+		if r.SortMerge < r.Hash {
+			winner = "sort-merge"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", r.Nodes),
+			stats.GB(int64(2)*int64(r.Nodes)*Fig8TuplesPerNode*int64(cal.TupleBytes)),
+			stats.Secs(r.Hash),
+			stats.Secs(r.SortMerge),
+			winner,
+		)
+	}
+	t.SetNote(fmt.Sprintf(
+		"model crossover at %d nodes; paper expected sort-merge to overpass hash at ≈30 nodes (data ≳100 GB)", crossing))
+	return t, nil
+}

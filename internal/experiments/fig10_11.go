@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cyclojoin/internal/costmodel"
+	"cyclojoin/internal/stats"
+)
+
+// Fig10Rows reproduces Fig 10: the fixed 3.2 GB data set joined with
+// sort-merge join on 1–6 nodes. Sorting is far more expensive than hash
+// generation, so small rings pay a heavy setup bill; distribution divides
+// the sort problem (and n·log n works in its favor).
+func Fig10Rows(cal costmodel.Calibration) ([]ScaleRow, error) {
+	rows := make([]ScaleRow, 0, MaxNodes)
+	dataBytes := int64(2) * Fig7Tuples * int64(cal.TupleBytes)
+	for nodes := 1; nodes <= MaxNodes; nodes++ {
+		// Each host sorts its R_i and S_i fragments concurrently
+		// (§IV-C.2), so setup wall clock is one fragment's sort.
+		setup := cal.SortSetupTime(Fig7Tuples / nodes)
+		rev, err := simulateRevolution(cal, nodes, Fig7Tuples, cal.MergePerTupleCore)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 nodes=%d: %w", nodes, err)
+		}
+		rows = append(rows, ScaleRow{Nodes: nodes, DataBytes: dataBytes, Setup: setup, Join: rev.join, Sync: rev.sync, Wall: rev.wall})
+	}
+	return rows, nil
+}
+
+// Fig10Table renders Fig 10.
+func Fig10Table(cal costmodel.Calibration) (*stats.Table, error) {
+	rows, err := Fig10Rows(cal)
+	if err != nil {
+		return nil, err
+	}
+	return scaleTable("Fig 10: sort-merge join, fixed 3.2 GB data set, increasing ring size", rows,
+		"paper: high sort cost dominates small rings; merge phase is faster than hash probe"), nil
+}
+
+// Fig11Rows reproduces Fig 11: sort-merge scale-up at 3.2 GB per node. The
+// merge phase is so fast that it outruns the 10 Gb/s links, exposing the
+// light-gray "sync" time: at 19.2 GB the paper measures 6.4 s merge +
+// 2.3 s sync = 8.7 s, i.e. 9.6 GB per link at 1.1 GB/s.
+func Fig11Rows(cal costmodel.Calibration) ([]ScaleRow, error) {
+	rows := make([]ScaleRow, 0, MaxNodes)
+	for nodes := 1; nodes <= MaxNodes; nodes++ {
+		rTuples := Fig8TuplesPerNode * nodes
+		dataBytes := int64(2) * int64(rTuples) * int64(cal.TupleBytes)
+		setup := cal.SortSetupTime(Fig8TuplesPerNode)
+		rev, err := simulateRevolution(cal, nodes, rTuples, cal.MergePerTupleCore)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 nodes=%d: %w", nodes, err)
+		}
+		rows = append(rows, ScaleRow{Nodes: nodes, DataBytes: dataBytes, Setup: setup, Join: rev.join, Sync: rev.sync, Wall: rev.wall})
+	}
+	return rows, nil
+}
+
+// Fig11Table renders Fig 11.
+func Fig11Table(cal costmodel.Calibration) (*stats.Table, error) {
+	rows, err := Fig11Rows(cal)
+	if err != nil {
+		return nil, err
+	}
+	return scaleTable("Fig 11: sort-merge join, +3.2 GB per node — the merge outruns the link", rows,
+		"paper at 6 nodes: join 6.4 s + sync 2.3 s = 8.7 s for 9.6 GB/link ≈ 1.1 GB/s (link-bound)"), nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strconv"
+
+	"cyclojoin/internal/costmodel"
+	"cyclojoin/internal/stats"
+)
+
+// Fig3Rows returns the CPU-overhead decomposition of Fig 3: kernel TCP,
+// TCP-offload engine, RDMA.
+func Fig3Rows() []costmodel.CPUBreakdown {
+	return costmodel.Fig3Breakdown()
+}
+
+// Fig3Table renders Fig 3 as overhead percentages relative to the kernel
+// TCP total.
+func Fig3Table(cal costmodel.Calibration) (*stats.Table, error) {
+	t := stats.NewTable("Fig 3: local CPU overhead of high-speed transfers (relative to kernel TCP)",
+		"configuration", "data copying", "context switches", "network stack", "driver", "total")
+	for _, b := range Fig3Rows() {
+		t.AddRow(b.Label, stats.Pct(b.DataCopying), stats.Pct(b.ContextSwitches),
+			stats.Pct(b.NetworkStack), stats.Pct(b.Driver), stats.Pct(b.Total()))
+	}
+	t.SetNote("paper: data movement ≈50% of cost; TOE helps little; only RDMA removes the overhead")
+	return t, nil
+}
+
+// Fig5Row is one point of the chunk-size/throughput curve.
+type Fig5Row struct {
+	// ChunkBytes is the transfer-unit size.
+	ChunkBytes int
+	// Throughput is the achieved rate in bytes/second.
+	Throughput float64
+}
+
+// Fig5ChunkSizes are the sweep points (1 B … 1 GB, log scale as in the
+// figure).
+func Fig5ChunkSizes() []int {
+	return []int{1, 16, 256, 1 << 10, 4 << 10, 64 << 10, 1 << 20, 16 << 20, 256 << 20, 1 << 30}
+}
+
+// Fig5Rows sweeps the RDMA throughput model over the chunk sizes.
+func Fig5Rows(cal costmodel.Calibration) []Fig5Row {
+	sizes := Fig5ChunkSizes()
+	rows := make([]Fig5Row, len(sizes))
+	for i, s := range sizes {
+		rows[i] = Fig5Row{ChunkBytes: s, Throughput: cal.RDMAThroughput(s)}
+	}
+	return rows
+}
+
+// Fig5Table renders the Fig 5 sweep.
+func Fig5Table(cal costmodel.Calibration) (*stats.Table, error) {
+	t := stats.NewTable("Fig 5: RDMA throughput vs transfer-unit size (10 GbE)",
+		"chunk", "throughput [Gb/s]", "of link")
+	for _, r := range Fig5Rows(cal) {
+		t.AddRow(byteLabel(r.ChunkBytes), stats.Gbps(r.Throughput),
+			stats.Pct(r.Throughput/cal.EffectiveBandwidth()))
+	}
+	t.SetNote("paper: link saturates for units ≳4 kB; maximum throughput from ≈1 MB")
+	return t, nil
+}
+
+func byteLabel(n int) string {
+	switch {
+	case n >= 1<<30:
+		return strconv.Itoa(n>>30) + "GB"
+	case n >= 1<<20:
+		return strconv.Itoa(n>>20) + "MB"
+	case n >= 1<<10:
+		return strconv.Itoa(n>>10) + "kB"
+	default:
+		return strconv.Itoa(n) + "B"
+	}
+}

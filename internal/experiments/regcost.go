@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cyclojoin/internal/costmodel"
+	"cyclojoin/internal/rdma"
+	"cyclojoin/internal/stats"
+)
+
+// RegCostRow quantifies §III-C's amortization argument: registering
+// buffers on demand for every transfer versus registering a static pool
+// once and reusing it across the whole join.
+type RegCostRow struct {
+	// Transfers is how many ring-buffer transfers the pool serves.
+	Transfers int
+	// OnDemand is the total registration cost when every transfer
+	// registers its own buffer.
+	OnDemand time.Duration
+	// Static is the one-time cost of registering the reused pool.
+	Static time.Duration
+}
+
+// Overhead is the on-demand cost as a multiple of the static cost.
+func (r RegCostRow) Overhead() float64 {
+	if r.Static <= 0 {
+		return 0
+	}
+	return r.OnDemand.Seconds() / r.Static.Seconds()
+}
+
+// regCostSlots is the ring-buffer pool size the comparison assumes.
+const regCostSlots = 4
+
+// RegCostRows sweeps transfer counts through the registration cost model
+// ("the cost of registration renders on-demand allocation and registration
+// of memory buffers infeasible", §III-C). The buffer size matches the
+// harness's ring elements.
+func RegCostRows(cal costmodel.Calibration) []RegCostRow {
+	regCost := func(buffers int) time.Duration {
+		return time.Duration(buffers) * rdma.ModeledRegistrationCost(fragmentBytes)
+	}
+	static := regCost(regCostSlots)
+	rows := make([]RegCostRow, 0, 4)
+	for _, transfers := range []int{10, 100, 1_000, 10_000} {
+		rows = append(rows, RegCostRow{
+			Transfers: transfers,
+			OnDemand:  regCost(transfers),
+			Static:    static,
+		})
+	}
+	return rows
+}
+
+// RegCostTable renders the sweep.
+func RegCostTable(cal costmodel.Calibration) (*stats.Table, error) {
+	t := stats.NewTable(
+		fmt.Sprintf("§III-C: buffer registration — on-demand per transfer vs a static pool of %d × %s elements",
+			regCostSlots, byteLabel(fragmentBytes)),
+		"transfers", "on-demand reg. cost", "static pool cost", "overhead")
+	for _, r := range RegCostRows(cal) {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Transfers),
+			r.OnDemand.Round(time.Microsecond).String(),
+			r.Static.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0fx", r.Overhead()),
+		)
+	}
+	t.SetNote("paper: registration is CPU-intensive [11]; the Data Roundabout registers its ring of buffers once and reuses them")
+	return t, nil
+}

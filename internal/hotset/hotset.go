@@ -1,0 +1,240 @@
+// Package hotset manages which relations live in main memory and which are
+// spilled to disk — the storage discipline of §II-C: "We assume the
+// combined main memory of all participating hosts to be large enough to
+// hold the hot set of the database in a distributed fashion; other data may
+// be kept in slower, distributed disk space."
+//
+// A Store holds relations under a memory budget. Registered relations stay
+// resident while they fit; when the budget overflows, the least recently
+// used relations spill to disk files (in the wire codec format) and are
+// transparently reloaded on access. Access counts expose which relations
+// are hot — the statistic a Data Cyclotron uses to decide what keeps
+// circulating.
+package hotset
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cyclojoin/internal/relation"
+)
+
+// Store is a memory-budgeted relation cache with disk spill. It is safe
+// for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	budget   int64
+	resident int64
+	dir      string
+	entries  map[string]*entry
+	// lru orders resident entries, most recently used in front.
+	lru *list.List
+
+	stats Stats
+}
+
+// Stats counts store activity.
+type Stats struct {
+	// Hits are Get calls served from memory.
+	Hits int
+	// Reloads are Get calls that had to read a spilled relation back.
+	Reloads int
+	// Spills counts evictions to disk.
+	Spills int
+}
+
+type entry struct {
+	name     string
+	rel      *relation.Relation // nil while spilled
+	bytes    int64
+	path     string
+	accesses int
+	elem     *list.Element // nil while spilled
+}
+
+// New creates a store with the given in-memory budget (bytes) spilling into
+// dir (created if needed).
+func New(budgetBytes int64, dir string) (*Store, error) {
+	if budgetBytes <= 0 {
+		return nil, fmt.Errorf("hotset: budget %d", budgetBytes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("hotset: spill dir: %w", err)
+	}
+	return &Store{
+		budget:  budgetBytes,
+		dir:     dir,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}, nil
+}
+
+// Register adds a relation under the given name. A relation larger than
+// the whole budget is rejected. Re-registering a name replaces the old
+// contents.
+func (s *Store) Register(name string, rel *relation.Relation) error {
+	if rel == nil {
+		return fmt.Errorf("hotset: register %q: nil relation", name)
+	}
+	size := int64(rel.Bytes())
+	if size > s.budget {
+		return fmt.Errorf("hotset: %q (%d B) exceeds the whole memory budget (%d B)", name, size, s.budget)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[name]; ok {
+		s.dropLocked(old)
+	}
+	e := &entry{
+		name:  name,
+		rel:   rel,
+		bytes: size,
+		path:  filepath.Join(s.dir, name+".rel"),
+	}
+	s.entries[name] = e
+	e.elem = s.lru.PushFront(e)
+	s.resident += size
+	return s.evictLocked()
+}
+
+// Get returns the named relation, reloading it from disk if it was
+// spilled. The access marks the relation hot.
+func (s *Store) Get(name string) (*relation.Relation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("hotset: unknown relation %q", name)
+	}
+	e.accesses++
+	if e.rel != nil {
+		s.stats.Hits++
+		s.lru.MoveToFront(e.elem)
+		return e.rel, nil
+	}
+	// Reload from the spill file.
+	buf, err := os.ReadFile(e.path)
+	if err != nil {
+		return nil, fmt.Errorf("hotset: reload %q: %w", name, err)
+	}
+	frag, err := relation.Decode(buf, name)
+	if err != nil {
+		return nil, fmt.Errorf("hotset: reload %q: %w", name, err)
+	}
+	e.rel = frag.Rel
+	e.elem = s.lru.PushFront(e)
+	s.resident += e.bytes
+	s.stats.Reloads++
+	if err := s.evictLocked(); err != nil {
+		return nil, err
+	}
+	return e.rel, nil
+}
+
+// evictLocked spills least-recently-used relations until the budget holds.
+func (s *Store) evictLocked() error {
+	for s.resident > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			return fmt.Errorf("hotset: over budget (%d/%d B) with nothing to evict", s.resident, s.budget)
+		}
+		e := back.Value.(*entry)
+		frag := &relation.Fragment{Rel: e.rel, Index: 0, Of: 1}
+		buf, err := relation.EncodeAppend(frag, nil)
+		if err != nil {
+			return fmt.Errorf("hotset: spill %q: %w", e.name, err)
+		}
+		if err := os.WriteFile(e.path, buf, 0o644); err != nil {
+			return fmt.Errorf("hotset: spill %q: %w", e.name, err)
+		}
+		s.lru.Remove(back)
+		e.elem = nil
+		e.rel = nil
+		s.resident -= e.bytes
+		s.stats.Spills++
+	}
+	return nil
+}
+
+// dropLocked removes an entry entirely.
+func (s *Store) dropLocked(e *entry) {
+	if e.elem != nil {
+		s.lru.Remove(e.elem)
+		s.resident -= e.bytes
+	}
+	delete(s.entries, e.name)
+	_ = os.Remove(e.path)
+}
+
+// Drop removes a relation from the store (memory and disk).
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return fmt.Errorf("hotset: unknown relation %q", name)
+	}
+	s.dropLocked(e)
+	return nil
+}
+
+// Resident reports the bytes currently held in memory.
+func (s *Store) Resident() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resident
+}
+
+// IsResident reports whether the named relation is currently in memory.
+func (s *Store) IsResident(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	return ok && e.rel != nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// HotRelation describes one relation's heat for admission decisions.
+type HotRelation struct {
+	// Name identifies the relation.
+	Name string
+	// Accesses counts Get calls since registration.
+	Accesses int
+	// Bytes is the relation's data volume.
+	Bytes int64
+	// Resident reports whether it is currently in memory.
+	Resident bool
+}
+
+// Hottest lists relations by access count (descending) — the candidates a
+// Data Cyclotron keeps circulating in the ring's distributed memory.
+func (s *Store) Hottest() []HotRelation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]HotRelation, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, HotRelation{
+			Name:     e.name,
+			Accesses: e.accesses,
+			Bytes:    e.bytes,
+			Resident: e.rel != nil,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Accesses != out[j].Accesses {
+			return out[i].Accesses > out[j].Accesses
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,225 @@
+package hotset
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cyclojoin/internal/workload"
+)
+
+func newStore(t *testing.T, budget int64) *Store {
+	t.Helper()
+	s, err := New(budget, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, t.TempDir()); err == nil {
+		t.Error("zero budget: want error")
+	}
+}
+
+func TestRegisterAndGet(t *testing.T) {
+	s := newStore(t, 1<<20)
+	r := workload.Sequential("r1", 1000, 4)
+	if err := s.Register("r1", r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r) {
+		t.Error("Get returned different contents")
+	}
+	if s.Stats().Hits != 1 {
+		t.Errorf("hits = %d", s.Stats().Hits)
+	}
+	if _, err := s.Get("missing"); err == nil {
+		t.Error("unknown name: want error")
+	}
+}
+
+func TestRegisterRejectsOversized(t *testing.T) {
+	s := newStore(t, 100)
+	if err := s.Register("big", workload.Sequential("big", 1000, 4)); err == nil {
+		t.Error("relation over the whole budget: want error")
+	}
+	if err := s.Register("nil", nil); err == nil {
+		t.Error("nil relation: want error")
+	}
+}
+
+// TestSpillAndReload: exceeding the budget spills the LRU relation; access
+// reloads it transparently with identical contents.
+func TestSpillAndReload(t *testing.T) {
+	// Each relation: 5000 tuples × 12 B = 60 kB. Budget: 150 kB → two
+	// resident at a time.
+	s := newStore(t, 150_000)
+	rels := make([]string, 3)
+	for i := range rels {
+		name := fmt.Sprintf("r%d", i)
+		rels[i] = name
+		if err := s.Register(name, workload.Sequential(name, 5000, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// r0 was registered first → evicted when r2 arrived.
+	if s.IsResident("r0") {
+		t.Error("r0 should have spilled")
+	}
+	if !s.IsResident("r2") {
+		t.Error("r2 should be resident")
+	}
+	if s.Stats().Spills == 0 {
+		t.Error("no spills counted")
+	}
+	got, err := s.Get("r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 5000 || got.Key(4999) != 4999 {
+		t.Error("reloaded relation corrupted")
+	}
+	if s.Stats().Reloads != 1 {
+		t.Errorf("reloads = %d", s.Stats().Reloads)
+	}
+	// Reloading r0 must have pushed out the then-LRU resident.
+	if s.Resident() > 150_000 {
+		t.Errorf("resident %d exceeds budget", s.Resident())
+	}
+}
+
+// TestLRUOrder: access order, not registration order, decides eviction.
+func TestLRUOrder(t *testing.T) {
+	s := newStore(t, 150_000)
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("r%d", i)
+		if err := s.Register(name, workload.Sequential(name, 5000, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch r0 so r1 becomes the LRU.
+	if _, err := s.Get("r0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("r2", workload.Sequential("r2", 5000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsResident("r0") {
+		t.Error("recently used r0 was evicted")
+	}
+	if s.IsResident("r1") {
+		t.Error("LRU r1 survived eviction")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	s := newStore(t, 1<<20)
+	if err := s.Register("r", workload.Sequential("r", 100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop("r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("r"); err == nil {
+		t.Error("dropped relation still accessible")
+	}
+	if err := s.Drop("r"); err == nil {
+		t.Error("double drop: want error")
+	}
+	if s.Resident() != 0 {
+		t.Errorf("resident = %d after drop", s.Resident())
+	}
+}
+
+func TestReRegisterReplaces(t *testing.T) {
+	s := newStore(t, 1<<20)
+	if err := s.Register("r", workload.Sequential("r", 100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("r", workload.Sequential("r", 200, 4)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 200 {
+		t.Errorf("len = %d, want replacement's 200", got.Len())
+	}
+}
+
+func TestHottestOrdering(t *testing.T) {
+	s := newStore(t, 1<<20)
+	for _, name := range []string{"cold", "warm", "hot"} {
+		if err := s.Register(name, workload.Sequential(name, 100, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touch := func(name string, times int) {
+		for i := 0; i < times; i++ {
+			if _, err := s.Get(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	touch("hot", 5)
+	touch("warm", 2)
+	hotList := s.Hottest()
+	if len(hotList) != 3 {
+		t.Fatalf("%d entries", len(hotList))
+	}
+	if hotList[0].Name != "hot" || hotList[1].Name != "warm" || hotList[2].Name != "cold" {
+		t.Errorf("order = %v %v %v", hotList[0].Name, hotList[1].Name, hotList[2].Name)
+	}
+	if hotList[0].Accesses != 5 {
+		t.Errorf("hot accesses = %d", hotList[0].Accesses)
+	}
+}
+
+// TestConcurrentAccess hammers the store from several goroutines while
+// evictions are happening.
+func TestConcurrentAccess(t *testing.T) {
+	s := newStore(t, 150_000)
+	const nRels = 5
+	for i := 0; i < nRels; i++ {
+		name := fmt.Sprintf("r%d", i)
+		if err := s.Register(name, workload.Sequential(name, 5000, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				name := fmt.Sprintf("r%d", (w+i)%nRels)
+				got, err := s.Get(name)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if got.Len() != 5000 {
+					errs[w] = fmt.Errorf("%s: len %d", name, got.Len())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Resident() > 150_000 {
+		t.Errorf("resident %d exceeds budget", s.Resident())
+	}
+}

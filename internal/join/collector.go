@@ -1,0 +1,178 @@
+package join
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cyclojoin/internal/relation"
+)
+
+// Collector receives join matches. Implementations must be safe for
+// concurrent use: the multi-threaded join phases emit from several
+// goroutines at once (§IV-C: "uses all four cores ... to run the join phase
+// in parallel").
+type Collector interface {
+	// Emit records one match between an R tuple (rKey, rPay) and an S
+	// tuple (sKey, sPay). The payload slices are only valid during the
+	// call; implementations that retain them must copy.
+	Emit(rKey, sKey uint64, rPay, sPay []byte)
+}
+
+// Counter counts matches. The zero value is ready to use.
+type Counter struct {
+	n atomic.Int64
+}
+
+var _ Collector = (*Counter)(nil)
+
+// Emit implements Collector.
+func (c *Counter) Emit(rKey, sKey uint64, rPay, sPay []byte) { c.n.Add(1) }
+
+// Count returns the number of matches emitted so far.
+func (c *Counter) Count() int64 { return c.n.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n.Store(0) }
+
+// Discard drops all matches; useful for benchmarking the pure join cost.
+type Discard struct{}
+
+var _ Collector = Discard{}
+
+// Emit implements Collector.
+func (Discard) Emit(rKey, sKey uint64, rPay, sPay []byte) {}
+
+// Materializer builds the join result as a relation. The output schema is
+//
+//	key      = rKey
+//	payload  = rPay ‖ sKey (8 bytes little-endian) ‖ sPay
+//
+// so the result of one cyclo-join run can feed a subsequent run, keyed on
+// the R side (the ternary-join composition of §IV-A). Use Rekeyed to key the
+// output on the S side instead.
+type Materializer struct {
+	mu  sync.Mutex
+	out *relation.Relation
+	// rekey selects sKey as the output key when true.
+	rekey bool
+}
+
+var _ Collector = (*Materializer)(nil)
+
+// NewMaterializer builds a collector producing tuples keyed on rKey.
+// rPayWidth and sPayWidth are the payload widths of the two inputs.
+func NewMaterializer(name string, rPayWidth, sPayWidth int) *Materializer {
+	return &Materializer{
+		out: relation.New(relation.Schema{
+			Name:         name,
+			PayloadWidth: rPayWidth + relation.KeyWidth + sPayWidth,
+		}, 0),
+	}
+}
+
+// NewRekeyedMaterializer builds a collector producing tuples keyed on sKey,
+// with payload rKey ‖ rPay ‖ sPay.
+func NewRekeyedMaterializer(name string, rPayWidth, sPayWidth int) *Materializer {
+	m := NewMaterializer(name, rPayWidth, sPayWidth)
+	m.rekey = true
+	return m
+}
+
+// Emit implements Collector.
+func (m *Materializer) Emit(rKey, sKey uint64, rPay, sPay []byte) {
+	pay := make([]byte, 0, len(rPay)+8+len(sPay))
+	outKey := rKey
+	otherKey := sKey
+	if m.rekey {
+		outKey, otherKey = sKey, rKey
+	}
+	if m.rekey {
+		pay = appendKeyLE(pay, otherKey)
+		pay = append(pay, rPay...)
+		pay = append(pay, sPay...)
+	} else {
+		pay = append(pay, rPay...)
+		pay = appendKeyLE(pay, otherKey)
+		pay = append(pay, sPay...)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.out.Append(outKey, pay); err != nil {
+		// Width is fixed by construction; a mismatch is a programming
+		// error in this package, not a runtime condition.
+		panic(err)
+	}
+}
+
+func appendKeyLE(dst []byte, k uint64) []byte {
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(k>>(8*i)))
+	}
+	return dst
+}
+
+// Result returns the materialized output relation.
+func (m *Materializer) Result() *relation.Relation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.out
+}
+
+// PairSet records matches as (rKey, sKey) multiset counts — the
+// order-insensitive representation the tests use to compare algorithms
+// against the nested-loops oracle.
+type PairSet struct {
+	mu    sync.Mutex
+	pairs map[[2]uint64]int
+}
+
+var _ Collector = (*PairSet)(nil)
+
+// NewPairSet returns an empty pair multiset collector.
+func NewPairSet() *PairSet {
+	return &PairSet{pairs: make(map[[2]uint64]int)}
+}
+
+// Emit implements Collector.
+func (p *PairSet) Emit(rKey, sKey uint64, rPay, sPay []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pairs[[2]uint64{rKey, sKey}]++
+}
+
+// Pairs returns a copy of the pair multiset.
+func (p *PairSet) Pairs() map[[2]uint64]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cp := make(map[[2]uint64]int, len(p.pairs))
+	for k, v := range p.pairs {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Equal reports whether two pair multisets are identical.
+func (p *PairSet) Equal(o *PairSet) bool {
+	a, b := p.Pairs(), o.Pairs()
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Tee fans one match stream out to several collectors.
+type Tee []Collector
+
+var _ Collector = Tee(nil)
+
+// Emit implements Collector.
+func (t Tee) Emit(rKey, sKey uint64, rPay, sPay []byte) {
+	for _, c := range t {
+		c.Emit(rKey, sKey, rPay, sPay)
+	}
+}

@@ -1,0 +1,266 @@
+// Package hashjoin implements the radix-partitioned hash join of Manegold,
+// Boncz and Kersten [22] that the paper ports from MonetDB (§IV-C.1).
+//
+// The algorithm runs in the two phases cyclo-join expects:
+//
+//   - setup: radix-cluster the stationary fragment S_i into 2^bits
+//     partitions by a hash of the join key, sized so that one partition
+//     plus its hash table fits into the L2 cache, then build a
+//     bucket-chained hash table per partition;
+//   - join: for each tuple of the rotating fragment R_j, locate its
+//     partition and probe that partition's hash table. Because the
+//     partition fits in L2, all probes for a partition are cache-resident.
+//
+// The join phase is embarrassingly parallel across disjoint partitions; we
+// run it on Options.Parallelism goroutines exactly as the paper runs it on
+// the four cores of its Xeons.
+package hashjoin
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"cyclojoin/internal/join"
+	"cyclojoin/internal/relation"
+)
+
+// Join implements join.Algorithm with a radix-partitioned hash join.
+// The zero value is ready to use.
+type Join struct{}
+
+var _ join.Algorithm = Join{}
+
+// Name implements join.Algorithm.
+func (Join) Name() string { return "hash" }
+
+// Supports implements join.Algorithm: hash joins inherently support only
+// equality predicates (§IV-C).
+func (Join) Supports(p join.Predicate) bool {
+	_, ok := p.(join.Equi)
+	return ok
+}
+
+// SetupStationary implements join.Algorithm: radix-cluster s and build the
+// per-partition hash tables.
+func (j Join) SetupStationary(s *relation.Relation, p join.Predicate, opts join.Options) (join.Stationary, error) {
+	if !j.Supports(p) {
+		return nil, fmt.Errorf("%w: hash join cannot evaluate %s", join.ErrUnsupportedPredicate, p)
+	}
+	b := RadixBits(s.Bytes(), opts)
+	st := &stationary{bits: b, opts: opts, payWidth: s.Schema().PayloadWidth}
+	st.parts = parallelCluster(s, b, opts.Workers())
+	for i := range st.parts {
+		st.parts[i].buildTable(b)
+	}
+	return st, nil
+}
+
+// SetupRotating implements join.Algorithm: radix-cluster the rotating
+// fragment so that the join phase scans it partition-by-partition with
+// cache-friendly locality. The clustering is purely an optimization — the
+// probe is order-independent — which is why a fragment clustered with a
+// different fan-out than the stationary side still joins correctly.
+func (Join) SetupRotating(r *relation.Relation, p join.Predicate, opts join.Options) (*relation.Relation, error) {
+	if _, ok := p.(join.Equi); !ok {
+		return nil, fmt.Errorf("%w: hash join cannot evaluate %s", join.ErrUnsupportedPredicate, p)
+	}
+	b := RadixBits(r.Bytes(), opts)
+	if b == 0 {
+		return r, nil
+	}
+	parts := parallelCluster(r, b, opts.Workers())
+	out := relation.New(r.Schema(), r.Len())
+	for i := range parts {
+		pt := &parts[i]
+		for t := range pt.keys {
+			if err := out.Append(pt.keys[t], pt.payload(t)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// RadixBits derives the radix fan-out: enough partitions that one stationary
+// partition plus its hash table (≈ 2× the partition's data volume) fits in a
+// quarter of the L2 cache, following the sizing rule of [22].
+func RadixBits(dataBytes int, opts join.Options) int {
+	target := opts.L2Bytes() / 4
+	if target <= 0 {
+		target = 1
+	}
+	need := (2*dataBytes + target - 1) / target
+	if need <= 1 {
+		return 0
+	}
+	b := bits.Len(uint(need - 1)) // ceil(log2(need))
+	const maxBits = 14
+	if b > maxBits {
+		b = maxBits
+	}
+	return b
+}
+
+// partition is one radix-clustered piece of the stationary fragment plus its
+// bucket-chained hash table.
+type partition struct {
+	keys []uint64
+	pay  []byte
+	payW int
+	// head holds, per hash bucket, 1+index of the chain head (0 = empty).
+	head []int32
+	// next holds, per tuple, 1+index of the next tuple in its chain.
+	next []int32
+	mask uint64
+}
+
+func (pt *partition) payload(i int) []byte {
+	if pt.payW == 0 {
+		return nil
+	}
+	return pt.pay[i*pt.payW : (i+1)*pt.payW]
+}
+
+// bucketOf selects a radix partition from the *low* bits of the key hash.
+func bucketOf(key uint64, radixBits int) uint64 {
+	if radixBits == 0 {
+		return 0
+	}
+	return relation.HashKey(key) & ((1 << radixBits) - 1)
+}
+
+// cluster distributes r's tuples into 2^radixBits partitions via a counting
+// sort (two scans, no per-tuple allocation).
+func cluster(r *relation.Relation, radixBits int) []partition {
+	n := 1 << radixBits
+	payW := r.Schema().PayloadWidth
+	counts := make([]int, n)
+	for i := 0; i < r.Len(); i++ {
+		counts[bucketOf(r.Key(i), radixBits)]++
+	}
+	parts := make([]partition, n)
+	for p := range parts {
+		parts[p] = partition{
+			keys: make([]uint64, 0, counts[p]),
+			pay:  make([]byte, 0, counts[p]*payW),
+			payW: payW,
+		}
+	}
+	for i := 0; i < r.Len(); i++ {
+		p := &parts[bucketOf(r.Key(i), radixBits)]
+		p.keys = append(p.keys, r.Key(i))
+		p.pay = append(p.pay, r.Payload(i)...)
+	}
+	return parts
+}
+
+// buildTable constructs the bucket-chained hash table over the partition.
+// The in-partition hash uses the bits *above* the radix bits so that the
+// radix split and the table lookup draw on independent parts of the hash.
+func (pt *partition) buildTable(radixBits int) {
+	n := len(pt.keys)
+	if n == 0 {
+		return
+	}
+	size := 1
+	for size < 2*n {
+		size <<= 1
+	}
+	pt.mask = uint64(size - 1)
+	pt.head = make([]int32, size)
+	pt.next = make([]int32, n)
+	for i := 0; i < n; i++ {
+		b := (relation.HashKey(pt.keys[i]) >> radixBits) & pt.mask
+		pt.next[i] = pt.head[b]
+		pt.head[b] = int32(i + 1)
+	}
+}
+
+// probe emits all matches of key/pay against the partition's table.
+func (pt *partition) probe(key uint64, rPay []byte, radixBits int, c join.Collector) {
+	if len(pt.keys) == 0 {
+		return
+	}
+	b := (relation.HashKey(key) >> radixBits) & pt.mask
+	for e := pt.head[b]; e != 0; e = pt.next[e-1] {
+		i := int(e - 1)
+		if pt.keys[i] == key {
+			c.Emit(key, key, rPay, pt.payload(i))
+		}
+	}
+}
+
+// stationary is the prepared stationary fragment.
+type stationary struct {
+	bits     int
+	parts    []partition
+	opts     join.Options
+	payWidth int
+}
+
+var _ join.Stationary = (*stationary)(nil)
+
+// Bytes implements join.Stationary: the clustered copy plus table arrays.
+func (st *stationary) Bytes() int {
+	total := 0
+	for i := range st.parts {
+		pt := &st.parts[i]
+		total += len(pt.keys)*8 + len(pt.pay) + len(pt.head)*4 + len(pt.next)*4
+	}
+	return total
+}
+
+// Join implements join.Stationary: probe every tuple of r against its
+// partition's hash table, splitting r across Options.Parallelism workers.
+func (st *stationary) Join(r *relation.Relation, c join.Collector) error {
+	workers := st.opts.Workers()
+	n := r.Len()
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		st.joinRange(r, 0, n, c)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.joinRange(r, lo, hi, c)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+func (st *stationary) joinRange(r *relation.Relation, lo, hi int, c join.Collector) {
+	for i := lo; i < hi; i++ {
+		k := r.Key(i)
+		pt := &st.parts[bucketOf(k, st.bits)]
+		pt.probe(k, r.Payload(i), st.bits, c)
+	}
+}
+
+// Partitions exposes the number of radix partitions, for tests and the
+// ablation benchmarks.
+func (st *stationary) Partitions() int { return len(st.parts) }
+
+// MaxPartitionBytes returns the data volume of the largest partition —
+// the quantity that must stay under the L2 budget for the cache-resident
+// probe argument of §V-D to hold.
+func (st *stationary) MaxPartitionBytes() int {
+	maxB := 0
+	for i := range st.parts {
+		b := len(st.parts[i].keys)*8 + len(st.parts[i].pay)
+		if b > maxB {
+			maxB = b
+		}
+	}
+	return maxB
+}

@@ -1,0 +1,237 @@
+package hashjoin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cyclojoin/internal/join"
+	"cyclojoin/internal/join/jointest"
+	"cyclojoin/internal/relation"
+	"cyclojoin/internal/workload"
+)
+
+func TestSupports(t *testing.T) {
+	var j Join
+	if !j.Supports(join.Equi{}) {
+		t.Error("must support equi")
+	}
+	if j.Supports(join.Band{Width: 1}) {
+		t.Error("must not support band")
+	}
+	if j.Supports(join.Theta{Fn: func(a, b uint64) bool { return true }}) {
+		t.Error("must not support theta")
+	}
+}
+
+func TestSetupRejectsUnsupportedPredicate(t *testing.T) {
+	var j Join
+	r := workload.Sequential("R", 4, 0)
+	if _, err := j.SetupStationary(r, join.Band{Width: 1}, join.Options{}); err == nil {
+		t.Error("SetupStationary(band): want error")
+	}
+	if _, err := j.SetupRotating(r, join.Band{Width: 1}, join.Options{}); err == nil {
+		t.Error("SetupRotating(band): want error")
+	}
+}
+
+func TestMatchesOracleSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tests := []struct {
+		name       string
+		rN, sN     int
+		domain     int
+		pay        int
+		par        int
+		l2Override int
+	}{
+		{"tiny", 10, 10, 5, 4, 1, 0},
+		{"duplicates heavy", 200, 300, 10, 4, 1, 0},
+		{"wide domain", 500, 400, 100000, 4, 1, 0},
+		{"no payload", 100, 100, 50, 0, 1, 0},
+		{"parallel", 1000, 800, 64, 4, 4, 0},
+		{"forced multi-partition", 2000, 2000, 256, 4, 2, 1 << 10},
+		{"empty R", 0, 50, 10, 4, 1, 0},
+		{"empty S", 50, 0, 10, 4, 1, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := jointest.RandomRelation(rng, "R", tt.rN, tt.domain, tt.pay)
+			s := jointest.RandomRelation(rng, "S", tt.sN, tt.domain, tt.pay)
+			opts := join.Options{Parallelism: tt.par, L2CacheBytes: tt.l2Override}
+			jointest.CheckAgainstOracle(t, Join{}, r, s, join.Equi{}, opts)
+		})
+	}
+}
+
+// TestMatchesOracleProperty drives the radix join with quick-generated keys.
+func TestMatchesOracleProperty(t *testing.T) {
+	f := func(rKeys, sKeys []uint64) bool {
+		// Shrink the domain so matches actually occur.
+		for i := range rKeys {
+			rKeys[i] %= 64
+		}
+		for i := range sKeys {
+			sKeys[i] %= 64
+		}
+		r := relation.FromKeys(relation.Schema{Name: "R"}, rKeys)
+		s := relation.FromKeys(relation.Schema{Name: "S"}, sKeys)
+		want := join.NewPairSet()
+		jointest.Oracle(r, s, join.Equi{}, want)
+		st, err := Join{}.SetupStationary(s, join.Equi{}, join.Options{L2CacheBytes: 512})
+		if err != nil {
+			return false
+		}
+		got := join.NewPairSet()
+		if err := st.Join(r, got); err != nil {
+			return false
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetupRotatingPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := jointest.RandomRelation(rng, "R", 1000, 32, 4)
+	rot, err := Join{}.SetupRotating(r, join.Equi{}, join.Options{L2CacheBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rot.Len() != r.Len() {
+		t.Fatalf("rotated len %d != %d", rot.Len(), r.Len())
+	}
+	if got, want := workload.Multiplicities(rot), workload.Multiplicities(r); len(got) != len(want) {
+		t.Fatal("distinct key count changed")
+	} else {
+		for k, c := range want {
+			if got[k] != c {
+				t.Errorf("key %d multiplicity %d, want %d", k, got[k], c)
+			}
+		}
+	}
+}
+
+// TestSetupRotatingClusters verifies the clustered layout: tuples of the
+// same radix bucket must be contiguous.
+func TestSetupRotatingClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r := jointest.RandomRelation(rng, "R", 4096, 1024, 4)
+	opts := join.Options{L2CacheBytes: 1 << 10}
+	b := RadixBits(r.Bytes(), opts)
+	if b == 0 {
+		t.Fatal("test needs multi-partition clustering")
+	}
+	rot, err := Join{}.SetupRotating(r, join.Equi{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	last := uint64(0)
+	started := false
+	for i := 0; i < rot.Len(); i++ {
+		bk := bucketOf(rot.Key(i), b)
+		if started && bk != last && seen[bk] {
+			t.Fatalf("bucket %d reappears at tuple %d: layout not clustered", bk, i)
+		}
+		if !started || bk != last {
+			seen[last] = true
+			last = bk
+			started = true
+		}
+	}
+}
+
+func TestRadixBits(t *testing.T) {
+	tests := []struct {
+		bytes, l2 int
+		want      int
+	}{
+		{0, 1 << 20, 0},
+		{100, 1 << 20, 0},     // fits in a quarter of L2
+		{1 << 20, 1 << 20, 3}, // 2*1MB over 256KB target → 8 parts
+		{64 << 20, join.DefaultL2Bytes, 7},
+		{1 << 40, 1 << 20, 14}, // clamped
+	}
+	for _, tt := range tests {
+		opts := join.Options{L2CacheBytes: tt.l2}
+		if got := RadixBits(tt.bytes, opts); got != tt.want {
+			t.Errorf("RadixBits(%d, l2=%d) = %d, want %d", tt.bytes, tt.l2, got, tt.want)
+		}
+	}
+}
+
+func TestStationaryPartitionsFitCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := jointest.RandomRelation(rng, "S", 20000, 1<<20, 4)
+	opts := join.Options{L2CacheBytes: 16 << 10}
+	stIface, err := Join{}.SetupStationary(s, join.Equi{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := stIface.(*stationary)
+	if !ok {
+		t.Fatal("unexpected stationary type")
+	}
+	if st.Partitions() < 2 {
+		t.Fatalf("expected multiple partitions, got %d", st.Partitions())
+	}
+	// Uniform keys: the largest partition should be near the L2/4 target.
+	// Allow 2× slack for hash variance.
+	if maxB := st.MaxPartitionBytes(); maxB > opts.L2Bytes()/2 {
+		t.Errorf("largest partition %d B exceeds half of L2 budget %d B", maxB, opts.L2Bytes())
+	}
+}
+
+func TestStationaryBytesPositive(t *testing.T) {
+	s := workload.Sequential("S", 100, 4)
+	st, err := Join{}.SetupStationary(s, join.Equi{}, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes() < s.Bytes() {
+		t.Errorf("Bytes() = %d, want ≥ data volume %d", st.Bytes(), s.Bytes())
+	}
+}
+
+func TestParallelProbeEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r := jointest.RandomRelation(rng, "R", 3000, 100, 4)
+	s := jointest.RandomRelation(rng, "S", 3000, 100, 4)
+	run := func(par int) *join.PairSet {
+		st, err := Join{}.SetupStationary(s, join.Equi{}, join.Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := join.NewPairSet()
+		if err := st.Join(r, ps); err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+	serial, parallel := run(1), run(8)
+	if !serial.Equal(parallel) {
+		t.Error("parallel probe output differs from serial")
+	}
+}
+
+// TestProbeCostConstantShape is the unit-level analogue of Equation (?) in
+// §V-B: the number of key comparisons per probe must not grow with the
+// stationary size when keys are unique (rare collisions).
+func TestSelfJoinCount(t *testing.T) {
+	// Self-join of a relation with unique keys has exactly n matches.
+	s := workload.Sequential("S", 5000, 4)
+	st, err := Join{}.SetupStationary(s, join.Equi{}, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c join.Counter
+	if err := st.Join(s, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 5000 {
+		t.Errorf("self-join count = %d, want 5000", c.Count())
+	}
+}

@@ -1,0 +1,53 @@
+package hashjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclojoin/internal/join"
+	"cyclojoin/internal/join/jointest"
+)
+
+// TestParallelClusterEqualsSequential: both clusterings must produce
+// identical partitions (the scatter preserves input order within each
+// worker's range, and worker ranges are processed in order, so the layouts
+// match exactly).
+func TestParallelClusterEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{0, 100, 8192, 16384, 60_000} {
+		for _, bits := range []int{1, 4, 8} {
+			for _, workers := range []int{2, 3, 8} {
+				r := jointest.RandomRelation(rng, "R", n, 10_000, 4)
+				seq := cluster(r, bits)
+				par := parallelCluster(r, bits, workers)
+				if len(seq) != len(par) {
+					t.Fatalf("n=%d bits=%d: partition counts differ", n, bits)
+				}
+				for p := range seq {
+					if len(seq[p].keys) != len(par[p].keys) {
+						t.Fatalf("n=%d bits=%d workers=%d: partition %d sizes %d vs %d",
+							n, bits, workers, p, len(seq[p].keys), len(par[p].keys))
+					}
+					for i := range seq[p].keys {
+						if seq[p].keys[i] != par[p].keys[i] {
+							t.Fatalf("partition %d key %d differs", p, i)
+						}
+					}
+					if string(seq[p].pay) != string(par[p].pay) {
+						t.Fatalf("partition %d payloads differ", p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelClusterJoinCorrect: the full join pipeline on top of the
+// parallel clustering still matches the oracle.
+func TestParallelClusterJoinCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	r := jointest.RandomRelation(rng, "R", 30_000, 2_000, 4)
+	s := jointest.RandomRelation(rng, "S", 30_000, 2_000, 4)
+	jointest.CheckAgainstOracle(t, Join{}, r, s, join.Equi{},
+		join.Options{Parallelism: 4, L2CacheBytes: 64 << 10})
+}

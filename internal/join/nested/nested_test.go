@@ -1,0 +1,110 @@
+package nested
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclojoin/internal/join"
+	"cyclojoin/internal/join/jointest"
+	"cyclojoin/internal/relation"
+	"cyclojoin/internal/workload"
+)
+
+func TestSupportsEverything(t *testing.T) {
+	var j Join
+	preds := []join.Predicate{
+		join.Equi{},
+		join.Band{Width: 5},
+		join.Theta{Name: "lt", Fn: func(r, s uint64) bool { return r < s }},
+	}
+	for _, p := range preds {
+		if !j.Supports(p) {
+			t.Errorf("must support %s", p)
+		}
+	}
+	if j.Supports(nil) {
+		t.Error("nil predicate must be rejected")
+	}
+}
+
+func TestMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	preds := []join.Predicate{
+		join.Equi{},
+		join.Band{Width: 3},
+		join.Theta{Name: "lt", Fn: func(r, s uint64) bool { return r < s }},
+		join.Theta{Name: "modshare", Fn: func(r, s uint64) bool { return r%7 == s%7 }},
+	}
+	for _, p := range preds {
+		t.Run(p.String(), func(t *testing.T) {
+			r := jointest.RandomRelation(rng, "R", 150, 60, 4)
+			s := jointest.RandomRelation(rng, "S", 120, 60, 4)
+			jointest.CheckAgainstOracle(t, Join{}, r, s, p, join.Options{Parallelism: 3})
+		})
+	}
+}
+
+// TestBlockingCoversWholeStationary uses a stationary fragment larger than
+// one block to exercise the block loop.
+func TestBlockingCoversWholeStationary(t *testing.T) {
+	n := blockTuples*2 + 17
+	s := workload.Sequential("S", n, 0)
+	r := relation.FromKeys(relation.Schema{Name: "R"}, []uint64{0, uint64(blockTuples), uint64(n - 1)})
+	st, err := Join{}.SetupStationary(s, join.Equi{}, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c join.Counter
+	if err := st.Join(r, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 3 {
+		t.Errorf("count = %d, want 3 (one match per block region)", c.Count())
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	empty := workload.Sequential("E", 0, 0)
+	full := workload.Sequential("F", 10, 0)
+	for _, tc := range []struct{ r, s *relation.Relation }{{empty, full}, {full, empty}, {empty, empty}} {
+		st, err := Join{}.SetupStationary(tc.s, join.Equi{}, join.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c join.Counter
+		if err := st.Join(tc.r, &c); err != nil {
+			t.Fatal(err)
+		}
+		if c.Count() != 0 {
+			t.Errorf("empty-input join produced %d matches", c.Count())
+		}
+	}
+}
+
+func TestSetupRotatingIdentity(t *testing.T) {
+	r := workload.Sequential("R", 5, 2)
+	rot, err := Join{}.SetupRotating(r, join.Equi{}, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rot != r {
+		t.Error("nested loops should not reorganize the rotating fragment")
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	alwaysTrue := join.Theta{Name: "true", Fn: func(r, s uint64) bool { return true }}
+	r := workload.Sequential("R", 13, 0)
+	s := workload.Sequential("S", 7, 0)
+	st, err := Join{}.SetupStationary(s, alwaysTrue, join.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c join.Counter
+	if err := st.Join(r, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 13*7 {
+		t.Errorf("cross product = %d, want %d", c.Count(), 13*7)
+	}
+}

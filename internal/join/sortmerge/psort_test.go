@@ -1,0 +1,152 @@
+package sortmerge
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cyclojoin/internal/join/jointest"
+	"cyclojoin/internal/relation"
+	"cyclojoin/internal/workload"
+)
+
+func TestParallelSortedCopyEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, 100, 4095, 4096, 8192, 50_000} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			r := jointest.RandomRelation(rng, "R", n, 1000, 4)
+			seq := SortedCopy(r)
+			par := ParallelSortedCopy(r, workers)
+			// Neither sort is stable, so payload order among equal keys
+			// may differ; the key sequence and the (key, payload)
+			// multiset must match exactly.
+			if par.Len() != seq.Len() {
+				t.Fatalf("n=%d workers=%d: length %d vs %d", n, workers, par.Len(), seq.Len())
+			}
+			for i := 0; i < par.Len(); i++ {
+				if par.Key(i) != seq.Key(i) {
+					t.Fatalf("n=%d workers=%d: key order differs at %d", n, workers, i)
+				}
+			}
+			if !sameTupleMultiset(par, seq) {
+				t.Errorf("n=%d workers=%d: tuple multiset differs", n, workers)
+			}
+		}
+	}
+}
+
+// sameTupleMultiset compares two relations as multisets of (key, payload)
+// tuples.
+func sameTupleMultiset(a, b *relation.Relation) bool {
+	count := func(r *relation.Relation) map[string]int {
+		m := make(map[string]int, r.Len())
+		buf := make([]byte, 0, 8+r.Schema().PayloadWidth)
+		for i := 0; i < r.Len(); i++ {
+			buf = buf[:0]
+			k := r.Key(i)
+			for s := 0; s < 64; s += 8 {
+				buf = append(buf, byte(k>>s))
+			}
+			buf = append(buf, r.Payload(i)...)
+			m[string(buf)]++
+		}
+		return m
+	}
+	ma, mb := count(a), count(b)
+	if len(ma) != len(mb) {
+		return false
+	}
+	for k, v := range ma {
+		if mb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParallelSortedCopyDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := jointest.RandomRelation(rng, "R", 20_000, 100, 4)
+	snapshot := r.Clone()
+	_ = ParallelSortedCopy(r, 4)
+	if !r.Equal(snapshot) {
+		t.Error("input mutated")
+	}
+}
+
+func TestParallelSortedCopyAlreadySorted(t *testing.T) {
+	r := workload.Sequential("R", 20_000, 4)
+	if ParallelSortedCopy(r, 4) != r {
+		t.Error("already-sorted input should be returned unchanged")
+	}
+}
+
+// TestParallelSortProperty: sortedness plus multiset preservation, with
+// payloads still attached to their keys.
+func TestParallelSortProperty(t *testing.T) {
+	f := func(keys []uint64, workersRaw uint8) bool {
+		workers := int(workersRaw%6) + 1
+		rel := relation.New(relation.Schema{Name: "R", PayloadWidth: 2}, len(keys))
+		for _, k := range keys {
+			k %= 500
+			if err := rel.Append(k, []byte{byte(k), byte(k >> 4)}); err != nil {
+				return false
+			}
+		}
+		sorted := ParallelSortedCopy(rel, workers)
+		if !IsSorted(sorted) || sorted.Len() != rel.Len() {
+			return false
+		}
+		// Payloads must still match their keys.
+		for i := 0; i < sorted.Len(); i++ {
+			k := sorted.Key(i)
+			pay := sorted.Payload(i)
+			if pay[0] != byte(k) || pay[1] != byte(k>>4) {
+				return false
+			}
+		}
+		got := workload.Multiplicities(sorted)
+		want := workload.Multiplicities(rel)
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeRunsEmptyAndSkewedRuns(t *testing.T) {
+	schema := relation.Schema{Name: "R"}
+	runs := []*relation.Relation{
+		relation.FromKeys(schema, nil),
+		relation.FromKeys(schema, []uint64{1, 3, 5}),
+		relation.FromKeys(schema, nil),
+		relation.FromKeys(schema, []uint64{2}),
+		relation.FromKeys(schema, []uint64{0, 0, 9}),
+	}
+	out := mergeRuns(schema, runs)
+	want := []uint64{0, 0, 1, 2, 3, 5, 9}
+	if out.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", out.Len(), len(want))
+	}
+	for i, k := range want {
+		if out.Key(i) != k {
+			t.Errorf("out[%d] = %d, want %d", i, out.Key(i), k)
+		}
+	}
+}
+
+func TestMergeRunsAllEmpty(t *testing.T) {
+	schema := relation.Schema{Name: "R"}
+	out := mergeRuns(schema, []*relation.Relation{relation.FromKeys(schema, nil)})
+	if out.Len() != 0 {
+		t.Errorf("len = %d", out.Len())
+	}
+}

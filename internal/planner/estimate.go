@@ -1,0 +1,76 @@
+package planner
+
+import (
+	"fmt"
+
+	"cyclojoin/internal/costmodel"
+	"cyclojoin/internal/relation"
+)
+
+// EstimateJoinSize predicts |R ⋈ S| for an equi-join by correlated
+// sampling: both relations are sampled with the same hash predicate
+// (HashKey(k) mod rate == 0), so matching pairs either survive together or
+// are dropped together, making the scaled sample count an unbiased
+// estimator of the full join size. This is the input a cost-based
+// optimizer needs for sizing a materialized cyclo-join output (e.g. the
+// intermediate of a ternary join).
+//
+// rate is the inverse sampling fraction (rate = 100 keeps ≈1 % of the key
+// space); rate ≤ 1 computes the exact size.
+func EstimateJoinSize(r, s *relation.Relation, rate int) float64 {
+	if rate <= 1 {
+		return float64(exactJoinSize(r, s))
+	}
+	u := uint64(rate)
+	keep := func(k uint64) bool { return relation.HashKey(k)%u == 0 }
+
+	sampled := make(map[uint64]int)
+	for i := 0; i < s.Len(); i++ {
+		if k := s.Key(i); keep(k) {
+			sampled[k]++
+		}
+	}
+	var matches float64
+	for i := 0; i < r.Len(); i++ {
+		if k := r.Key(i); keep(k) {
+			matches += float64(sampled[k])
+		}
+	}
+	return matches * float64(rate)
+}
+
+func exactJoinSize(r, s *relation.Relation) int {
+	m := make(map[uint64]int, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		m[s.Key(i)]++
+	}
+	total := 0
+	for i := 0; i < r.Len(); i++ {
+		total += m[r.Key(i)]
+	}
+	return total
+}
+
+// EstimateWorkload derives a planner workload directly from the relations.
+func EstimateWorkload(r, s *relation.Relation, nodes, threads int) Workload {
+	width := r.Schema().TupleWidth()
+	if w := s.Schema().TupleWidth(); w > width {
+		width = w
+	}
+	return Workload{
+		RTuples:    r.Len(),
+		STuples:    s.Len(),
+		TupleBytes: width,
+		Nodes:      nodes,
+		Threads:    threads,
+	}
+}
+
+// ChooseForRelations picks the cheapest plan for joining two concrete
+// relations on a ring of the given size.
+func ChooseForRelations(cal costmodel.Calibration, r, s *relation.Relation, nodes, threads int) (Plan, error) {
+	if r == nil || s == nil {
+		return Plan{}, fmt.Errorf("planner: nil relation")
+	}
+	return Choose(cal, EstimateWorkload(r, s, nodes, threads))
+}

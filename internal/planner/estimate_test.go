@@ -1,0 +1,88 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"cyclojoin/internal/workload"
+)
+
+func TestExactJoinSize(t *testing.T) {
+	r, err := workload.Generate(workload.Spec{Name: "R", Tuples: 5000, KeyDomain: 500, Seed: 61, PayloadWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.Generate(workload.Spec{Name: "S", Tuples: 4000, KeyDomain: 500, Seed: 62, PayloadWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(workload.ExpectedMatches(workload.Multiplicities(r), workload.Multiplicities(s)))
+	if got := EstimateJoinSize(r, s, 1); got != want {
+		t.Errorf("exact join size = %g, want %g", got, want)
+	}
+	if got := EstimateJoinSize(r, s, 0); got != want {
+		t.Errorf("rate 0 should be exact: %g vs %g", got, want)
+	}
+}
+
+// TestSampledEstimateAccuracy: correlated sampling must land within a
+// reasonable band of the true size for both uniform and skewed inputs.
+func TestSampledEstimateAccuracy(t *testing.T) {
+	cases := []struct {
+		name string
+		zipf float64
+		tol  float64
+	}{
+		{"uniform", 0, 0.25},
+		// Sampling variance grows with skew (a missed hot key hurts);
+		// the tolerance reflects that.
+		{"zipf0.5", 0.5, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := workload.Generate(workload.Spec{Name: "R", Tuples: 200_000, KeyDomain: 20_000, Zipf: tc.zipf, Seed: 63, PayloadWidth: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := workload.Generate(workload.Spec{Name: "S", Tuples: 200_000, KeyDomain: 20_000, Zipf: tc.zipf, Seed: 64, PayloadWidth: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := EstimateJoinSize(r, s, 1)
+			sampled := EstimateJoinSize(r, s, 16)
+			if exact == 0 {
+				t.Fatal("degenerate workload")
+			}
+			if rel := math.Abs(sampled-exact) / exact; rel > tc.tol {
+				t.Errorf("sampled estimate off by %.0f%%: %g vs exact %g", rel*100, sampled, exact)
+			}
+		})
+	}
+}
+
+func TestEstimateWorkload(t *testing.T) {
+	r := workload.Sequential("R", 1000, 4)
+	s := workload.Sequential("S", 500, 12)
+	w := EstimateWorkload(r, s, 4, 2)
+	if w.RTuples != 1000 || w.STuples != 500 || w.Nodes != 4 || w.Threads != 2 {
+		t.Errorf("workload = %+v", w)
+	}
+	if w.TupleBytes != 20 { // wider relation wins: 8-byte key + 12 payload
+		t.Errorf("TupleBytes = %d, want 20", w.TupleBytes)
+	}
+}
+
+func TestChooseForRelations(t *testing.T) {
+	r := workload.Sequential("R", 100_000, 4)
+	s := workload.Sequential("S", 100_000, 4)
+	p, err := ChooseForRelations(cal(), r, s, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm != Hash {
+		t.Errorf("small join should pick hash, got %s", p.Algorithm)
+	}
+	if _, err := ChooseForRelations(cal(), nil, s, 4, 4); err == nil {
+		t.Error("nil relation: want error")
+	}
+}

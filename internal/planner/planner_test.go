@@ -1,0 +1,128 @@
+package planner
+
+import (
+	"testing"
+
+	"cyclojoin/internal/costmodel"
+)
+
+// perNodeTuples mirrors the Fig 8 scale-up: 140 M 12-byte tuples of each
+// relation per node (3.2 GB per node).
+const perNodeTuples = 140_000_000
+
+func cal() costmodel.Calibration { return costmodel.Default() }
+
+func TestValidation(t *testing.T) {
+	if _, err := Candidates(cal(), Workload{RTuples: -1, STuples: 1, Nodes: 1}); err == nil {
+		t.Error("negative cardinality: want error")
+	}
+	if _, err := Choose(cal(), Workload{RTuples: 1, STuples: 1, Nodes: 0}); err == nil {
+		t.Error("zero nodes: want error")
+	}
+	if _, err := Crossover(cal(), 0, 10); err == nil {
+		t.Error("zero tuples/node: want error")
+	}
+}
+
+func TestCandidatesCount(t *testing.T) {
+	plans, err := Candidates(cal(), Workload{RTuples: 1000, STuples: 1000, Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 4 {
+		t.Fatalf("%d candidates, want 4 (2 algorithms × 2 rotation sides)", len(plans))
+	}
+}
+
+// TestHashWinsAtPaperScale: at the paper's 6-node testbed the hash join is
+// the better choice (Fig 7/8 vs Fig 10/11 totals).
+func TestHashWinsAtPaperScale(t *testing.T) {
+	p, err := Choose(cal(), Workload{
+		RTuples: 6 * perNodeTuples,
+		STuples: 6 * perNodeTuples,
+		Nodes:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm != Hash {
+		t.Errorf("planner chose %s at 6 nodes; the paper's testbed favors hash", p.Algorithm)
+	}
+}
+
+// TestCrossoverNearPaperPrediction reproduces §V-E: "we expect that
+// [sort-merge] would overpass [hash join] in Data Roundabout
+// configurations of ≈30 nodes upward (i.e., for data volumes ≳100 GB)".
+func TestCrossoverNearPaperPrediction(t *testing.T) {
+	nodes, err := Crossover(cal(), perNodeTuples, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes < 20 || nodes > 80 {
+		t.Errorf("sort-merge overtakes hash at %d nodes; paper predicts ≈30 upward", nodes)
+	}
+	// The crossover data volume is ≳100 GB.
+	volumeGB := float64(2*nodes*perNodeTuples*cal().TupleBytes) / 1e9
+	if volumeGB < 60 {
+		t.Errorf("crossover volume %.0f GB; paper says ≳100 GB", volumeGB)
+	}
+	t.Logf("crossover at %d nodes (%.0f GB total)", nodes, volumeGB)
+}
+
+// TestRotateSmallerPreferred: with lopsided inputs the planner rotates the
+// smaller relation (§IV-B).
+func TestRotateSmallerPreferred(t *testing.T) {
+	// Large ring so wire time matters.
+	p, err := Choose(cal(), Workload{RTuples: 800_000_000, STuples: 50_000_000, Nodes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RotateR {
+		t.Errorf("planner rotates the larger relation: %s", p)
+	}
+}
+
+// TestSyncPredictedWhenMergeOutrunsLink: the Fig 11 situation appears in
+// the cost model too.
+func TestSyncPredictedWhenMergeOutrunsLink(t *testing.T) {
+	plans, err := Candidates(cal(), Workload{
+		RTuples: 6 * perNodeTuples,
+		STuples: 6 * perNodeTuples,
+		Nodes:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.Algorithm == SortMerge && p.RotateR {
+			if p.Sync <= 0 {
+				t.Error("sort-merge at 19.2 GB must predict sync time (Fig 11)")
+			}
+		}
+		if p.Algorithm == Hash && p.RotateR {
+			if p.Sync > p.Join/5 {
+				t.Errorf("hash join predicts %v sync; communication should hide behind the probe", p.Sync)
+			}
+		}
+	}
+}
+
+// TestSingleNodeNoSync: no links, no sync.
+func TestSingleNodeNoSync(t *testing.T) {
+	plans, err := Candidates(cal(), Workload{RTuples: 1_000_000, STuples: 1_000_000, Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.Sync != 0 {
+			t.Errorf("%s predicts sync on a single node", p)
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Plan{Algorithm: Hash, RotateR: false}
+	if s := p.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,121 @@
+package query
+
+import "testing"
+
+func TestParseAggregates(t *testing.T) {
+	st, err := Parse("SELECT SUM(r.k) FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg != AggSum || st.AggTable != "r" || st.AggCol != "k" {
+		t.Errorf("statement = %+v", st)
+	}
+	st, err = Parse("select min(a.x) from a join b on a.x = b.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg != AggMin {
+		t.Errorf("agg = %q", st.Agg)
+	}
+	if _, err := Parse("SELECT SUM(*) FROM r"); err == nil {
+		t.Error("SUM(*): want error")
+	}
+	if _, err := Parse("SELECT MAX(r) FROM r"); err == nil {
+		t.Error("MAX without column: want error")
+	}
+}
+
+func TestSingleTableAggregates(t *testing.T) {
+	e := newEngine(t, fixture(t)) // nums has keys 0..99 once each
+	tests := []struct {
+		sql  string
+		want uint64
+	}{
+		{"SELECT SUM(nums.id) FROM nums WHERE nums.id < 5", 0 + 1 + 2 + 3 + 4},
+		{"SELECT MIN(nums.id) FROM nums WHERE nums.id >= 40", 40},
+		{"SELECT MAX(nums.id) FROM nums WHERE nums.id < 40", 39},
+		{"SELECT SUM(nums.id) FROM nums", 99 * 100 / 2},
+	}
+	for _, tt := range tests {
+		res, err := e.Execute(tt.sql)
+		if err != nil {
+			t.Errorf("%s: %v", tt.sql, err)
+			continue
+		}
+		if res.AggValue == nil {
+			t.Errorf("%s: nil aggregate", tt.sql)
+			continue
+		}
+		if *res.AggValue != tt.want {
+			t.Errorf("%s: got %d, want %d", tt.sql, *res.AggValue, tt.want)
+		}
+		if res.Rows != nil {
+			t.Errorf("%s: aggregate must not materialize rows", tt.sql)
+		}
+	}
+}
+
+func TestAggregateOverJoin(t *testing.T) {
+	e := newEngine(t, fixture(t))
+	// nums ⋈ evens matches even keys 0..98: sum = 2*(0+1+..+49) = 2450.
+	res, err := e.Execute("SELECT SUM(nums.id) FROM nums JOIN evens ON nums.id = evens.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggValue == nil || *res.AggValue != 2450 {
+		t.Errorf("SUM over join = %v, want 2450", res.AggValue)
+	}
+	if res.Count != 50 {
+		t.Errorf("count = %d, want 50", res.Count)
+	}
+
+	res, err = e.Execute("SELECT MAX(nums.id) FROM nums JOIN evens ON nums.id = evens.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggValue == nil || *res.AggValue != 98 {
+		t.Errorf("MAX over join = %v, want 98", res.AggValue)
+	}
+
+	// Duplicates multiply: nums ⋈ dups matches keys 0..9, ten copies
+	// each → SUM = 10 * 45.
+	res, err = e.Execute("SELECT SUM(dups.id) FROM nums JOIN dups ON nums.id = dups.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggValue == nil || *res.AggValue != 450 {
+		t.Errorf("SUM with duplicates = %v, want 450", res.AggValue)
+	}
+}
+
+func TestAggregateEmptyResultIsNull(t *testing.T) {
+	e := newEngine(t, fixture(t))
+	res, err := e.Execute("SELECT SUM(nums.id) FROM nums WHERE nums.id > 10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggValue != nil {
+		t.Errorf("aggregate over empty set = %v, want nil (SQL NULL)", *res.AggValue)
+	}
+	res, err = e.Execute("SELECT MIN(nums.id) FROM nums JOIN evens ON nums.id = evens.id WHERE evens.id > 10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggValue != nil {
+		t.Error("aggregate over empty join should be nil")
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	e := newEngine(t, fixture(t))
+	bad := []string{
+		"SELECT SUM(missing.id) FROM nums",
+		"SELECT SUM(nums.wrong) FROM nums",
+		"SELECT SUM(evens.id) FROM nums", // evens not in FROM
+	}
+	for _, q := range bad {
+		if _, err := e.Execute(q); err == nil {
+			t.Errorf("Execute(%q): want error", q)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainSingleTable(t *testing.T) {
+	e := newEngine(t, fixture(t))
+	out, err := e.Explain("SELECT COUNT(*) FROM nums WHERE nums.id < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scan nums: 100 rows, filtered to 10", "COUNT(*)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainJoinChain(t *testing.T) {
+	e := newEngine(t, fixture(t))
+	out, err := e.Explain(
+		"SELECT * FROM nums JOIN evens ON nums.id = evens.id JOIN dups ON evens.id = dups.id " +
+			"ORDER BY nums.id DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ring: 3 hosts",
+		"scan nums: 100 rows",
+		"cyclo-join 1:",
+		"cyclo-join 2:",
+		"plan ",
+		"(rotate",
+		"est. output",
+		"ORDER BY nums.id DESC",
+		"LIMIT 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainAggregate(t *testing.T) {
+	e := newEngine(t, fixture(t))
+	out, err := e.Explain("SELECT SUM(nums.id) FROM nums JOIN evens ON nums.id = evens.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "SUM(nums.id)") {
+		t.Errorf("explain missing aggregate:\n%s", out)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	e := newEngine(t, fixture(t))
+	for _, q := range []string{"nonsense", "SELECT COUNT(*) FROM missing"} {
+		if _, err := e.Explain(q); err == nil {
+			t.Errorf("Explain(%q): want error", q)
+		}
+	}
+}

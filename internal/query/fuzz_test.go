@@ -1,0 +1,40 @@
+package query
+
+import "testing"
+
+// FuzzParse: the SQL parser must never panic and must either reject input
+// or produce a structurally sane statement.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(*) FROM r",
+		"SELECT * FROM r JOIN s ON r.k = s.k",
+		"SELECT COUNT(*) FROM a JOIN b ON a.x = b.y JOIN c ON b.y = c.z WHERE a.x BETWEEN 1 AND 9",
+		"select * from t where t.k <= 1_000",
+		"SELECT",
+		"SELECT * FROM r WHERE r.k < ",
+		")))((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if len(st.Tables) == 0 {
+			t.Fatal("accepted statement without tables")
+		}
+		if len(st.Joins) != len(st.Tables)-1 {
+			t.Fatalf("accepted statement with %d tables but %d joins", len(st.Tables), len(st.Joins))
+		}
+		for _, fl := range st.Filters {
+			if fl.Table == "" || fl.Col == "" {
+				t.Fatal("accepted filter without table.column")
+			}
+			if fl.Op == OpBetween && fl.Value > fl.Hi {
+				t.Fatal("accepted inverted BETWEEN")
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokSymbol  // ( ) , . * =
+	tokCompare // < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers lowercased; symbols verbatim
+	num  uint64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokNumber:
+		return strconv.FormatUint(t.num, 10)
+	default:
+		return t.text
+	}
+}
+
+// lex splits a query into tokens. Keywords are not distinguished here —
+// the parser matches identifier text.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*' || c == '=':
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '<' || c == '>':
+			text := string(c)
+			if i+1 < len(input) && input[i+1] == '=' {
+				text += "="
+			}
+			toks = append(toks, token{kind: tokCompare, text: text, pos: i})
+			i += len(text)
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			n, err := strconv.ParseUint(strings.ReplaceAll(input[i:j], "_", ""), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad number %q at %d: %w", input[i:j], i, err)
+			}
+			toks = append(toks, token{kind: tokNumber, num: n, pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: strings.ToLower(input[i:j]), pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}

@@ -1,0 +1,159 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCount(t *testing.T) {
+	st, err := Parse("SELECT COUNT(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CountOnly || len(st.Tables) != 1 || st.Tables[0] != "orders" {
+		t.Errorf("statement = %+v", st)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	st, err := Parse("select * from r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CountOnly {
+		t.Error("SELECT * parsed as count")
+	}
+}
+
+func TestParseJoinChain(t *testing.T) {
+	st, err := Parse("SELECT COUNT(*) FROM r JOIN s ON r.k = s.k JOIN t ON s.k = t.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tables) != 3 || len(st.Joins) != 2 {
+		t.Fatalf("tables=%v joins=%v", st.Tables, st.Joins)
+	}
+	if st.Joins[0] != (JoinCond{LeftTable: "r", LeftCol: "k", RightTable: "s", RightCol: "k"}) {
+		t.Errorf("join 0 = %+v", st.Joins[0])
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	st, err := Parse("SELECT COUNT(*) FROM r WHERE r.k < 100 AND r.k >= 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Filters) != 2 {
+		t.Fatalf("filters = %+v", st.Filters)
+	}
+	if st.Filters[0].Op != OpLt || st.Filters[0].Value != 100 {
+		t.Errorf("filter 0 = %+v", st.Filters[0])
+	}
+	if st.Filters[1].Op != OpGe || st.Filters[1].Value != 10 {
+		t.Errorf("filter 1 = %+v", st.Filters[1])
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	st, err := Parse("SELECT * FROM r WHERE r.k BETWEEN 5 AND 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := st.Filters[0]
+	if f.Op != OpBetween || f.Value != 5 || f.Hi != 9 {
+		t.Errorf("filter = %+v", f)
+	}
+}
+
+func TestParseNumberWithUnderscores(t *testing.T) {
+	st, err := Parse("SELECT COUNT(*) FROM r WHERE r.k < 1_000_000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Filters[0].Value != 1_000_000 {
+		t.Errorf("value = %d", st.Filters[0].Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT COUNT(*)",
+		"SELECT COUNT(* FROM r",
+		"SELECT banana FROM r",
+		"SELECT * FROM",
+		"SELECT * FROM r JOIN",
+		"SELECT * FROM r JOIN s",
+		"SELECT * FROM r JOIN s ON r.k",
+		"SELECT * FROM r JOIN s ON r.k = s",
+		"SELECT * FROM r WHERE",
+		"SELECT * FROM r WHERE r.k",
+		"SELECT * FROM r WHERE r.k !! 3",
+		"SELECT * FROM r WHERE r.k BETWEEN 9 AND 5",
+		"SELECT * FROM r WHERE r.k < 10 trailing",
+		"SELECT * FROM select",
+		"SELECT * FROM r; DROP TABLE r",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): want error", q)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select count(*) from R join S on R.k = S.k where S.k between 1 and 2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterMatches(t *testing.T) {
+	tests := []struct {
+		f    Filter
+		key  uint64
+		want bool
+	}{
+		{Filter{Op: OpEq, Value: 5}, 5, true},
+		{Filter{Op: OpEq, Value: 5}, 6, false},
+		{Filter{Op: OpLt, Value: 5}, 4, true},
+		{Filter{Op: OpLt, Value: 5}, 5, false},
+		{Filter{Op: OpLe, Value: 5}, 5, true},
+		{Filter{Op: OpGt, Value: 5}, 6, true},
+		{Filter{Op: OpGe, Value: 5}, 5, true},
+		{Filter{Op: OpBetween, Value: 3, Hi: 7}, 3, true},
+		{Filter{Op: OpBetween, Value: 3, Hi: 7}, 7, true},
+		{Filter{Op: OpBetween, Value: 3, Hi: 7}, 8, false},
+		{Filter{Op: FilterOp("??")}, 1, false},
+	}
+	for _, tt := range tests {
+		if got := tt.f.Matches(tt.key); got != tt.want {
+			t.Errorf("%+v.Matches(%d) = %v, want %v", tt.f, tt.key, got, tt.want)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, q := range []string{"SELECT #", "a ~ b", "99999999999999999999999999"} {
+		if _, err := lex(q); err == nil {
+			t.Errorf("lex(%q): want error", q)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, err := lex("abc 12 <=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := make([]string, 0, len(toks))
+	for _, tk := range toks {
+		joined = append(joined, tk.String())
+	}
+	s := strings.Join(joined, " ")
+	for _, want := range []string{"abc", "12", "<=", "end of query"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("token strings %q missing %q", s, want)
+		}
+	}
+}

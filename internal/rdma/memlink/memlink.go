@@ -1,0 +1,271 @@
+// Package memlink implements rdma.QueuePair for two endpoints in the same
+// process.
+//
+// A send performs exactly one data movement: the payload is copied from the
+// sender's registered buffer directly into the receiver's pre-posted
+// registered buffer. That single copy is precisely the semantics of RDMA
+// direct data placement — on hardware it is the NIC's DMA engine writing
+// into the target buffer; here it is one memmove — and there is no
+// intermediate staging in either "host's" software, no kernel buffer and no
+// per-message allocation.
+//
+// Receiver-not-ready behaviour matches a reliable-connection queue pair:
+// a sender whose peer has no posted receive buffer blocks until one is
+// posted (hardware would retry/backpressure; the effect on the Data
+// Roundabout — upstream hosts stall when a slow host's ring buffers fill —
+// is the same, and §V-D's skew-balancing argument depends on it).
+package memlink
+
+import (
+	"fmt"
+	"sync"
+
+	"cyclojoin/internal/rdma"
+)
+
+// queueDepth bounds the number of outstanding posted buffers per direction.
+// The Data Roundabout posts at most its ring-buffer count.
+const queueDepth = 256
+
+// workReq is one outbound work request (send or one-sided write).
+type workReq struct {
+	kind   rdma.Op
+	buf    *rdma.Buffer
+	key    rdma.RemoteKey
+	off    int
+	imm    uint32
+	hasImm bool
+}
+
+type link struct {
+	peer *link
+
+	sendQ chan workReq
+	recvQ chan *rdma.Buffer
+	cq    chan rdma.Completion
+
+	mu      sync.Mutex
+	exposed map[rdma.RemoteKey]*rdma.Buffer
+	nextKey rdma.RemoteKey
+
+	// cqMu guards cq against close: completions are delivered by the
+	// PEER link's DMA goroutine, which outlives this side's Close.
+	cqMu     sync.RWMutex
+	cqClosed bool
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ rdma.WriteQueuePair = (*link)(nil)
+
+// Pair returns two connected in-process queue pairs.
+func Pair() (a, b rdma.QueuePair) {
+	la := newLink()
+	lb := newLink()
+	la.peer, lb.peer = lb, la
+	la.start()
+	lb.start()
+	return la, lb
+}
+
+func newLink() *link {
+	return &link{
+		sendQ:   make(chan workReq, queueDepth),
+		recvQ:   make(chan *rdma.Buffer, queueDepth),
+		cq:      make(chan rdma.Completion, rdma.CQDepth),
+		exposed: make(map[rdma.RemoteKey]*rdma.Buffer),
+		done:    make(chan struct{}),
+	}
+}
+
+func (l *link) start() {
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		l.sendLoop()
+	}()
+}
+
+// sendLoop is the virtual DMA engine: it moves each posted send into the
+// peer's next posted receive buffer (two-sided) or directly into the
+// peer's exposed buffer (one-sided write), raising the completions the
+// verbs semantics call for.
+func (l *link) sendLoop() {
+	for {
+		var wr workReq
+		select {
+		case <-l.done:
+			return
+		case wr = <-l.sendQ:
+		}
+		if wr.kind == rdma.OpWrite {
+			l.performWrite(wr)
+			continue
+		}
+		sb := wr.buf
+		var rb *rdma.Buffer
+		select {
+		case <-l.done:
+			return
+		case <-l.peer.done:
+			l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: rdma.ErrClosed})
+			return
+		case rb = <-l.peer.recvQ:
+		}
+		payload := sb.Bytes()
+		if len(payload) > rb.Cap() {
+			err := fmt.Errorf("%w: message %d B, buffer %d B", rdma.ErrBufferTooSmall, len(payload), rb.Cap())
+			l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: err})
+			l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb, Err: err})
+			continue
+		}
+		// Direct data placement: the single data movement of the
+		// transfer, sender's registered buffer → receiver's registered
+		// buffer.
+		copy(rb.Data(), payload)
+		if err := rb.SetLen(len(payload)); err != nil {
+			l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb, Err: err})
+			continue
+		}
+		l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb})
+		l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb})
+	}
+}
+
+// performWrite places a one-sided write into the peer's exposed buffer.
+func (l *link) performWrite(wr workReq) {
+	target, err := l.peer.lookupExposed(wr.key)
+	if err != nil {
+		l.complete(rdma.Completion{Op: rdma.OpWrite, Buf: wr.buf, Err: err})
+		return
+	}
+	payload := wr.buf.Bytes()
+	if wr.off < 0 || wr.off+len(payload) > target.Cap() {
+		l.complete(rdma.Completion{Op: rdma.OpWrite, Buf: wr.buf,
+			Err: fmt.Errorf("%w: offset %d + %d B into %d B", rdma.ErrOutOfBounds, wr.off, len(payload), target.Cap())})
+		return
+	}
+	copy(target.Data()[wr.off:], payload)
+	l.complete(rdma.Completion{Op: rdma.OpWrite, Buf: wr.buf})
+	if wr.hasImm {
+		// Write-with-immediate: the only one-sided form the target CPU
+		// observes.
+		l.peer.complete(rdma.Completion{Op: rdma.OpWrite, Buf: target, Imm: wr.imm})
+	}
+}
+
+func (l *link) lookupExposed(key rdma.RemoteKey) (*rdma.Buffer, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.exposed[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: key %d", rdma.ErrBadRemoteKey, key)
+	}
+	return b, nil
+}
+
+// Expose implements rdma.WriteQueuePair.
+func (l *link) Expose(b *rdma.Buffer) (rdma.RemoteKey, error) {
+	select {
+	case <-l.done:
+		return 0, rdma.ErrClosed
+	default:
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextKey++
+	l.exposed[l.nextKey] = b
+	return l.nextKey, nil
+}
+
+// PostWrite implements rdma.WriteQueuePair.
+func (l *link) PostWrite(key rdma.RemoteKey, offset int, src *rdma.Buffer) error {
+	return l.postWrite(workReq{kind: rdma.OpWrite, buf: src, key: key, off: offset})
+}
+
+// PostWriteImm implements rdma.WriteQueuePair.
+func (l *link) PostWriteImm(key rdma.RemoteKey, offset int, src *rdma.Buffer, imm uint32) error {
+	return l.postWrite(workReq{kind: rdma.OpWrite, buf: src, key: key, off: offset, imm: imm, hasImm: true})
+}
+
+func (l *link) postWrite(wr workReq) error {
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	default:
+	}
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	case l.sendQ <- wr:
+		return nil
+	}
+}
+
+// complete delivers a completion unless the link is shutting down. The
+// guard is needed because the peer's DMA goroutine also delivers here.
+func (l *link) complete(c rdma.Completion) {
+	l.cqMu.RLock()
+	defer l.cqMu.RUnlock()
+	if l.cqClosed {
+		return
+	}
+	select {
+	case l.cq <- c:
+	case <-l.done:
+	}
+}
+
+// PostSend implements rdma.QueuePair.
+func (l *link) PostSend(b *rdma.Buffer) error {
+	// Check shutdown first: with a closed done channel and free queue
+	// space, a bare select would choose nondeterministically.
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	default:
+	}
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	case l.sendQ <- workReq{kind: rdma.OpSend, buf: b}:
+		return nil
+	}
+}
+
+// PostRecv implements rdma.QueuePair.
+func (l *link) PostRecv(b *rdma.Buffer) error {
+	// Check shutdown first: with a closed done channel and free queue
+	// space, a bare select would choose nondeterministically.
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	default:
+	}
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	case l.recvQ <- b:
+		return nil
+	}
+}
+
+// Completions implements rdma.QueuePair.
+func (l *link) Completions() <-chan rdma.Completion { return l.cq }
+
+// Close implements rdma.QueuePair.
+func (l *link) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.wg.Wait()
+		// Blocked deliveries (ours or the peer's) drain via l.done;
+		// taking the write lock then excludes new ones before close.
+		l.cqMu.Lock()
+		l.cqClosed = true
+		close(l.cq)
+		l.cqMu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,272 @@
+// Package rdma defines the RDMA-verbs-shaped transport contract that the
+// Data Roundabout is written against, plus the memory-registration machinery
+// whose cost profile drives the paper's design (§III).
+//
+// The paper's three RDMA lessons are encoded directly in this API:
+//
+//  1. All buffers are registered up front (Device.Register) and reused;
+//     registration is expensive, so the ring allocates its buffer pool once
+//     ("the cost of registration renders on-demand allocation and
+//     registration of memory buffers infeasible", §III-C).
+//  2. I/O is fully asynchronous: applications post work requests
+//     (PostSend/PostRecv) and later reap Completions from a completion
+//     queue, which is what lets the Data Roundabout overlap communication
+//     with join processing (§III-B).
+//  3. Data is placed directly into the receiver's pre-posted buffer
+//     (direct data placement): a transfer involves no intermediate copy in
+//     either host's software stack.
+//
+// Two wire implementations live in subpackages: memlink (in-process,
+// genuinely zero-copy) and tcplink (real TCP sockets carrying the same
+// semantics). Package kerneltcp implements the same QueuePair interface in
+// the style of the paper's software-TCP baseline, with the extra
+// user↔kernel staging copies performed for real.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Op identifies the verb a completion refers to.
+type Op uint8
+
+// Work request operations.
+const (
+	// OpSend completes when the local buffer has been handed off to the
+	// wire and may be reused.
+	OpSend Op = iota + 1
+	// OpRecv completes when a message has been placed into the posted
+	// receive buffer.
+	OpRecv
+	// OpWrite completes at the writer when a one-sided RDMA write has
+	// been placed into the peer's exposed buffer. At the target, an
+	// OpWrite completion is raised only for writes carrying immediate
+	// data (PostWriteImm) — plain writes are invisible to the target
+	// CPU, which is the entire point of one-sided operations.
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	// Op says which verb completed.
+	Op Op
+	// Buf is the buffer whose work request completed. Ownership returns
+	// to the application with the completion. For an OpWrite completion
+	// at the target, Buf is the exposed buffer that was written into
+	// (which the application never ceded ownership of).
+	Buf *Buffer
+	// Imm carries the immediate data of a PostWriteImm, at the target.
+	Imm uint32
+	// Err is non-nil if the work request failed; the queue pair is then
+	// unusable.
+	Err error
+}
+
+// QueuePair is the asynchronous, connection-oriented transport endpoint —
+// the shape of an RDMA RC queue pair reduced to the two verbs the Data
+// Roundabout needs.
+//
+// Semantics all implementations must provide (the rdmatest package checks
+// them):
+//
+//   - messages arrive exactly once, in posting order;
+//   - a receive completes only into a buffer the application posted
+//     (receiver-not-ready senders block rather than drop);
+//   - a send completion returns buffer ownership to the application;
+//   - after Close, posts fail with ErrClosed and the completion channel is
+//     eventually closed.
+type QueuePair interface {
+	// PostRecv hands a registered buffer to the transport for the next
+	// incoming message.
+	PostRecv(b *Buffer) error
+	// PostSend transmits b.Bytes() to the peer.
+	PostSend(b *Buffer) error
+	// Completions returns the completion queue. The channel is closed
+	// when the queue pair shuts down.
+	Completions() <-chan Completion
+	// Close shuts the queue pair down and releases its resources.
+	// Close is idempotent.
+	Close() error
+}
+
+// ErrClosed is returned by posts on a closed queue pair.
+var ErrClosed = errors.New("rdma: queue pair closed")
+
+// ErrBadRemoteKey is reported when a write names an rkey the peer never
+// exposed — the software analogue of an RNIC protection fault.
+var ErrBadRemoteKey = errors.New("rdma: unknown or revoked remote key")
+
+// ErrOutOfBounds is reported when a write would exceed the exposed
+// buffer's registered extent.
+var ErrOutOfBounds = errors.New("rdma: write outside the exposed buffer")
+
+// RemoteKey names a buffer the peer has exposed for one-sided writes —
+// the steering tag (rkey/STag) of the verbs API.
+type RemoteKey uint32
+
+// WriteQueuePair extends QueuePair with one-sided RDMA writes. RDMA-class
+// transports (memlink, tcplink) implement it; the kernel-TCP baseline
+// cannot — a kernel socket has no remote-memory access — and deliberately
+// does not.
+type WriteQueuePair interface {
+	QueuePair
+	// Expose grants the peer write access to b and returns the key to
+	// advertise. The application retains ownership of b and is
+	// responsible for coordinating access (as with real RDMA).
+	Expose(b *Buffer) (RemoteKey, error)
+	// PostWrite places src.Bytes() into the peer buffer named by key at
+	// the given byte offset. Only the writer observes a completion.
+	PostWrite(key RemoteKey, offset int, src *Buffer) error
+	// PostWriteImm is PostWrite plus immediate data: the target also
+	// receives an OpWrite completion carrying imm — the doorbell that
+	// tells its CPU the data has landed.
+	PostWriteImm(key RemoteKey, offset int, src *Buffer, imm uint32) error
+}
+
+// ErrBufferTooSmall is reported (via a completion error) when an incoming
+// message exceeds the posted receive buffer, mirroring the fatal RNR/length
+// errors of real RNICs.
+var ErrBufferTooSmall = errors.New("rdma: posted receive buffer too small for incoming message")
+
+// CQDepth is the buffered depth of completion channels. Posting more
+// outstanding work requests than this without reaping completions is an
+// application error on real hardware too.
+const CQDepth = 256
+
+// Buffer is a registered memory buffer. Only registered buffers can be
+// posted to a queue pair — the compile-time analogue of the RNIC's
+// protection checks.
+type Buffer struct {
+	data []byte
+	n    int
+	dev  *Device
+}
+
+// Data exposes the buffer's full registered extent for encoding into.
+func (b *Buffer) Data() []byte { return b.data }
+
+// Cap returns the registered size in bytes.
+func (b *Buffer) Cap() int { return len(b.data) }
+
+// Len returns the valid payload length.
+func (b *Buffer) Len() int { return b.n }
+
+// SetLen declares the first n bytes as the valid payload (before a send, or
+// by the transport after a receive).
+func (b *Buffer) SetLen(n int) error {
+	if n < 0 || n > len(b.data) {
+		return fmt.Errorf("rdma: SetLen(%d) outside registered extent %d", n, len(b.data))
+	}
+	b.n = n
+	return nil
+}
+
+// Bytes returns the valid payload b.Data()[:b.Len()].
+func (b *Buffer) Bytes() []byte { return b.data[:b.n] }
+
+// Device stands in for an opened RNIC plus protection domain: the scope
+// within which buffers are registered. It tracks registration statistics so
+// experiments can account for the setup cost the paper amortizes away.
+type Device struct {
+	name string
+
+	mu    sync.Mutex
+	stats RegStats
+}
+
+// RegStats aggregates memory-registration work on a device.
+type RegStats struct {
+	// Registrations counts Register calls.
+	Registrations int
+	// BytesPinned is the total registered (pinned) volume.
+	BytesPinned int64
+	// ModeledCost estimates the CPU time registration would have cost on
+	// the paper's testbed (address translation + pinning, per page).
+	ModeledCost time.Duration
+}
+
+// Registration cost model: a fixed syscall/verbs overhead plus a per-page
+// pinning cost. The constants are in the range measured by the authors'
+// earlier RDMA study [11] for iWARP NICs; they matter only for accounting,
+// never for correctness.
+const (
+	regBaseCost    = 30 * time.Microsecond
+	regPerPageCost = 350 * time.Nanosecond
+	pageSize       = 4096
+)
+
+// ModeledRegistrationCost returns the registration cost model's estimate
+// for one buffer of the given size, without allocating or registering
+// anything — for analytic experiments that sweep registration counts far
+// beyond what should be materialized.
+func ModeledRegistrationCost(size int) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	pages := (size + pageSize - 1) / pageSize
+	return regBaseCost + time.Duration(pages)*regPerPageCost
+}
+
+// OpenDevice opens a named virtual RNIC.
+func OpenDevice(name string) *Device {
+	return &Device{name: name}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Register allocates and registers a buffer of the given size. The zero
+// value of the returned buffer's length is 0; use Data/SetLen to fill it.
+func (d *Device) Register(size int) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("rdma: register %d bytes on %s", size, d.name)
+	}
+	pages := (size + pageSize - 1) / pageSize
+	d.mu.Lock()
+	d.stats.Registrations++
+	d.stats.BytesPinned += int64(size)
+	d.stats.ModeledCost += regBaseCost + time.Duration(pages)*regPerPageCost
+	d.mu.Unlock()
+	return &Buffer{data: make([]byte, size), dev: d}, nil
+}
+
+// RegisterPool registers count buffers of size bytes each — the statically
+// allocated ring of buffers each Data Roundabout node owns (§III-D).
+func (d *Device) RegisterPool(count, size int) ([]*Buffer, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("rdma: register pool of %d buffers on %s", count, d.name)
+	}
+	pool := make([]*Buffer, count)
+	for i := range pool {
+		b, err := d.Register(size)
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = b
+	}
+	return pool, nil
+}
+
+// Stats returns a snapshot of the device's registration statistics.
+func (d *Device) Stats() RegStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}

@@ -1,0 +1,100 @@
+package rdma
+
+import "testing"
+
+func TestOpString(t *testing.T) {
+	if OpSend.String() != "send" || OpRecv.String() != "recv" {
+		t.Error("Op strings wrong")
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown op must still print")
+	}
+}
+
+func TestRegister(t *testing.T) {
+	d := OpenDevice("rnic0")
+	if d.Name() != "rnic0" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	b, err := d.Register(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cap() != 4096 || b.Len() != 0 {
+		t.Errorf("Cap=%d Len=%d", b.Cap(), b.Len())
+	}
+	st := d.Stats()
+	if st.Registrations != 1 || st.BytesPinned != 4096 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ModeledCost <= 0 {
+		t.Error("registration must have a modeled cost")
+	}
+}
+
+func TestRegisterInvalidSize(t *testing.T) {
+	d := OpenDevice("rnic0")
+	for _, size := range []int{0, -5} {
+		if _, err := d.Register(size); err == nil {
+			t.Errorf("Register(%d): want error", size)
+		}
+	}
+}
+
+func TestRegisterPool(t *testing.T) {
+	d := OpenDevice("rnic0")
+	pool, err := d.RegisterPool(8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 8 {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	st := d.Stats()
+	if st.Registrations != 8 || st.BytesPinned != 8*1024 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, err := d.RegisterPool(0, 1024); err == nil {
+		t.Error("RegisterPool(0): want error")
+	}
+}
+
+// TestRegistrationCostScalesWithPages pins down the cost model shape: more
+// pages, more cost — the reason the ring registers once and reuses (§III-C).
+func TestRegistrationCostScalesWithPages(t *testing.T) {
+	small := OpenDevice("s")
+	large := OpenDevice("l")
+	if _, err := small.Register(4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := large.Register(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if large.Stats().ModeledCost <= small.Stats().ModeledCost {
+		t.Error("larger registration must cost more")
+	}
+}
+
+func TestBufferSetLen(t *testing.T) {
+	d := OpenDevice("rnic0")
+	b, err := d.Register(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetLen(16); err != nil {
+		t.Errorf("SetLen(16): %v", err)
+	}
+	if err := b.SetLen(17); err == nil {
+		t.Error("SetLen beyond extent: want error")
+	}
+	if err := b.SetLen(-1); err == nil {
+		t.Error("SetLen(-1): want error")
+	}
+	copy(b.Data(), "hello, roundabout")
+	if err := b.SetLen(5); err != nil {
+		t.Fatal(err)
+	}
+	if string(b.Bytes()) != "hello" {
+		t.Errorf("Bytes() = %q", b.Bytes())
+	}
+}

@@ -1,0 +1,237 @@
+package rdmatest
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cyclojoin/internal/rdma"
+)
+
+// RunWrites exercises the one-sided write semantics against the factory.
+// The factory's queue pairs must implement rdma.WriteQueuePair.
+func RunWrites(t *testing.T, factory Factory) {
+	t.Run("WriteLandsAtOffset", func(t *testing.T) { testWriteLandsAtOffset(t, factory) })
+	t.Run("WriteInvisibleWithoutImm", func(t *testing.T) { testWriteInvisible(t, factory) })
+	t.Run("WriteImmNotifiesTarget", func(t *testing.T) { testWriteImm(t, factory) })
+	t.Run("WriteBadKeyFails", func(t *testing.T) { testWriteBadKey(t, factory) })
+	t.Run("WriteOutOfBoundsFails", func(t *testing.T) { testWriteOutOfBounds(t, factory) })
+	t.Run("WritesDoNotConsumeReceives", func(t *testing.T) { testWritesDoNotConsumeReceives(t, factory) })
+}
+
+func writePair(t *testing.T, factory Factory) (rdma.WriteQueuePair, rdma.WriteQueuePair) {
+	t.Helper()
+	a, b := factory(t)
+	wa, ok := a.(rdma.WriteQueuePair)
+	if !ok {
+		t.Fatalf("%T does not implement WriteQueuePair", a)
+	}
+	wb, ok := b.(rdma.WriteQueuePair)
+	if !ok {
+		t.Fatalf("%T does not implement WriteQueuePair", b)
+	}
+	return wa, wb
+}
+
+// reapWriter waits for the writer-side completion of a write.
+func reapWriter(t *testing.T, qp rdma.QueuePair) rdma.Completion {
+	t.Helper()
+	select {
+	case c, ok := <-qp.Completions():
+		if !ok {
+			t.Fatal("CQ closed while waiting for write completion")
+		}
+		return c
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for write completion")
+	}
+	panic("unreachable")
+}
+
+func testWriteLandsAtOffset(t *testing.T, factory Factory) {
+	a, b := writePair(t, factory)
+	defer closeBoth(a, b)
+	dev := rdma.OpenDevice("t")
+
+	target := register(t, dev, 32)
+	copy(target.Data(), "................................")
+	key, err := b.Expose(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := register(t, dev, 8)
+	fill(t, src, []byte("SPIN"))
+	if err := a.PostWriteImm(key, 10, src, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c := reapWriter(t, a); c.Err != nil || c.Op != rdma.OpWrite {
+		t.Fatalf("writer completion = %+v", c)
+	}
+	// Wait for the target-side doorbell before inspecting memory.
+	if c := reapWriter(t, b); c.Err != nil || c.Op != rdma.OpWrite {
+		t.Fatalf("target completion = %+v", c)
+	}
+	if got := string(target.Data()[10:14]); got != "SPIN" {
+		t.Errorf("target[10:14] = %q", got)
+	}
+	if target.Data()[9] != '.' || target.Data()[14] != '.' {
+		t.Error("write spilled outside its extent")
+	}
+}
+
+// testWriteInvisible: a plain write raises no completion at the target.
+func testWriteInvisible(t *testing.T, factory Factory) {
+	a, b := writePair(t, factory)
+	defer closeBoth(a, b)
+	dev := rdma.OpenDevice("t")
+
+	target := register(t, dev, 16)
+	key, err := b.Expose(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := register(t, dev, 4)
+	fill(t, src, []byte("data"))
+	if err := a.PostWrite(key, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	if c := reapWriter(t, a); c.Err != nil {
+		t.Fatal(c.Err)
+	}
+	select {
+	case c := <-b.Completions():
+		t.Fatalf("plain write raised a target completion: %+v", c)
+	case <-time.After(100 * time.Millisecond):
+		// Good: the target CPU never noticed — that is the point.
+	}
+}
+
+func testWriteImm(t *testing.T, factory Factory) {
+	a, b := writePair(t, factory)
+	defer closeBoth(a, b)
+	dev := rdma.OpenDevice("t")
+
+	target := register(t, dev, 16)
+	key, err := b.Expose(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := register(t, dev, 4)
+	fill(t, src, []byte("ding"))
+	if err := a.PostWriteImm(key, 0, src, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	if c := reapWriter(t, a); c.Err != nil {
+		t.Fatal(c.Err)
+	}
+	c := reapWriter(t, b)
+	if c.Err != nil || c.Op != rdma.OpWrite {
+		t.Fatalf("target completion = %+v", c)
+	}
+	if c.Imm != 0xbeef {
+		t.Errorf("imm = %#x, want 0xbeef", c.Imm)
+	}
+	if c.Buf != target {
+		t.Error("target completion does not reference the exposed buffer")
+	}
+}
+
+func testWriteBadKey(t *testing.T, factory Factory) {
+	a, b := writePair(t, factory)
+	defer closeBoth(a, b)
+	dev := rdma.OpenDevice("t")
+
+	src := register(t, dev, 4)
+	fill(t, src, []byte("boom"))
+	if err := a.PostWrite(rdma.RemoteKey(12345), 0, src); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(timeout)
+	for {
+		select {
+		case c, ok := <-a.Completions():
+			if !ok {
+				return // link torn down, acceptable for a protection fault
+			}
+			if c.Err != nil {
+				if !errors.Is(c.Err, rdma.ErrBadRemoteKey) {
+					t.Logf("note: fault surfaced as %v", c.Err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("bad-key write never surfaced an error")
+		}
+	}
+}
+
+func testWriteOutOfBounds(t *testing.T, factory Factory) {
+	a, b := writePair(t, factory)
+	defer closeBoth(a, b)
+	dev := rdma.OpenDevice("t")
+
+	target := register(t, dev, 8)
+	key, err := b.Expose(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := register(t, dev, 8)
+	fill(t, src, []byte("12345678"))
+	if err := a.PostWrite(key, 4, src); err != nil { // 4+8 > 8
+		t.Fatal(err)
+	}
+	deadline := time.After(timeout)
+	for {
+		select {
+		case c, ok := <-a.Completions():
+			if !ok {
+				return
+			}
+			if c.Err != nil {
+				return
+			}
+		case <-deadline:
+			t.Fatal("out-of-bounds write never surfaced an error")
+		}
+	}
+}
+
+// testWritesDoNotConsumeReceives: one-sided traffic must leave the
+// two-sided receive queue untouched.
+func testWritesDoNotConsumeReceives(t *testing.T, factory Factory) {
+	a, b := writePair(t, factory)
+	defer closeBoth(a, b)
+	dev := rdma.OpenDevice("t")
+
+	// One posted receive, then a write, then a send: the send must land
+	// in the posted buffer.
+	rb := register(t, dev, 16)
+	if err := b.PostRecv(rb); err != nil {
+		t.Fatal(err)
+	}
+	target := register(t, dev, 16)
+	key, err := b.Expose(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsrc := register(t, dev, 4)
+	fill(t, wsrc, []byte("wwww"))
+	if err := a.PostWrite(key, 0, wsrc); err != nil {
+		t.Fatal(err)
+	}
+	ssrc := register(t, dev, 4)
+	fill(t, ssrc, []byte("ssss"))
+	if err := a.PostSend(ssrc); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the two writer completions (write + send).
+	for i := 0; i < 2; i++ {
+		if c := reapWriter(t, a); c.Err != nil {
+			t.Fatal(c.Err)
+		}
+	}
+	rc := reap(t, b, rdma.OpRecv)
+	if rc.Buf != rb || string(rc.Buf.Bytes()) != "ssss" {
+		t.Errorf("send landed wrong: buf=%v payload=%q", rc.Buf == rb, rc.Buf.Bytes())
+	}
+}

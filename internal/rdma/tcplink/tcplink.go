@@ -1,0 +1,424 @@
+// Package tcplink carries the rdma.QueuePair semantics over a real TCP
+// connection (any net.Conn).
+//
+// This is the deployment path for a Data Roundabout without RDMA hardware:
+// the programming model upstairs is unchanged — pre-registered buffers,
+// asynchronous work requests, completion queues, in-order exactly-once
+// messages — while the wire underneath is an ordinary socket. It is also
+// how the test suite runs the full ring over the loopback interface.
+//
+// Framing is one type byte (send / write / write-with-immediate) plus a
+// 4-byte big-endian payload length, followed by per-type header fields. A
+// message larger than the peer's posted receive buffer, or a one-sided
+// write naming an unknown key or exceeding the exposed extent, is a fatal
+// link error, as on real RNICs.
+//
+// With NewChecksummed, every frame additionally carries a CRC-32C of its
+// payload, verified at the receiver — end-to-end integrity over links that
+// cannot be trusted the way a machine-room switch can (iWARP gets this
+// from TCP checksums plus the MPA CRC; both endpoints must enable it).
+package tcplink
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+
+	"cyclojoin/internal/rdma"
+)
+
+// castagnoli is the CRC-32C table (the polynomial iWARP's MPA layer uses).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const queueDepth = 256
+
+// maxFrame guards against corrupt length prefixes.
+const maxFrame = 1 << 30
+
+// Frame types.
+const (
+	frameSend     = 0
+	frameWrite    = 1
+	frameWriteImm = 2
+)
+
+// workReq is one outbound work request (send or one-sided write).
+type workReq struct {
+	kind   rdma.Op
+	buf    *rdma.Buffer
+	key    rdma.RemoteKey
+	off    int
+	imm    uint32
+	hasImm bool
+}
+
+type link struct {
+	conn     net.Conn
+	checksum bool
+
+	sendQ chan workReq
+	recvQ chan *rdma.Buffer
+	cq    chan rdma.Completion
+
+	mu      sync.Mutex
+	exposed map[rdma.RemoteKey]*rdma.Buffer
+	nextKey rdma.RemoteKey
+
+	failOnce  sync.Once
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ rdma.WriteQueuePair = (*link)(nil)
+
+// New wraps an established connection in a queue pair. The link owns the
+// connection and closes it on Close.
+func New(conn net.Conn) rdma.QueuePair {
+	return newLink(conn, false)
+}
+
+// NewChecksummed is New with per-frame CRC-32C payload verification. Both
+// endpoints must use it.
+func NewChecksummed(conn net.Conn) rdma.QueuePair {
+	return newLink(conn, true)
+}
+
+func newLink(conn net.Conn, checksum bool) rdma.QueuePair {
+	l := &link{
+		conn:     conn,
+		checksum: checksum,
+		sendQ:    make(chan workReq, queueDepth),
+		recvQ:    make(chan *rdma.Buffer, queueDepth),
+		cq:       make(chan rdma.Completion, rdma.CQDepth),
+		exposed:  make(map[rdma.RemoteKey]*rdma.Buffer),
+		done:     make(chan struct{}),
+	}
+	l.wg.Add(2)
+	go func() {
+		defer l.wg.Done()
+		l.writeLoop()
+	}()
+	go func() {
+		defer l.wg.Done()
+		l.readLoop()
+	}()
+	return l
+}
+
+// Dial connects to a listening peer and returns the queue pair.
+func Dial(addr string) (rdma.QueuePair, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcplink: dial %s: %w", addr, err)
+	}
+	return New(conn), nil
+}
+
+// Listener accepts queue pairs.
+type Listener struct {
+	ln net.Listener
+}
+
+// Listen starts listening on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcplink: listen %s: %w", addr, err)
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Accept waits for one connection and wraps it.
+func (l *Listener) Accept() (rdma.QueuePair, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("tcplink: accept: %w", err)
+	}
+	return New(conn), nil
+}
+
+// Close stops listening.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+func (l *link) writeLoop() {
+	// Header: type byte + payload length + (for writes) key, offset and
+	// optional immediate.
+	var hdr [17]byte
+	for {
+		var wr workReq
+		select {
+		case <-l.done:
+			return
+		case wr = <-l.sendQ:
+		}
+		payload := wr.buf.Bytes()
+		n := 5
+		binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+		switch {
+		case wr.kind == rdma.OpSend:
+			hdr[0] = frameSend
+		case wr.hasImm:
+			hdr[0] = frameWriteImm
+			binary.BigEndian.PutUint32(hdr[5:9], uint32(wr.key))
+			binary.BigEndian.PutUint32(hdr[9:13], uint32(wr.off))
+			binary.BigEndian.PutUint32(hdr[13:17], wr.imm)
+			n = 17
+		default:
+			hdr[0] = frameWrite
+			binary.BigEndian.PutUint32(hdr[5:9], uint32(wr.key))
+			binary.BigEndian.PutUint32(hdr[9:13], uint32(wr.off))
+			n = 13
+		}
+		if _, err := l.conn.Write(hdr[:n]); err != nil {
+			l.fail(rdma.Completion{Op: wr.kind, Buf: wr.buf, Err: fmt.Errorf("tcplink: write header: %w", err)})
+			return
+		}
+		if _, err := l.conn.Write(payload); err != nil {
+			l.fail(rdma.Completion{Op: wr.kind, Buf: wr.buf, Err: fmt.Errorf("tcplink: write payload: %w", err)})
+			return
+		}
+		if l.checksum {
+			var sum [4]byte
+			binary.BigEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
+			if _, err := l.conn.Write(sum[:]); err != nil {
+				l.fail(rdma.Completion{Op: wr.kind, Buf: wr.buf, Err: fmt.Errorf("tcplink: write checksum: %w", err)})
+				return
+			}
+		}
+		l.complete(rdma.Completion{Op: wr.kind, Buf: wr.buf})
+	}
+}
+
+func (l *link) readLoop() {
+	var hdr [17]byte
+	for {
+		if _, err := io.ReadFull(l.conn, hdr[:5]); err != nil {
+			l.fail(rdma.Completion{Op: rdma.OpRecv, Err: fmt.Errorf("tcplink: read header: %w", err)})
+			return
+		}
+		kind := hdr[0]
+		n := int(binary.BigEndian.Uint32(hdr[1:5]))
+		if n > maxFrame {
+			l.fail(rdma.Completion{Op: rdma.OpRecv, Err: fmt.Errorf("tcplink: frame length %d exceeds limit", n)})
+			return
+		}
+		switch kind {
+		case frameSend:
+			if !l.readSend(n) {
+				return
+			}
+		case frameWrite, frameWriteImm:
+			if !l.readWrite(kind, n, hdr[:]) {
+				return
+			}
+		default:
+			l.fail(rdma.Completion{Op: rdma.OpRecv, Err: fmt.Errorf("tcplink: unknown frame type %d", kind)})
+			return
+		}
+	}
+}
+
+// readSend handles a two-sided message; reports false on fatal error.
+func (l *link) readSend(n int) bool {
+	var rb *rdma.Buffer
+	select {
+	case <-l.done:
+		return false
+	case rb = <-l.recvQ:
+	}
+	if n > rb.Cap() {
+		l.fail(rdma.Completion{Op: rdma.OpRecv, Buf: rb,
+			Err: fmt.Errorf("%w: message %d B, buffer %d B", rdma.ErrBufferTooSmall, n, rb.Cap())})
+		return false
+	}
+	if _, err := io.ReadFull(l.conn, rb.Data()[:n]); err != nil {
+		l.fail(rdma.Completion{Op: rdma.OpRecv, Buf: rb, Err: fmt.Errorf("tcplink: read payload: %w", err)})
+		return false
+	}
+	if !l.verifyChecksum(rb.Data()[:n]) {
+		l.fail(rdma.Completion{Op: rdma.OpRecv, Buf: rb, Err: fmt.Errorf("tcplink: payload checksum mismatch")})
+		return false
+	}
+	if err := rb.SetLen(n); err != nil {
+		l.fail(rdma.Completion{Op: rdma.OpRecv, Buf: rb, Err: err})
+		return false
+	}
+	l.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb})
+	return true
+}
+
+// verifyChecksum reads and checks the trailing CRC when enabled. A read
+// failure or mismatch reports false; the caller fails the link.
+func (l *link) verifyChecksum(payload []byte) bool {
+	if !l.checksum {
+		return true
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(l.conn, sum[:]); err != nil {
+		return false
+	}
+	return binary.BigEndian.Uint32(sum[:]) == crc32.Checksum(payload, castagnoli)
+}
+
+// readWrite handles an incoming one-sided write: the payload lands
+// directly in the exposed buffer, no receive buffer is consumed, and the
+// local CPU is notified only for write-with-immediate. A protection fault
+// (bad key, out of bounds) terminates the connection, as on a real RNIC.
+func (l *link) readWrite(kind byte, n int, hdr []byte) bool {
+	rest := 8
+	if kind == frameWriteImm {
+		rest = 12
+	}
+	if _, err := io.ReadFull(l.conn, hdr[5:5+rest]); err != nil {
+		l.fail(rdma.Completion{Op: rdma.OpRecv, Err: fmt.Errorf("tcplink: read write header: %w", err)})
+		return false
+	}
+	key := rdma.RemoteKey(binary.BigEndian.Uint32(hdr[5:9]))
+	off := int(binary.BigEndian.Uint32(hdr[9:13]))
+	var imm uint32
+	if kind == frameWriteImm {
+		imm = binary.BigEndian.Uint32(hdr[13:17])
+	}
+	l.mu.Lock()
+	target, ok := l.exposed[key]
+	l.mu.Unlock()
+	if !ok {
+		l.fail(rdma.Completion{Op: rdma.OpWrite, Err: fmt.Errorf("%w: key %d", rdma.ErrBadRemoteKey, key)})
+		return false
+	}
+	if off < 0 || off+n > target.Cap() {
+		l.fail(rdma.Completion{Op: rdma.OpWrite, Buf: target,
+			Err: fmt.Errorf("%w: offset %d + %d B into %d B", rdma.ErrOutOfBounds, off, n, target.Cap())})
+		return false
+	}
+	if _, err := io.ReadFull(l.conn, target.Data()[off:off+n]); err != nil {
+		l.fail(rdma.Completion{Op: rdma.OpWrite, Buf: target, Err: fmt.Errorf("tcplink: read write payload: %w", err)})
+		return false
+	}
+	if !l.verifyChecksum(target.Data()[off : off+n]) {
+		l.fail(rdma.Completion{Op: rdma.OpWrite, Buf: target, Err: fmt.Errorf("tcplink: write payload checksum mismatch")})
+		return false
+	}
+	if kind == frameWriteImm {
+		l.complete(rdma.Completion{Op: rdma.OpWrite, Buf: target, Imm: imm})
+	}
+	return true
+}
+
+// Expose implements rdma.WriteQueuePair.
+func (l *link) Expose(b *rdma.Buffer) (rdma.RemoteKey, error) {
+	select {
+	case <-l.done:
+		return 0, rdma.ErrClosed
+	default:
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextKey++
+	l.exposed[l.nextKey] = b
+	return l.nextKey, nil
+}
+
+// PostWrite implements rdma.WriteQueuePair.
+func (l *link) PostWrite(key rdma.RemoteKey, offset int, src *rdma.Buffer) error {
+	return l.post(workReq{kind: rdma.OpWrite, buf: src, key: key, off: offset})
+}
+
+// PostWriteImm implements rdma.WriteQueuePair.
+func (l *link) PostWriteImm(key rdma.RemoteKey, offset int, src *rdma.Buffer, imm uint32) error {
+	return l.post(workReq{kind: rdma.OpWrite, buf: src, key: key, off: offset, imm: imm, hasImm: true})
+}
+
+func (l *link) post(wr workReq) error {
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	default:
+	}
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	case l.sendQ <- wr:
+		return nil
+	}
+}
+
+func (l *link) complete(c rdma.Completion) {
+	select {
+	case l.cq <- c:
+	case <-l.done:
+	}
+}
+
+// fail reports a fatal link error (once) and tears the connection down so
+// the peer loops unblock. The completion queue itself is closed by Close.
+func (l *link) fail(c rdma.Completion) {
+	l.failOnce.Do(func() {
+		select {
+		case l.cq <- c:
+		default:
+			// CQ full during teardown; the close that follows still
+			// signals the application.
+		}
+		close(l.done)
+		// Unblock the other loop's conn reads/writes.
+		_ = l.conn.Close()
+	})
+}
+
+// PostSend implements rdma.QueuePair.
+func (l *link) PostSend(b *rdma.Buffer) error {
+	// Check shutdown first: with a closed done channel and free queue
+	// space, a bare select would choose nondeterministically.
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	default:
+	}
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	case l.sendQ <- workReq{kind: rdma.OpSend, buf: b}:
+		return nil
+	}
+}
+
+// PostRecv implements rdma.QueuePair.
+func (l *link) PostRecv(b *rdma.Buffer) error {
+	// Check shutdown first: with a closed done channel and free queue
+	// space, a bare select would choose nondeterministically.
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	default:
+	}
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	case l.recvQ <- b:
+		return nil
+	}
+}
+
+// Completions implements rdma.QueuePair.
+func (l *link) Completions() <-chan rdma.Completion { return l.cq }
+
+// Close implements rdma.QueuePair.
+func (l *link) Close() error {
+	l.closeOnce.Do(func() {
+		l.failOnce.Do(func() {
+			close(l.done)
+			_ = l.conn.Close()
+		})
+		l.wg.Wait()
+		close(l.cq)
+	})
+	return nil
+}

@@ -1,0 +1,123 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomFragment(rng *rand.Rand, width, n int) *Fragment {
+	rel := New(Schema{Name: "T", PayloadWidth: width}, n)
+	pay := make([]byte, width)
+	for i := 0; i < n; i++ {
+		for j := range pay {
+			pay[j] = byte(rng.Intn(256))
+		}
+		if err := rel.Append(rng.Uint64(), pay); err != nil {
+			panic(err)
+		}
+	}
+	of := rng.Intn(8) + 1
+	return &Fragment{Rel: rel, Index: rng.Intn(of), Of: of, Hops: rng.Intn(of), Epoch: rng.Intn(4)}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		f := randomFragment(rng, rng.Intn(16), rng.Intn(50))
+		buf := make([]byte, EncodedSize(f))
+		n, err := Encode(f, buf)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("Encode wrote %d, EncodedSize said %d", n, len(buf))
+		}
+		got, err := Decode(buf, "T")
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if got.Index != f.Index || got.Of != f.Of || got.Hops != f.Hops || got.Epoch != f.Epoch {
+			t.Fatalf("metadata mismatch: got %+v want %+v", got, f)
+		}
+		if !got.Rel.Equal(f.Rel) {
+			t.Fatal("relation contents differ after round trip")
+		}
+	}
+}
+
+// TestCodecRoundTripProperty exercises the codec with quick-generated keys.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(keys []uint64, idxRaw, ofRaw uint8) bool {
+		of := int(ofRaw%7) + 1
+		frag := &Fragment{
+			Rel:   FromKeys(Schema{Name: "Q"}, keys),
+			Index: int(idxRaw) % of,
+			Of:    of,
+		}
+		buf, err := EncodeAppend(frag, nil)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf, "Q")
+		if err != nil {
+			return false
+		}
+		return got.Rel.Equal(frag.Rel) && got.Index == frag.Index && got.Of == frag.Of
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeShortBuffer(t *testing.T) {
+	frag := &Fragment{Rel: FromKeys(Schema{Name: "R"}, []uint64{1, 2}), Index: 0, Of: 1}
+	buf := make([]byte, EncodedSize(frag)-1)
+	if _, err := Encode(frag, buf); err == nil {
+		t.Error("Encode into short buffer: want error")
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	frag := &Fragment{Rel: FromKeys(Schema{Name: "R"}, []uint64{1, 2, 3}), Index: 1, Of: 4}
+	buf, err := EncodeAppend(frag, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"short header", func(b []byte) []byte { return b[:10] }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-4] }},
+		{"index out of range", func(b []byte) []byte { b[4] = 200; return b }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cp := append([]byte(nil), buf...)
+			if _, err := Decode(tt.mut(cp), "R"); err == nil {
+				t.Error("Decode of corrupted frame: want error")
+			}
+		})
+	}
+}
+
+func TestDecodeDoesNotAliasSource(t *testing.T) {
+	frag := &Fragment{Rel: FromKeys(Schema{Name: "R", PayloadWidth: 0}, []uint64{42}), Index: 0, Of: 1}
+	buf, err := EncodeAppend(frag, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0xee // clobber, as reposting the RDMA buffer would
+	}
+	if got.Rel.Key(0) != 42 {
+		t.Error("decoded fragment aliases source buffer")
+	}
+}

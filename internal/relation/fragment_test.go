@@ -1,0 +1,142 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionCoversAllTuples(t *testing.T) {
+	r := FromKeys(Schema{Name: "R"}, seqKeys(101))
+	for _, n := range []int{1, 2, 3, 6, 101, 200} {
+		frags, err := Partition(r, n)
+		if err != nil {
+			t.Fatalf("Partition(%d): %v", n, err)
+		}
+		if len(frags) != n {
+			t.Fatalf("Partition(%d) returned %d fragments", n, len(frags))
+		}
+		total := 0
+		for i, f := range frags {
+			if err := f.Validate(); err != nil {
+				t.Errorf("fragment %d invalid: %v", i, err)
+			}
+			if f.Index != i || f.Of != n {
+				t.Errorf("fragment %d has Index=%d Of=%d", i, f.Index, f.Of)
+			}
+			total += f.Rel.Len()
+		}
+		if total != r.Len() {
+			t.Errorf("Partition(%d): fragments hold %d tuples, want %d", n, total, r.Len())
+		}
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	r := FromKeys(Schema{Name: "R"}, seqKeys(100))
+	frags, err := Partition(r, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frags {
+		if f.Rel.Len() < 16 || f.Rel.Len() > 17 {
+			t.Errorf("fragment %d has %d tuples, want 16 or 17", f.Index, f.Rel.Len())
+		}
+	}
+}
+
+func TestPartitionInvalidCount(t *testing.T) {
+	r := FromKeys(Schema{Name: "R"}, seqKeys(3))
+	for _, n := range []int{0, -1} {
+		if _, err := Partition(r, n); err == nil {
+			t.Errorf("Partition(%d): want error", n)
+		}
+	}
+}
+
+func TestPartitionByHashDisjointAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(100))
+	}
+	r := FromKeys(Schema{Name: "R"}, keys)
+	frags, err := PartitionByHash(r, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every key value must land in exactly one fragment, and the multiset
+	// of keys must be preserved.
+	got := map[uint64]int{}
+	keyFrag := map[uint64]int{}
+	for _, f := range frags {
+		for i := 0; i < f.Rel.Len(); i++ {
+			k := f.Rel.Key(i)
+			got[k]++
+			if prev, ok := keyFrag[k]; ok && prev != f.Index {
+				t.Fatalf("key %d appears in fragments %d and %d", k, prev, f.Index)
+			}
+			keyFrag[k] = f.Index
+		}
+	}
+	want := map[uint64]int{}
+	for _, k := range keys {
+		want[k]++
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Errorf("key %d count = %d, want %d", k, got[k], c)
+		}
+	}
+}
+
+// TestPartitionConcatRoundTrip is the multiset-preservation property the
+// ring depends on: splitting and re-concatenating must be the identity.
+func TestPartitionConcatRoundTrip(t *testing.T) {
+	f := func(rawKeys []uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		r := FromKeys(Schema{Name: "R"}, rawKeys)
+		frags, err := Partition(r, n)
+		if err != nil {
+			return false
+		}
+		back, err := Concat(r.Schema(), frags)
+		if err != nil {
+			return false
+		}
+		return back.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFragmentValidate(t *testing.T) {
+	rel := FromKeys(Schema{Name: "R"}, seqKeys(1))
+	tests := []struct {
+		name    string
+		f       Fragment
+		wantErr bool
+	}{
+		{"ok", Fragment{Rel: rel, Index: 0, Of: 1}, false},
+		{"nil rel", Fragment{Of: 1}, true},
+		{"bad of", Fragment{Rel: rel, Of: 0}, true},
+		{"index out of range", Fragment{Rel: rel, Index: 2, Of: 2}, true},
+		{"negative hops", Fragment{Rel: rel, Of: 1, Hops: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.f.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func seqKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	return keys
+}

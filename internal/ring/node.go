@@ -1,0 +1,445 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cyclojoin/internal/rdma"
+	"cyclojoin/internal/relation"
+	"cyclojoin/internal/trace"
+)
+
+// node is one Data Roundabout host: receiver + join entity + transmitter
+// over a statically registered buffer pool.
+type node struct {
+	id  int
+	cfg Config
+	// proc is the join entity.
+	proc Processor
+	dev  *rdma.Device
+	tr   trace.Tracer
+
+	in, out rdma.QueuePair
+
+	// procQ feeds the join entity; its capacity is the ring-buffer depth,
+	// so a slow node absorbs that much slack before stalling upstream.
+	procQ chan *relation.Fragment
+	// sendQ feeds the transmitter.
+	sendQ chan *relation.Fragment
+	// freeSend holds the registered send buffers not currently in flight.
+	freeSend chan *rdma.Buffer
+	// recvBufs is the registered receive pool; all are posted while the
+	// receiver runs.
+	recvBufs []*rdma.Buffer
+
+	retired chan<- *relation.Fragment
+	errc    chan<- error
+
+	quit     chan struct{}
+	quitOnce sync.Once
+	procWG   sync.WaitGroup
+
+	// Receiver and transmitter machinery restart independently during
+	// node replacement, so each has its own stop channel and wait group.
+	recvStop chan struct{}
+	recvWG   sync.WaitGroup
+	sendStop chan struct{}
+	sendWG   sync.WaitGroup
+
+	mu    sync.Mutex
+	stats NodeStats
+}
+
+func newNode(id int, cfg Config, proc Processor, retired chan<- *relation.Fragment, errc chan<- error) *node {
+	slots := cfg.slots()
+	return &node{
+		id:       id,
+		cfg:      cfg,
+		proc:     proc,
+		tr:       cfg.tracer(),
+		dev:      rdma.OpenDevice(fmt.Sprintf("rnic-%d", id)),
+		procQ:    make(chan *relation.Fragment, slots),
+		sendQ:    make(chan *relation.Fragment, slots),
+		freeSend: make(chan *rdma.Buffer, slots),
+		retired:  retired,
+		errc:     errc,
+		quit:     make(chan struct{}),
+	}
+}
+
+// start registers the buffer pools (once, up front — §III-C) and launches
+// the three entities.
+func (n *node) start() error {
+	if len(n.recvBufs) == 0 {
+		recv, err := n.dev.RegisterPool(n.cfg.slots(), n.cfg.bufBytes())
+		if err != nil {
+			return fmt.Errorf("ring: node %d: register receive pool: %w", n.id, err)
+		}
+		n.recvBufs = recv
+		send, err := n.dev.RegisterPool(n.cfg.slots(), n.cfg.bufBytes())
+		if err != nil {
+			return fmt.Errorf("ring: node %d: register send pool: %w", n.id, err)
+		}
+		for _, b := range send {
+			n.freeSend <- b
+		}
+		n.mu.Lock()
+		n.stats.RegisteredBytes = n.dev.Stats().BytesPinned
+		n.mu.Unlock()
+	}
+	n.procWG.Add(1)
+	go func() {
+		defer n.procWG.Done()
+		n.procLoop()
+	}()
+	if err := n.beginRecv(n.in); err != nil {
+		return err
+	}
+	return n.beginSend(n.out)
+}
+
+// beginRecv starts the receiver in the configured transport mode.
+func (n *node) beginRecv(qp rdma.QueuePair) error {
+	if n.cfg.OneSidedWrites {
+		return n.startRecvWrites(qp)
+	}
+	return n.startRecv(qp)
+}
+
+// beginSend starts the transmitter in the configured transport mode.
+func (n *node) beginSend(qp rdma.QueuePair) error {
+	if n.cfg.OneSidedWrites {
+		return n.startSendWrites(qp)
+	}
+	n.startSend(qp)
+	return nil
+}
+
+// ---- receiver ----
+
+func (n *node) startRecv(qp rdma.QueuePair) error {
+	n.in = qp
+	n.recvStop = make(chan struct{})
+	for _, b := range n.recvBufs {
+		if err := qp.PostRecv(b); err != nil {
+			return fmt.Errorf("ring: node %d: post receive: %w", n.id, err)
+		}
+	}
+	stop := n.recvStop
+	n.recvWG.Add(1)
+	go func() {
+		defer n.recvWG.Done()
+		n.recvLoop(qp, stop)
+	}()
+	return nil
+}
+
+// stopRecv quiesces the receiver and closes the inbound queue pair. The
+// receive buffer pool is retained for a later startRecv.
+func (n *node) stopRecv() {
+	if n.recvStop == nil {
+		return
+	}
+	close(n.recvStop)
+	if n.in != nil {
+		_ = n.in.Close()
+	}
+	n.recvWG.Wait()
+	n.recvStop = nil
+}
+
+func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
+	for {
+		var c rdma.Completion
+		var ok bool
+		select {
+		case <-stop:
+			return
+		case <-n.quit:
+			return
+		case c, ok = <-qp.Completions():
+		}
+		if !ok {
+			return
+		}
+		if c.Err != nil {
+			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: receive: %w", n.id, c.Err))
+			return
+		}
+		if c.Op != rdma.OpRecv {
+			continue
+		}
+		frag, err := relation.Decode(c.Buf.Bytes(), "rotating")
+		if err != nil {
+			n.report(fmt.Errorf("ring: node %d: decode: %w", n.id, err))
+			return
+		}
+		n.mu.Lock()
+		n.stats.BytesIn += int64(c.Buf.Len())
+		n.mu.Unlock()
+		n.tr.Record(trace.Event{
+			Time: time.Now(), Node: n.id, Kind: trace.FragmentReceived,
+			Fragment: frag.Index, Hops: frag.Hops, Bytes: c.Buf.Len(),
+		})
+		// Hand the fragment to the join entity *before* reposting the
+		// buffer: the repost is the receive credit that lets the
+		// upstream neighbor keep sending, so a full procQ translates
+		// into ring backpressure.
+		select {
+		case n.procQ <- frag:
+		case <-stop:
+			return
+		case <-n.quit:
+			return
+		}
+		if err := qp.PostRecv(c.Buf); err != nil {
+			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: repost receive: %w", n.id, err))
+			return
+		}
+	}
+}
+
+// ---- join entity ----
+
+func (n *node) procLoop() {
+	for {
+		waitStart := time.Now()
+		var frag *relation.Fragment
+		select {
+		case <-n.quit:
+			return
+		case frag = <-n.procQ:
+		}
+		waited := time.Since(waitStart)
+
+		procStart := time.Now()
+		n.tr.Record(trace.Event{
+			Time: procStart, Node: n.id, Kind: trace.ProcessStart,
+			Fragment: frag.Index, Hops: frag.Hops,
+		})
+		err := n.proc.Process(frag)
+		procTime := time.Since(procStart)
+		n.tr.Record(trace.Event{
+			Time: time.Now(), Node: n.id, Kind: trace.ProcessEnd,
+			Fragment: frag.Index, Hops: frag.Hops,
+		})
+
+		n.mu.Lock()
+		// The wait before a fragment that did arrive is "sync" time in
+		// the paper's sense: the join entity starving on the transport.
+		n.stats.WaitTime += waited
+		n.stats.ProcessTime += procTime
+		n.stats.Processed++
+		n.mu.Unlock()
+
+		if err != nil {
+			n.report(fmt.Errorf("ring: node %d: process fragment %d: %w", n.id, frag.Index, err))
+			return
+		}
+
+		frag.Hops++
+		if frag.Hops >= n.cfg.Nodes {
+			n.mu.Lock()
+			n.stats.Retired++
+			n.mu.Unlock()
+			n.tr.Record(trace.Event{
+				Time: time.Now(), Node: n.id, Kind: trace.FragmentRetired,
+				Fragment: frag.Index, Hops: frag.Hops,
+			})
+			select {
+			case n.retired <- frag:
+			case <-n.quit:
+				return
+			}
+			continue
+		}
+		select {
+		case n.sendQ <- frag:
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+// inject hands a locally stored fragment to the join entity, as if it had
+// just arrived. It reports false if the node is shutting down.
+func (n *node) inject(frag *relation.Fragment) bool {
+	select {
+	case n.procQ <- frag:
+		return true
+	case <-n.quit:
+		return false
+	}
+}
+
+// ---- transmitter ----
+
+func (n *node) startSend(qp rdma.QueuePair) {
+	n.out = qp
+	n.sendStop = make(chan struct{})
+	stop := n.sendStop
+	n.sendWG.Add(2)
+	go func() {
+		defer n.sendWG.Done()
+		n.sendLoop(qp, stop)
+	}()
+	go func() {
+		defer n.sendWG.Done()
+		n.sendReaper(qp, stop)
+	}()
+}
+
+// stopSend quiesces the transmitter and closes the outbound queue pair.
+func (n *node) stopSend() {
+	if n.sendStop == nil {
+		return
+	}
+	close(n.sendStop)
+	if n.out != nil {
+		_ = n.out.Close()
+	}
+	n.sendWG.Wait()
+	n.sendStop = nil
+}
+
+func (n *node) sendLoop(qp rdma.QueuePair, stop chan struct{}) {
+	for {
+		var frag *relation.Fragment
+		select {
+		case <-stop:
+			return
+		case <-n.quit:
+			return
+		case frag = <-n.sendQ:
+		}
+		var buf *rdma.Buffer
+		select {
+		case <-stop:
+			return
+		case <-n.quit:
+			return
+		case buf = <-n.freeSend:
+		}
+		need := relation.EncodedSize(frag)
+		if need > buf.Cap() {
+			n.report(fmt.Errorf("ring: node %d: fragment %d needs %d B, buffers are %d B; raise Config.BufferBytes",
+				n.id, frag.Index, need, buf.Cap()))
+			return
+		}
+		sz, err := relation.Encode(frag, buf.Data())
+		if err != nil {
+			n.report(fmt.Errorf("ring: node %d: encode: %w", n.id, err))
+			return
+		}
+		if err := buf.SetLen(sz); err != nil {
+			n.report(err)
+			return
+		}
+		// Capture metadata before handing the fragment to the wire: once
+		// posted, the revolution can complete and the orchestrator may
+		// reuse the fragment object (resetting its hop count).
+		fragIndex, fragHops := frag.Index, frag.Hops
+		if err := qp.PostSend(buf); err != nil {
+			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: post send: %w", n.id, err))
+			return
+		}
+		n.mu.Lock()
+		n.stats.BytesOut += int64(sz)
+		n.mu.Unlock()
+		n.tr.Record(trace.Event{
+			Time: time.Now(), Node: n.id, Kind: trace.FragmentSent,
+			Fragment: fragIndex, Hops: fragHops, Bytes: sz,
+		})
+	}
+}
+
+// sendReaper returns completed send buffers to the free pool.
+func (n *node) sendReaper(qp rdma.QueuePair, stop chan struct{}) {
+	for {
+		var c rdma.Completion
+		var ok bool
+		select {
+		case <-stop:
+			return
+		case <-n.quit:
+			return
+		case c, ok = <-qp.Completions():
+		}
+		if !ok {
+			return
+		}
+		if c.Err != nil {
+			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: send: %w", n.id, c.Err))
+			return
+		}
+		if c.Op != rdma.OpSend {
+			continue
+		}
+		select {
+		case n.freeSend <- c.Buf:
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+// ---- lifecycle ----
+
+func (n *node) stop() {
+	n.quitOnce.Do(func() { close(n.quit) })
+	n.stopRecv()
+	n.stopSend()
+	// A join entity stuck inside Processor.Process cannot be interrupted;
+	// bound the wait and abandon it rather than wedging shutdown.
+	if !waitTimeout(&n.procWG, 2*time.Second) {
+		n.report(fmt.Errorf("ring: node %d: join entity did not stop; abandoned", n.id))
+	}
+}
+
+// waitTimeout waits on wg up to d; it reports false (and leaks the helper
+// goroutine) when the group never finishes.
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+func (n *node) report(err error) {
+	select {
+	case <-n.quit:
+		return
+	default:
+	}
+	select {
+	case n.errc <- err:
+	default:
+		// Another error is already pending; the first one wins.
+	}
+}
+
+// reportUnlessStopping suppresses errors caused by a deliberate local
+// receiver/transmitter restart (node replacement closes queue pairs, which
+// surfaces as completion errors on the closing side).
+func (n *node) reportUnlessStopping(stop chan struct{}, err error) {
+	select {
+	case <-stop:
+		return
+	default:
+	}
+	n.report(err)
+}
+
+func (n *node) snapshot() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}

@@ -1,0 +1,102 @@
+package ring
+
+import (
+	"testing"
+
+	"cyclojoin/internal/relation"
+	"cyclojoin/internal/trace"
+)
+
+// TestTraceEvents runs a traced revolution and checks the event algebra:
+// every fragment is processed once per node, received once per non-home
+// node, sent once per forwarding node, and retired exactly once.
+func TestTraceEvents(t *testing.T) {
+	const nodes = 3
+	buf := &trace.Buffer{}
+	procs := make([]Processor, nodes)
+	for i := range procs {
+		procs[i] = ProcessorFunc(func(f *relation.Fragment) error { return nil })
+	}
+	r, err := New(Config{Nodes: nodes, Tracer: buf}, nil, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = r.Close()
+	}()
+	frags := buildFrags(t, nodes, 300)
+	if err := r.Run(perNode(frags)); err != nil {
+		t.Fatal(err)
+	}
+
+	wantProcess := nodes * nodes // each of `nodes` fragments at each node
+	if got := buf.Count(trace.ProcessStart); got != wantProcess {
+		t.Errorf("ProcessStart events = %d, want %d", got, wantProcess)
+	}
+	if got := buf.Count(trace.ProcessEnd); got != wantProcess {
+		t.Errorf("ProcessEnd events = %d, want %d", got, wantProcess)
+	}
+	// Each fragment crosses nodes-1 links → received nodes-1 times.
+	wantRecv := nodes * (nodes - 1)
+	if got := buf.Count(trace.FragmentReceived); got != wantRecv {
+		t.Errorf("FragmentReceived events = %d, want %d", got, wantRecv)
+	}
+	if got := buf.Count(trace.FragmentSent); got != wantRecv {
+		t.Errorf("FragmentSent events = %d, want %d", got, wantRecv)
+	}
+	if got := buf.Count(trace.FragmentRetired); got != nodes {
+		t.Errorf("FragmentRetired events = %d, want %d", got, nodes)
+	}
+
+	// Per (fragment, node): a ProcessStart must precede its ProcessEnd,
+	// and hops grow monotonically per fragment.
+	type key struct{ frag, node int }
+	started := map[key]bool{}
+	for _, ev := range buf.Events() {
+		k := key{ev.Fragment, ev.Node}
+		switch ev.Kind {
+		case trace.ProcessStart:
+			if started[k] {
+				t.Fatalf("fragment %d processed twice at node %d", ev.Fragment, ev.Node)
+			}
+			started[k] = true
+		case trace.ProcessEnd:
+			if !started[k] {
+				t.Fatalf("ProcessEnd without ProcessStart for fragment %d at node %d", ev.Fragment, ev.Node)
+			}
+		}
+	}
+}
+
+func TestTraceBufferOps(t *testing.T) {
+	var b trace.Buffer
+	b.Record(trace.Event{Kind: trace.ProcessStart})
+	b.Record(trace.Event{Kind: trace.ProcessEnd})
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.Count(trace.ProcessStart) != 1 {
+		t.Error("Count wrong")
+	}
+	evs := b.Events()
+	evs[0].Kind = trace.FragmentSent // must not affect the buffer
+	if b.Count(trace.ProcessStart) != 1 {
+		t.Error("Events() exposed internal storage")
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	kinds := []trace.Kind{
+		trace.FragmentReceived, trace.ProcessStart, trace.ProcessEnd,
+		trace.FragmentSent, trace.FragmentRetired, trace.Kind(99),
+	}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty String for kind %d", uint8(k))
+		}
+	}
+}

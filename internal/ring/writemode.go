@@ -1,0 +1,306 @@
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cyclojoin/internal/rdma"
+	"cyclojoin/internal/relation"
+	"cyclojoin/internal/trace"
+	"time"
+)
+
+// One-sided transport mode: instead of send/recv, the transmitter places
+// each fragment directly into a registered buffer the downstream neighbor
+// has exposed, using RDMA write-with-immediate (the immediate carries the
+// encoded length, serving as the doorbell). Flow control is explicit
+// credits: the receiver advertises one credit per exposed buffer on the
+// reverse direction of the same queue pair, and re-credits a buffer as
+// soon as its fragment has been handed to the join entity.
+//
+// This is the "RDMA as distributed shared memory" wiring of a Data
+// Roundabout; functionally it must be indistinguishable from the send/recv
+// mode, and the ring test suite runs both.
+
+// creditMagic guards credit messages on the reverse channel.
+const creditMagic = 0x43524454 // "CRDT"
+
+// creditBytes is the wire size of one credit message.
+const creditBytes = 8
+
+// encodeCredit writes a credit for key into an 8-byte buffer.
+func encodeCredit(buf *rdma.Buffer, key rdma.RemoteKey) error {
+	binary.BigEndian.PutUint32(buf.Data()[0:4], creditMagic)
+	binary.BigEndian.PutUint32(buf.Data()[4:8], uint32(key))
+	return buf.SetLen(creditBytes)
+}
+
+// decodeCredit parses a credit message.
+func decodeCredit(b []byte) (rdma.RemoteKey, error) {
+	if len(b) != creditBytes || binary.BigEndian.Uint32(b[0:4]) != creditMagic {
+		return 0, fmt.Errorf("ring: malformed credit message (%d B)", len(b))
+	}
+	return rdma.RemoteKey(binary.BigEndian.Uint32(b[4:8])), nil
+}
+
+// startRecvWrites is the write-mode receiver: expose the receive pool,
+// advertise credits upstream, and consume write-with-immediate doorbells.
+func (n *node) startRecvWrites(qp rdma.QueuePair) error {
+	wqp, ok := qp.(rdma.WriteQueuePair)
+	if !ok {
+		return fmt.Errorf("ring: node %d: transport %T does not support one-sided writes", n.id, qp)
+	}
+	n.in = qp
+	n.recvStop = make(chan struct{})
+	stop := n.recvStop
+
+	// Small registered buffers to send credit messages from.
+	creditPool, err := n.dev.RegisterPool(n.cfg.slots(), creditBytes)
+	if err != nil {
+		return fmt.Errorf("ring: node %d: register credit pool: %w", n.id, err)
+	}
+	freeCredits := make(chan *rdma.Buffer, n.cfg.slots())
+	for _, b := range creditPool {
+		freeCredits <- b
+	}
+
+	keyOf := make(map[*rdma.Buffer]rdma.RemoteKey, len(n.recvBufs))
+	sendCredit := func(key rdma.RemoteKey) error {
+		var cb *rdma.Buffer
+		select {
+		case cb = <-freeCredits:
+		case <-stop:
+			return nil
+		case <-n.quit:
+			return nil
+		}
+		if err := encodeCredit(cb, key); err != nil {
+			return err
+		}
+		return wqp.PostSend(cb)
+	}
+	for _, b := range n.recvBufs {
+		key, err := wqp.Expose(b)
+		if err != nil {
+			return fmt.Errorf("ring: node %d: expose receive buffer: %w", n.id, err)
+		}
+		keyOf[b] = key
+		if err := sendCredit(key); err != nil {
+			return fmt.Errorf("ring: node %d: initial credit: %w", n.id, err)
+		}
+	}
+
+	n.recvWG.Add(1)
+	go func() {
+		defer n.recvWG.Done()
+		n.recvLoopWrites(wqp, stop, keyOf, freeCredits, sendCredit)
+	}()
+	return nil
+}
+
+func (n *node) recvLoopWrites(
+	qp rdma.WriteQueuePair,
+	stop chan struct{},
+	keyOf map[*rdma.Buffer]rdma.RemoteKey,
+	freeCredits chan *rdma.Buffer,
+	sendCredit func(rdma.RemoteKey) error,
+) {
+	for {
+		var c rdma.Completion
+		var ok bool
+		select {
+		case <-stop:
+			return
+		case <-n.quit:
+			return
+		case c, ok = <-qp.Completions():
+		}
+		if !ok {
+			return
+		}
+		if c.Err != nil {
+			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: write-mode receive: %w", n.id, c.Err))
+			return
+		}
+		switch c.Op {
+		case rdma.OpSend:
+			// A credit message went out; its buffer is free again.
+			select {
+			case freeCredits <- c.Buf:
+			case <-n.quit:
+				return
+			}
+		case rdma.OpWrite:
+			// Doorbell: a fragment landed in c.Buf; Imm carries the
+			// encoded length.
+			length := int(c.Imm)
+			if length > c.Buf.Cap() {
+				n.report(fmt.Errorf("ring: node %d: write doorbell claims %d B in a %d B buffer", n.id, length, c.Buf.Cap()))
+				return
+			}
+			frag, err := relation.Decode(c.Buf.Data()[:length], "rotating")
+			if err != nil {
+				n.report(fmt.Errorf("ring: node %d: decode written fragment: %w", n.id, err))
+				return
+			}
+			n.mu.Lock()
+			n.stats.BytesIn += int64(length)
+			n.mu.Unlock()
+			n.tr.Record(trace.Event{
+				Time: time.Now(), Node: n.id, Kind: trace.FragmentReceived,
+				Fragment: frag.Index, Hops: frag.Hops, Bytes: length,
+			})
+			select {
+			case n.procQ <- frag:
+			case <-stop:
+				return
+			case <-n.quit:
+				return
+			}
+			// The fragment is copied out; re-credit the buffer upstream.
+			if err := sendCredit(keyOf[c.Buf]); err != nil {
+				n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: re-credit: %w", n.id, err))
+				return
+			}
+		}
+	}
+}
+
+// startSendWrites is the write-mode transmitter: collect credits from the
+// downstream neighbor and write fragments straight into its buffers.
+func (n *node) startSendWrites(qp rdma.QueuePair) error {
+	wqp, ok := qp.(rdma.WriteQueuePair)
+	if !ok {
+		return fmt.Errorf("ring: node %d: transport %T does not support one-sided writes", n.id, qp)
+	}
+	n.out = qp
+	n.sendStop = make(chan struct{})
+	stop := n.sendStop
+
+	// Buffers to receive credit messages into.
+	creditPool, err := n.dev.RegisterPool(n.cfg.slots(), creditBytes)
+	if err != nil {
+		return fmt.Errorf("ring: node %d: register credit receive pool: %w", n.id, err)
+	}
+	for _, b := range creditPool {
+		if err := wqp.PostRecv(b); err != nil {
+			return fmt.Errorf("ring: node %d: post credit receive: %w", n.id, err)
+		}
+	}
+	credits := make(chan rdma.RemoteKey, n.cfg.slots())
+
+	n.sendWG.Add(2)
+	go func() {
+		defer n.sendWG.Done()
+		n.sendLoopWrites(wqp, stop, credits)
+	}()
+	go func() {
+		defer n.sendWG.Done()
+		n.sendReaperWrites(wqp, stop, credits)
+	}()
+	return nil
+}
+
+func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credits chan rdma.RemoteKey) {
+	for {
+		var frag *relation.Fragment
+		select {
+		case <-stop:
+			return
+		case <-n.quit:
+			return
+		case frag = <-n.sendQ:
+		}
+		var buf *rdma.Buffer
+		select {
+		case <-stop:
+			return
+		case <-n.quit:
+			return
+		case buf = <-n.freeSend:
+		}
+		need := relation.EncodedSize(frag)
+		if need > buf.Cap() {
+			n.report(fmt.Errorf("ring: node %d: fragment %d needs %d B, buffers are %d B; raise Config.BufferBytes",
+				n.id, frag.Index, need, buf.Cap()))
+			return
+		}
+		sz, err := relation.Encode(frag, buf.Data())
+		if err != nil {
+			n.report(fmt.Errorf("ring: node %d: encode: %w", n.id, err))
+			return
+		}
+		if err := buf.SetLen(sz); err != nil {
+			n.report(err)
+			return
+		}
+		// Wait for a free slot in the neighbor's exposed pool.
+		var key rdma.RemoteKey
+		select {
+		case <-stop:
+			return
+		case <-n.quit:
+			return
+		case key = <-credits:
+		}
+		// Capture metadata before the write: once posted, the revolution
+		// can complete and the fragment object may be reused.
+		fragIndex, fragHops := frag.Index, frag.Hops
+		if err := qp.PostWriteImm(key, 0, buf, uint32(sz)); err != nil {
+			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: post write: %w", n.id, err))
+			return
+		}
+		n.mu.Lock()
+		n.stats.BytesOut += int64(sz)
+		n.mu.Unlock()
+		n.tr.Record(trace.Event{
+			Time: time.Now(), Node: n.id, Kind: trace.FragmentSent,
+			Fragment: fragIndex, Hops: fragHops, Bytes: sz,
+		})
+	}
+}
+
+// sendReaperWrites recycles completed write buffers and collects credits.
+func (n *node) sendReaperWrites(qp rdma.WriteQueuePair, stop chan struct{}, credits chan rdma.RemoteKey) {
+	for {
+		var c rdma.Completion
+		var ok bool
+		select {
+		case <-stop:
+			return
+		case <-n.quit:
+			return
+		case c, ok = <-qp.Completions():
+		}
+		if !ok {
+			return
+		}
+		if c.Err != nil {
+			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: write-mode send: %w", n.id, c.Err))
+			return
+		}
+		switch c.Op {
+		case rdma.OpWrite:
+			select {
+			case n.freeSend <- c.Buf:
+			case <-n.quit:
+				return
+			}
+		case rdma.OpRecv:
+			key, err := decodeCredit(c.Buf.Bytes())
+			if err != nil {
+				n.report(fmt.Errorf("ring: node %d: %w", n.id, err))
+				return
+			}
+			select {
+			case credits <- key:
+			case <-n.quit:
+				return
+			}
+			if err := qp.PostRecv(c.Buf); err != nil {
+				n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: repost credit receive: %w", n.id, err))
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+
+	"cyclojoin/internal/relation"
+	"cyclojoin/internal/workload"
+)
+
+// TestWriteModeOneRevolution: the one-sided transport mode must be
+// behaviorally identical to send/recv.
+func TestWriteModeOneRevolution(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 6} {
+		t.Run(fmt.Sprintf("%dnodes", nodes), func(t *testing.T) {
+			r, recs := newRecorderRing(t, nodes, Config{OneSidedWrites: true}, nil)
+			frags := buildFrags(t, nodes, 600)
+			if err := r.Run(perNode(frags)); err != nil {
+				t.Fatal(err)
+			}
+			for n, rec := range recs {
+				got := rec.counts()
+				if len(got) != nodes {
+					t.Errorf("node %d saw %d distinct fragments, want %d", n, len(got), nodes)
+				}
+				for idx, times := range got {
+					if times != 1 {
+						t.Errorf("node %d processed fragment %d %d times", n, idx, times)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestWriteModeOverTCP(t *testing.T) {
+	r, recs := newRecorderRing(t, 3, Config{OneSidedWrites: true}, TCPLinks())
+	frags := buildFrags(t, 3, 400)
+	if err := r.Run(perNode(frags)); err != nil {
+		t.Fatal(err)
+	}
+	for n, rec := range recs {
+		if len(rec.counts()) != 3 {
+			t.Errorf("node %d saw %d fragments", n, len(rec.counts()))
+		}
+	}
+}
+
+func TestWriteModeMultipleRuns(t *testing.T) {
+	r, recs := newRecorderRing(t, 3, Config{OneSidedWrites: true, BufferSlots: 2}, nil)
+	frags := buildFrags(t, 3, 300)
+	for round := 0; round < 3; round++ {
+		if err := r.Run(perNode(frags)); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	for n, rec := range recs {
+		for idx, times := range rec.counts() {
+			if times != 3 {
+				t.Errorf("node %d fragment %d seen %d times, want 3", n, idx, times)
+			}
+		}
+	}
+}
+
+// TestWriteModeReplaceNode: node replacement re-exposes buffers and
+// re-establishes credits on the fresh links.
+func TestWriteModeReplaceNode(t *testing.T) {
+	r, _ := newRecorderRing(t, 3, Config{OneSidedWrites: true}, nil)
+	frags := buildFrags(t, 3, 300)
+	if err := r.Run(perNode(frags)); err != nil {
+		t.Fatal(err)
+	}
+	replacement := newRecorder()
+	if err := r.ReplaceNode(1, replacement); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(perNode(frags)); err != nil {
+		t.Fatal(err)
+	}
+	if got := replacement.counts(); len(got) != 3 {
+		t.Errorf("replacement saw %d fragments, want 3", len(got))
+	}
+}
+
+// TestWriteModeBackpressure: with one slow node and minimal credit slack,
+// nothing is lost or duplicated.
+func TestWriteModeBackpressure(t *testing.T) {
+	const nodes = 4
+	recs := make([]*recorder, nodes)
+	procs := make([]Processor, nodes)
+	for i := range recs {
+		recs[i] = newRecorder()
+		if i == 2 {
+			recs[i].delay = 2e6 // 2ms
+		}
+		procs[i] = recs[i]
+	}
+	r, err := New(Config{Nodes: nodes, BufferSlots: 1, OneSidedWrites: true}, nil, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = r.Close()
+	}()
+	rel := workload.Sequential("R", 400, 4)
+	frags, err := relation.Partition(rel, nodes*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([][]*relation.Fragment, nodes)
+	for i, f := range frags {
+		assign[i%nodes] = append(assign[i%nodes], f)
+	}
+	if err := r.Run(assign); err != nil {
+		t.Fatal(err)
+	}
+	for n, rec := range recs {
+		for idx, times := range rec.counts() {
+			if times != 1 {
+				t.Errorf("node %d fragment %d seen %d times", n, idx, times)
+			}
+		}
+		if len(rec.counts()) != len(frags) {
+			t.Errorf("node %d saw %d fragments, want %d", n, len(rec.counts()), len(frags))
+		}
+	}
+}

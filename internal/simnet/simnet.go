@@ -1,0 +1,320 @@
+// Package simnet is a discrete-event simulator of the Data Roundabout ring
+// at the paper's hardware scale.
+//
+// The container this reproduction runs on has one CPU core and no 10 Gb/s
+// links, so wall-clock measurements cannot reproduce the paper's cluster
+// numbers directly. Instead, the evaluation harness feeds the calibrated
+// per-fragment costs (package costmodel) into this simulator, which models
+// exactly the pipeline the real runtime (package ring) implements:
+//
+//   - per host, a join entity that processes one fragment at a time;
+//   - unidirectional links with finite bandwidth and per-transfer
+//     overhead;
+//   - a finite pool of ring-buffer slots per host: a transfer into a host
+//     may only start when the host has a free slot, which is the RDMA
+//     receiver-not-ready backpressure of the real transport.
+//
+// The headline behaviours of §V — communication fully hidden behind the
+// hash join, sync time appearing when the merge join outruns the link
+// (Fig 11), and ring-buffer slack absorbing skew imbalance (Fig 9) —
+// emerge from this event simulation; they are not closed-form formulas.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Config describes one simulated ring run (the join phase only; setup is
+// accounted analytically by the experiments).
+type Config struct {
+	// Hosts is the ring size.
+	Hosts int
+	// Slots is the per-host ring-buffer capacity in fragments.
+	Slots int
+	// Bandwidth is the per-link effective bandwidth in bytes/second.
+	Bandwidth float64
+	// TransferOverhead is the fixed per-fragment transfer cost (work
+	// request posting, framing).
+	TransferOverhead time.Duration
+	// FragsPerHost is the number of rotating fragments homed at each
+	// host.
+	FragsPerHost int
+	// FragBytes returns the wire size of fragment f (fragments are
+	// numbered 0..Hosts*FragsPerHost-1; fragment f is homed at host
+	// f mod Hosts).
+	FragBytes func(f int) int
+	// Work returns the join entity's processing time for fragment f at
+	// host h.
+	Work func(f, h int) time.Duration
+	// ReturnHome makes fragments travel the final link back to their
+	// home host before retiring, as in a continuously circulating Data
+	// Cyclotron ring. §V-F's accounting — "the entire relation R has to
+	// be pumped once through each participating host", 9.6 GB per link —
+	// corresponds to this mode; without it each link carries only
+	// (n−1)/n of R.
+	ReturnHome bool
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	switch {
+	case c.Hosts < 1:
+		return fmt.Errorf("simnet: %d hosts", c.Hosts)
+	case c.Slots < 1:
+		return fmt.Errorf("simnet: %d buffer slots", c.Slots)
+	case c.Bandwidth <= 0:
+		return fmt.Errorf("simnet: bandwidth %g", c.Bandwidth)
+	case c.FragsPerHost < 1:
+		return fmt.Errorf("simnet: %d fragments per host", c.FragsPerHost)
+	case c.FragBytes == nil || c.Work == nil:
+		return fmt.Errorf("simnet: nil cost callbacks")
+	}
+	return nil
+}
+
+// HostStats is one simulated host's outcome.
+type HostStats struct {
+	// Busy is the join entity's total processing time.
+	Busy time.Duration
+	// Wait is the join entity's idle time between fragments while the
+	// run was still in progress — the paper's "sync" time.
+	Wait time.Duration
+	// Processed counts fragment visits.
+	Processed int
+	// LastDone is when the host finished its final fragment.
+	LastDone time.Duration
+}
+
+// Result is the simulated join phase outcome.
+type Result struct {
+	// Wall is the time at which the last fragment retired.
+	Wall time.Duration
+	// Hosts holds per-host statistics.
+	Hosts []HostStats
+	// BytesPerLink is the volume that crossed each link (identical for
+	// all links after a full revolution).
+	BytesPerLink int64
+}
+
+// MaxWait returns the largest per-host sync time.
+func (r Result) MaxWait() time.Duration {
+	var w time.Duration
+	for _, h := range r.Hosts {
+		if h.Wait > w {
+			w = h.Wait
+		}
+	}
+	return w
+}
+
+// AvgWait returns the mean per-host sync time.
+func (r Result) AvgWait() time.Duration {
+	if len(r.Hosts) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, h := range r.Hosts {
+		sum += h.Wait
+	}
+	return sum / time.Duration(len(r.Hosts))
+}
+
+// event is a scheduled simulation step.
+type event struct {
+	at   time.Duration
+	kind eventKind
+	host int // processing host or transfer destination
+	frag int
+	seq  int // tie-breaker for deterministic ordering
+}
+
+type eventKind uint8
+
+const (
+	evProcessDone eventKind = iota + 1
+	evTransferDone
+)
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// fragState tracks one rotating fragment.
+type fragState struct {
+	hops int // hosts processed so far
+	at   int // current host
+}
+
+// hostState tracks one simulated host. slotsUsed counts the receive-side
+// ring-buffer credits: fragments queued or being processed (and transfers
+// in flight toward this host, which reserve their credit at transfer
+// start). Processed fragments awaiting the outbound link do not hold a
+// receive credit — in the real runtime they sit in registered *send*
+// buffers — and their number is naturally bounded by the fragment
+// population.
+type hostState struct {
+	queue     []int // fragment ids awaiting processing (FIFO)
+	outQ      []int // processed fragments awaiting link transfer (FIFO)
+	slotsUsed int
+	busyWith  int // fragment being processed, -1 if idle
+	idleSince time.Duration
+	linkBusy  bool // outbound link currently transferring
+	stats     HostStats
+}
+
+// Run simulates one full revolution and returns the outcome.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	nFrags := cfg.Hosts * cfg.FragsPerHost
+	frags := make([]fragState, nFrags)
+	hosts := make([]hostState, cfg.Hosts)
+	for h := range hosts {
+		hosts[h].busyWith = -1
+	}
+
+	var q eventQueue
+	seq := 0
+	push := func(at time.Duration, kind eventKind, host, frag int) {
+		heap.Push(&q, event{at: at, kind: kind, host: host, frag: frag, seq: seq})
+		seq++
+	}
+
+	// Pending injections: home fragments enter their host as slots allow.
+	pendingInject := make([][]int, cfg.Hosts)
+	for f := 0; f < nFrags; f++ {
+		h := f % cfg.Hosts
+		frags[f].at = h
+		pendingInject[h] = append(pendingInject[h], f)
+	}
+
+	var now time.Duration
+	retired := 0
+	var bytesPerLink int64
+
+	// tryInject moves pending home fragments into free slots.
+	tryInject := func(h int) {
+		hs := &hosts[h]
+		for len(pendingInject[h]) > 0 && hs.slotsUsed < cfg.Slots {
+			f := pendingInject[h][0]
+			pendingInject[h] = pendingInject[h][1:]
+			hs.slotsUsed++
+			hs.queue = append(hs.queue, f)
+		}
+	}
+
+	// tryProcess starts the join entity on the next queued fragment.
+	tryProcess := func(h int) {
+		hs := &hosts[h]
+		if hs.busyWith != -1 || len(hs.queue) == 0 {
+			return
+		}
+		f := hs.queue[0]
+		hs.queue = hs.queue[1:]
+		hs.busyWith = f
+		// Idle time between fragments is the paper's "sync" time: the
+		// join entity waiting on the transport (§V-F).
+		if now > hs.idleSince {
+			hs.stats.Wait += now - hs.idleSince
+		}
+		w := cfg.Work(f, h)
+		hs.stats.Busy += w
+		push(now+w, evProcessDone, h, f)
+	}
+
+	// tryTransfer starts the outbound link on the next processed fragment,
+	// if the destination has a free slot (receive credit).
+	tryTransfer := func(h int) {
+		hs := &hosts[h]
+		if hs.linkBusy || len(hs.outQ) == 0 {
+			return
+		}
+		dst := (h + 1) % cfg.Hosts
+		if hosts[dst].slotsUsed >= cfg.Slots {
+			return // receiver not ready; retried when dst frees a slot
+		}
+		f := hs.outQ[0]
+		hs.outQ = hs.outQ[1:]
+		hs.linkBusy = true
+		hosts[dst].slotsUsed++ // reserve the receive buffer
+		bytes := cfg.FragBytes(f)
+		dur := time.Duration(float64(bytes)/cfg.Bandwidth*float64(time.Second)) + cfg.TransferOverhead
+		bytesPerLink += int64(bytes)
+		push(now+dur, evTransferDone, dst, f)
+	}
+
+	// Prime all hosts.
+	for h := range hosts {
+		tryInject(h)
+		tryProcess(h)
+	}
+
+	for retired < nFrags {
+		if q.Len() == 0 {
+			return Result{}, fmt.Errorf("simnet: deadlock with %d/%d fragments retired (slots=%d)", retired, nFrags, cfg.Slots)
+		}
+		e := heap.Pop(&q).(event)
+		now = e.at
+		switch e.kind {
+		case evProcessDone:
+			hs := &hosts[e.host]
+			hs.busyWith = -1
+			hs.idleSince = now
+			hs.stats.Processed++
+			hs.stats.LastDone = now
+			hs.slotsUsed-- // receive credit released either way
+			fs := &frags[e.frag]
+			fs.hops++
+			if fs.hops >= cfg.Hosts && (!cfg.ReturnHome || cfg.Hosts == 1) {
+				retired++
+			} else {
+				// Forward — either to the next processing host or, in
+				// ReturnHome mode after the last hop, on the final leg
+				// back to the fragment's home.
+				hs.outQ = append(hs.outQ, e.frag)
+			}
+			tryInject(e.host)
+			tryTransfer(e.host)
+			tryProcess(e.host)
+			// The freed credit may unblock the upstream link.
+			tryTransfer((e.host - 1 + cfg.Hosts) % cfg.Hosts)
+		case evTransferDone:
+			src := (e.host - 1 + cfg.Hosts) % cfg.Hosts
+			hosts[src].linkBusy = false
+			frags[e.frag].at = e.host
+			if frags[e.frag].hops >= cfg.Hosts {
+				// Fragment arrived back home fully processed: retire
+				// and release the reserved receive credit.
+				retired++
+				hosts[e.host].slotsUsed--
+				tryInject(e.host)
+				// src's link is free again, and the credit this retire
+				// released also feeds src's next transfer into us.
+				tryTransfer(src)
+				continue
+			}
+			// The receive credit was reserved at transfer start.
+			hosts[e.host].queue = append(hosts[e.host].queue, e.frag)
+			tryTransfer(src)
+			tryProcess(e.host)
+		}
+	}
+
+	res := Result{Wall: now, Hosts: make([]HostStats, cfg.Hosts), BytesPerLink: bytesPerLink / int64(cfg.Hosts)}
+	for h := range hosts {
+		res.Hosts[h] = hosts[h].stats
+	}
+	return res, nil
+}

@@ -1,0 +1,265 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// base returns a valid config for mutation in tests.
+func base() Config {
+	return Config{
+		Hosts:            6,
+		Slots:            4,
+		Bandwidth:        1.1e9,
+		TransferOverhead: time.Microsecond,
+		FragsPerHost:     2,
+		FragBytes:        func(f int) int { return 1 << 20 },
+		Work:             func(f, h int) time.Duration { return time.Millisecond },
+	}
+}
+
+func TestValidate(t *testing.T) {
+	muts := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"hosts", func(c *Config) { c.Hosts = 0 }},
+		{"slots", func(c *Config) { c.Slots = 0 }},
+		{"bandwidth", func(c *Config) { c.Bandwidth = 0 }},
+		{"frags", func(c *Config) { c.FragsPerHost = 0 }},
+		{"bytes fn", func(c *Config) { c.FragBytes = nil }},
+		{"work fn", func(c *Config) { c.Work = nil }},
+	}
+	for _, m := range muts {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := base()
+			m.mut(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+// TestEveryHostProcessesEveryFragment: the defining revolution property.
+func TestEveryHostProcessesEveryFragment(t *testing.T) {
+	cfg := base()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Hosts * cfg.FragsPerHost
+	for h, hs := range res.Hosts {
+		if hs.Processed != want {
+			t.Errorf("host %d processed %d fragments, want %d", h, hs.Processed, want)
+		}
+	}
+}
+
+func TestSingleHostIsPureCompute(t *testing.T) {
+	cfg := base()
+	cfg.Hosts = 1
+	cfg.FragsPerHost = 5
+	cfg.Work = func(f, h int) time.Duration { return 3 * time.Millisecond }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 15 * time.Millisecond; res.Wall != want {
+		t.Errorf("wall = %v, want %v", res.Wall, want)
+	}
+	if res.Hosts[0].Wait != 0 {
+		t.Errorf("single host waited %v", res.Hosts[0].Wait)
+	}
+	if res.BytesPerLink != 0 {
+		t.Errorf("single host moved %d bytes", res.BytesPerLink)
+	}
+}
+
+// TestComputeBoundHidesCommunication reproduces the §V-B observation: when
+// processing is slower than the link, network time is fully hidden ("no
+// execution time was lost otherwise").
+func TestComputeBoundHidesCommunication(t *testing.T) {
+	cfg := base()
+	// 1 MB at 1.1 GB/s ≈ 0.9 ms transfer; 20 ms work per fragment.
+	cfg.Work = func(f, h int) time.Duration { return 20 * time.Millisecond }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHostWork := time.Duration(cfg.Hosts*cfg.FragsPerHost) * 20 * time.Millisecond
+	// Wall must be within a few percent of pure compute.
+	if res.Wall > perHostWork*105/100 {
+		t.Errorf("wall %v exceeds compute %v by more than 5%%: communication not hidden", res.Wall, perHostWork)
+	}
+	if res.MaxWait() > perHostWork/20 {
+		t.Errorf("sync time %v should be negligible when compute-bound", res.MaxWait())
+	}
+}
+
+// TestTransferBoundExposesSync reproduces Fig 11: when the join entity is
+// faster than the link, sync time appears and the wall clock is set by the
+// wire.
+func TestTransferBoundExposesSync(t *testing.T) {
+	cfg := base()
+	cfg.FragsPerHost = 4
+	// 10 MB fragments ≈ 9.3 ms wire; 1 ms work.
+	cfg.FragBytes = func(f int) int { return 10 << 20 }
+	cfg.Work = func(f, h int) time.Duration { return time.Millisecond }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each host must receive (Hosts-1)*FragsPerHost fragments over its
+	// inbound link; the wall is at least that wire time.
+	wire := time.Duration(float64((cfg.Hosts-1)*cfg.FragsPerHost*(10<<20)) / cfg.Bandwidth * float64(time.Second))
+	if res.Wall < wire {
+		t.Errorf("wall %v below the wire floor %v", res.Wall, wire)
+	}
+	if res.AvgWait() < res.Wall/4 {
+		t.Errorf("avg sync %v too small for a transfer-bound run (wall %v)", res.AvgWait(), res.Wall)
+	}
+}
+
+// TestBytesPerLink: one revolution pushes the whole rotating volume across
+// every link exactly once — §V-F's accounting (9.6 GB per link).
+func TestBytesPerLink(t *testing.T) {
+	cfg := base()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each fragment crosses Hosts-1 links (it is injected at its home).
+	// Total across all links = nFrags*(Hosts-1)*size; per link /Hosts...
+	// with even distribution every link carries (Hosts-1)*FragsPerHost
+	// fragments.
+	want := int64(cfg.Hosts-1) * int64(cfg.FragsPerHost) * int64(1<<20)
+	if res.BytesPerLink != want {
+		t.Errorf("bytes per link = %d, want %d", res.BytesPerLink, want)
+	}
+}
+
+// TestMoreSlotsNeverSlower: ring-buffer slack only helps (§V-D's balancing
+// argument, and the ablation benchmark's subject).
+func TestMoreSlotsNeverSlower(t *testing.T) {
+	// Skewed per-fragment work: fragment 0 is 20× hotter.
+	work := func(f, h int) time.Duration {
+		if f == 0 {
+			return 20 * time.Millisecond
+		}
+		return time.Millisecond
+	}
+	var prev time.Duration
+	for i, slots := range []int{1, 2, 4, 8} {
+		cfg := base()
+		cfg.Slots = slots
+		cfg.FragsPerHost = 3
+		cfg.Work = work
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Wall > prev+prev/50 {
+			t.Errorf("slots=%d wall %v worse than fewer slots %v", slots, res.Wall, prev)
+		}
+		prev = res.Wall
+	}
+}
+
+// TestSkewBalancing: with one hot fragment, a deeper ring buffer lets the
+// other hosts run ahead instead of stalling behind the slow consumer.
+func TestSkewBalancing(t *testing.T) {
+	mk := func(slots int) time.Duration {
+		cfg := base()
+		cfg.Hosts = 4
+		cfg.FragsPerHost = 4
+		cfg.Slots = slots
+		cfg.Work = func(f, h int) time.Duration {
+			if f%7 == 0 {
+				return 10 * time.Millisecond
+			}
+			return time.Millisecond
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Wall
+	}
+	shallow, deep := mk(1), mk(6)
+	if deep > shallow {
+		t.Errorf("deep buffers (%v) slower than shallow (%v)", deep, shallow)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Wall != b.Wall || a.BytesPerLink != b.BytesPerLink {
+		t.Error("simulation not deterministic")
+	}
+	for h := range a.Hosts {
+		if a.Hosts[h] != b.Hosts[h] {
+			t.Errorf("host %d stats differ across runs", h)
+		}
+	}
+}
+
+// TestLinkSerialization: a link carries one fragment at a time, so shipping
+// k fragments takes at least k wire times.
+func TestLinkSerialization(t *testing.T) {
+	cfg := base()
+	cfg.Hosts = 2
+	cfg.FragsPerHost = 8
+	cfg.FragBytes = func(f int) int { return 11 << 20 } // 10 ms each
+	cfg.Work = func(f, h int) time.Duration { return time.Microsecond }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWire := time.Duration(float64(11<<20) / cfg.Bandwidth * float64(time.Second))
+	if res.Wall < 8*perWire {
+		t.Errorf("wall %v below serialized wire floor %v", res.Wall, 8*perWire)
+	}
+}
+
+// TestReturnHomeBytesPerLink: in continuous-circulation mode every link
+// carries the entire rotating volume (§V-F's 9.6 GB per link accounting).
+func TestReturnHomeBytesPerLink(t *testing.T) {
+	cfg := base()
+	cfg.ReturnHome = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(cfg.Hosts) * int64(cfg.FragsPerHost) * int64(1<<20)
+	if res.BytesPerLink != want {
+		t.Errorf("bytes per link = %d, want full volume %d", res.BytesPerLink, want)
+	}
+	// Processing counts are unchanged: the homebound leg is not processed.
+	for h, hs := range res.Hosts {
+		if hs.Processed != cfg.Hosts*cfg.FragsPerHost {
+			t.Errorf("host %d processed %d, want %d", h, hs.Processed, cfg.Hosts*cfg.FragsPerHost)
+		}
+	}
+}
+
+// TestReturnHomeSingleHost: degenerate ring must not self-transfer.
+func TestReturnHomeSingleHost(t *testing.T) {
+	cfg := base()
+	cfg.Hosts = 1
+	cfg.ReturnHome = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesPerLink != 0 {
+		t.Errorf("single host moved %d bytes", res.BytesPerLink)
+	}
+}

@@ -1,0 +1,132 @@
+// Package trace provides structured event tracing for the Data Roundabout
+// runtime: what the receiver, join entity and transmitter of each node did,
+// and when. Production deployments feed events to their own sink; the
+// in-memory Buffer supports tests and post-mortem analysis of a run
+// (per-phase timing, starvation, imbalance).
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind classifies a runtime event.
+type Kind uint8
+
+// Ring runtime events.
+const (
+	// FragmentReceived: the receiver decoded a fragment off the inbound
+	// link.
+	FragmentReceived Kind = iota + 1
+	// ProcessStart: the join entity began a fragment.
+	ProcessStart
+	// ProcessEnd: the join entity finished a fragment.
+	ProcessEnd
+	// FragmentSent: the transmitter posted a fragment to the outbound
+	// link.
+	FragmentSent
+	// FragmentRetired: the fragment completed its revolution here.
+	FragmentRetired
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case FragmentReceived:
+		return "received"
+	case ProcessStart:
+		return "process-start"
+	case ProcessEnd:
+		return "process-end"
+	case FragmentSent:
+		return "sent"
+	case FragmentRetired:
+		return "retired"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one runtime occurrence.
+type Event struct {
+	// Time is when the event happened.
+	Time time.Time
+	// Node is the ring position.
+	Node int
+	// Kind classifies the event.
+	Kind Kind
+	// Fragment is the fragment index.
+	Fragment int
+	// Hops is the fragment's completed hop count at event time.
+	Hops int
+	// Bytes is the wire volume for receive/send events.
+	Bytes int
+}
+
+// Tracer consumes events. Implementations must be safe for concurrent use:
+// every node's three entities record independently.
+type Tracer interface {
+	// Record consumes one event. It must not block for long — it runs on
+	// the runtime's hot paths.
+	Record(ev Event)
+}
+
+// Nop discards all events.
+type Nop struct{}
+
+var _ Tracer = Nop{}
+
+// Record implements Tracer.
+func (Nop) Record(Event) {}
+
+// Buffer accumulates events in memory. The zero value is ready to use.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ Tracer = (*Buffer)(nil)
+
+// Record implements Tracer.
+func (b *Buffer) Record(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = append(b.events, ev)
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cp := make([]Event, len(b.events))
+	copy(cp, b.events)
+	return cp
+}
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Count tallies events of one kind.
+func (b *Buffer) Count(kind Kind) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, ev := range b.events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset discards all recorded events.
+func (b *Buffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = b.events[:0]
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKindStrings(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{FragmentReceived, "received"},
+		{ProcessStart, "process-start"},
+		{ProcessEnd, "process-end"},
+		{FragmentSent, "sent"},
+		{FragmentRetired, "retired"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestBufferRecordAndQuery(t *testing.T) {
+	var b Buffer
+	now := time.Now()
+	b.Record(Event{Time: now, Node: 1, Kind: ProcessStart, Fragment: 7})
+	b.Record(Event{Time: now, Node: 1, Kind: ProcessEnd, Fragment: 7})
+	b.Record(Event{Time: now, Node: 2, Kind: FragmentSent, Fragment: 7, Bytes: 42})
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Count(ProcessStart) != 1 || b.Count(FragmentSent) != 1 {
+		t.Error("Count wrong")
+	}
+	evs := b.Events()
+	if len(evs) != 3 || evs[2].Bytes != 42 {
+		t.Errorf("Events = %+v", evs)
+	}
+	// The returned slice is a copy.
+	evs[0].Node = 99
+	if b.Events()[0].Node != 1 {
+		t.Error("Events exposed internal storage")
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestBufferConcurrent(t *testing.T) {
+	var b Buffer
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Record(Event{Node: w, Kind: ProcessStart})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Len() != workers*per {
+		t.Errorf("Len = %d, want %d", b.Len(), workers*per)
+	}
+}
+
+func TestNopDiscards(t *testing.T) {
+	Nop{}.Record(Event{Kind: ProcessStart}) // must not panic
+}

@@ -1,0 +1,151 @@
+package workload
+
+import "math"
+
+// ZipfHistogram returns the deterministic expected multiplicity of each key
+// rank when `tuples` draws are made from a Zipf(z) distribution over
+// `distinct` ranks: multiplicity(r) = tuples · (r+1)^-z / H(distinct, z).
+//
+// The skew experiment (Fig 9) is run at paper scale — 36 million tuples per
+// relation — through the cost model rather than by materializing the data,
+// and this histogram is its input. Ranks whose expected multiplicity rounds
+// to zero are truncated; the returned slice is therefore shorter than
+// `distinct` for strong skew.
+func ZipfHistogram(z float64, distinct, tuples int) []int {
+	if distinct < 1 || tuples < 1 {
+		return nil
+	}
+	h := 0.0
+	for r := 1; r <= distinct; r++ {
+		h += math.Pow(float64(r), -z)
+	}
+	out := make([]int, 0, min(distinct, tuples))
+	assigned := 0
+	for r := 1; r <= distinct && assigned < tuples; r++ {
+		m := int(math.Round(float64(tuples) * math.Pow(float64(r), -z) / h))
+		if m <= 0 {
+			// Spread the remaining tuples one per rank; multiplicity 1 is
+			// the floor for ranks that appear at all.
+			m = 1
+		}
+		if assigned+m > tuples {
+			m = tuples - assigned
+		}
+		out = append(out, m)
+		assigned += m
+	}
+	return out
+}
+
+// CompactZipf returns the expected Zipf(z) key histogram at paper scale in
+// a compact form: head[r] is the multiplicity of hot rank r (all ranks with
+// expected multiplicity ≥ 2), and singletons is the number of remaining
+// keys, each occurring once. This is what the Fig 9 cost model consumes —
+// the skew experiment uses 36 million tuples per relation, far too many to
+// return one slice entry per distinct key.
+//
+// The harmonic normalizer H(distinct, z) is computed with an exact head sum
+// plus an integral tail, accurate to well under a percent for the domains
+// the experiments use.
+func CompactZipf(z float64, distinct, tuples int) (head []int, singletons int) {
+	if distinct < 1 || tuples < 1 {
+		return nil, 0
+	}
+	h := harmonic(distinct, z)
+	c := float64(tuples) / h
+	assigned := 0
+	for r := 1; r <= distinct; r++ {
+		m := int(math.Round(c * math.Pow(float64(r), -z)))
+		if m < 2 {
+			break
+		}
+		if assigned+m > tuples {
+			m = tuples - assigned
+			if m < 1 {
+				break
+			}
+		}
+		head = append(head, m)
+		assigned += m
+	}
+	singletons = tuples - assigned
+	if rem := distinct - len(head); singletons > rem {
+		// More leftover tuples than leftover keys: the tail is not
+		// truly singleton. Fold the excess into the last head rank so
+		// the tuple count is conserved; this only triggers for small,
+		// nearly uniform domains, where chain lengths are ≈ uniform
+		// anyway.
+		if rem > 0 {
+			excess := singletons - rem
+			if len(head) == 0 {
+				head = append(head, 0)
+			}
+			head[len(head)-1] += excess
+			singletons = rem
+		} else {
+			if len(head) == 0 {
+				head = append(head, 0)
+			}
+			head[len(head)-1] += singletons
+			singletons = 0
+		}
+	}
+	return head, singletons
+}
+
+// harmonic approximates H(n, z) = Σ_{r=1..n} r^-z with an exact head and an
+// integral tail.
+func harmonic(n int, z float64) float64 {
+	const exact = 100_000
+	m := n
+	if m > exact {
+		m = exact
+	}
+	sum := 0.0
+	for r := 1; r <= m; r++ {
+		sum += math.Pow(float64(r), -z)
+	}
+	if n > m {
+		if z == 1 {
+			sum += math.Log(float64(n) / float64(m))
+		} else {
+			sum += (math.Pow(float64(n), 1-z) - math.Pow(float64(m), 1-z)) / (1 - z)
+		}
+	}
+	return sum
+}
+
+// HistogramStats summarizes a multiplicity histogram for the cost model.
+type HistogramStats struct {
+	// Tuples is the total tuple count (sum of multiplicities).
+	Tuples int
+	// Distinct is the number of distinct keys.
+	Distinct int
+	// MaxMultiplicity is the multiplicity of the hottest key.
+	MaxMultiplicity int
+	// SelfJoinSize is Σ m_i² — the number of matches when a relation with
+	// this histogram is equi-joined against one with the same histogram
+	// (both sides drawing the same hot keys), which is how Fig 9's inputs
+	// are generated.
+	SelfJoinSize float64
+}
+
+// Stats computes summary statistics of a multiplicity histogram.
+func Stats(hist []int) HistogramStats {
+	s := HistogramStats{Distinct: len(hist)}
+	for _, m := range hist {
+		s.Tuples += m
+		if m > s.MaxMultiplicity {
+			s.MaxMultiplicity = m
+		}
+		s.SelfJoinSize += float64(m) * float64(m)
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

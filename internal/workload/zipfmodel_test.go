@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompactZipfConservesTuples(t *testing.T) {
+	for _, z := range []float64{0, 0.3, 0.6, 0.9} {
+		const tuples = 1_000_000
+		head, ones := CompactZipf(z, tuples, tuples)
+		sum := ones
+		for _, m := range head {
+			sum += m
+		}
+		if sum != tuples {
+			t.Errorf("z=%.1f: head+singletons = %d, want %d", z, sum, tuples)
+		}
+		if ones < 0 {
+			t.Errorf("z=%.1f: negative singletons %d", z, ones)
+		}
+	}
+}
+
+func TestCompactZipfUniformIsAllSingletons(t *testing.T) {
+	head, ones := CompactZipf(0, 50_000, 50_000)
+	if len(head) != 0 || ones != 50_000 {
+		t.Errorf("uniform domain=tuples: head=%d ones=%d, want 0/50000", len(head), ones)
+	}
+}
+
+func TestCompactZipfHeadMonotone(t *testing.T) {
+	head, _ := CompactZipf(0.9, 1_000_000, 1_000_000)
+	if len(head) == 0 {
+		t.Fatal("z=0.9 must have hot keys")
+	}
+	for i := 1; i < len(head); i++ {
+		if head[i] > head[i-1] {
+			t.Fatalf("head not non-increasing at %d", i)
+		}
+	}
+	if head[0] < 100 {
+		t.Errorf("hottest key multiplicity %d suspiciously small for z=0.9", head[0])
+	}
+}
+
+// TestCompactZipfMatchesFullHistogram cross-checks the compact form against
+// the exact per-rank histogram on a domain small enough to enumerate.
+func TestCompactZipfMatchesFullHistogram(t *testing.T) {
+	const distinct, tuples = 2000, 100_000
+	full := ZipfHistogram(0.8, distinct, tuples)
+	head, ones := CompactZipf(0.8, distinct, tuples)
+	// Compare self-join sizes (the statistic the Fig 9 model depends on).
+	var fullSJ, compactSJ float64
+	for _, m := range full {
+		fullSJ += float64(m) * float64(m)
+	}
+	for _, m := range head {
+		compactSJ += float64(m) * float64(m)
+	}
+	compactSJ += float64(ones)
+	if rel := math.Abs(fullSJ-compactSJ) / fullSJ; rel > 0.05 {
+		t.Errorf("self-join size differs by %.1f%% between representations", rel*100)
+	}
+}
+
+func TestCompactZipfDegenerate(t *testing.T) {
+	if head, ones := CompactZipf(0.5, 0, 100); head != nil || ones != 0 {
+		t.Error("zero domain must be empty")
+	}
+	if head, ones := CompactZipf(0.5, 100, 0); head != nil || ones != 0 {
+		t.Error("zero tuples must be empty")
+	}
+}
+
+// TestCompactZipfSmallDomainFold: more tuples than keys — the fold path
+// must still conserve tuples.
+func TestCompactZipfSmallDomainFold(t *testing.T) {
+	head, ones := CompactZipf(0.1, 10, 1000)
+	sum := ones
+	for _, m := range head {
+		sum += m
+	}
+	if sum != 1000 {
+		t.Errorf("folded histogram sums to %d, want 1000", sum)
+	}
+	if ones > 10 {
+		t.Errorf("singletons %d exceed domain 10", ones)
+	}
+}
