@@ -1,0 +1,25 @@
+# The ring and tcplink code is concurrency-heavy: `make check` is the
+# tier-1 gate (see ROADMAP.md) and runs the full suite under the race
+# detector on top of build and vet.
+
+GO ?= go
+
+.PHONY: check build vet test race bench-metrics
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Proves the instrumentation budget: one hot-path event must cost < 10 ns.
+bench-metrics:
+	$(GO) test -run NONE -bench . -benchmem ./internal/metrics/

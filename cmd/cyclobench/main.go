@@ -7,6 +7,7 @@
 //	cyclobench                  # run every experiment
 //	cyclobench -run fig7        # one experiment (fig3 fig5 fig7..fig12 table1)
 //	cyclobench -list            # list experiment ids
+//	cyclobench -metrics         # append the runtime-metrics table per experiment
 //
 // The printed "paper:" notes state what the original evaluation reported,
 // so shapes can be compared at a glance; EXPERIMENTS.md records the full
@@ -16,10 +17,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 
 	"cyclojoin/internal/costmodel"
 	"cyclojoin/internal/experiments"
+	"cyclojoin/internal/metrics"
+	"cyclojoin/internal/stats"
 )
 
 func main() {
@@ -29,6 +34,7 @@ func main() {
 func run() int {
 	runID := flag.String("run", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	showMetrics := flag.Bool("metrics", false, "print the process runtime-metrics table after each experiment")
 	flag.Parse()
 
 	if *list {
@@ -58,9 +64,34 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "cyclobench: render %s: %v\n", e.ID, err)
 			return 1
 		}
+		if *showMetrics {
+			fmt.Println()
+			if err := renderMetrics(os.Stdout, e.ID); err != nil {
+				fmt.Fprintf(os.Stderr, "cyclobench: render metrics: %v\n", err)
+				return 1
+			}
+		}
 		if i < len(selected)-1 {
 			fmt.Println()
 		}
 	}
 	return 0
+}
+
+// renderMetrics prints the process-wide runtime metrics (cumulative
+// across the experiments run so far) as a fixed-width table. Simulated
+// experiments never touch the instrumented transport, so an all-zero
+// registry is reported as such rather than as an empty table.
+func renderMetrics(w io.Writer, after string) error {
+	tbl := stats.NewTable("Runtime metrics (after "+after+")", "metric", "labels", "kind", "value")
+	for _, s := range metrics.Default().Samples() {
+		if s.Value == 0 {
+			continue
+		}
+		tbl.AddRow(s.Name, s.Labels, s.Kind.String(), strconv.FormatInt(s.Value, 10))
+	}
+	if tbl.Rows() == 0 {
+		tbl.SetNote("(no nonzero runtime metrics; simulated experiments do not exercise the live transport)")
+	}
+	return tbl.Render(w)
 }

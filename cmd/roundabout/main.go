@@ -8,17 +8,24 @@
 //	roundabout -nodes 4 -tuples 2000000 -algo hash
 //	roundabout -nodes 3 -algo sortmerge -band 5 -transport tcp
 //	roundabout -nodes 6 -zipf 0.9 -algo hash
+//	roundabout -transport tcp -metrics 127.0.0.1:9090
 //
 // With -transport tcp the ring links are real TCP sockets on the loopback
-// interface; the default is the in-process zero-copy transport.
+// interface; the default is the in-process zero-copy transport. With
+// -metrics ADDR the process serves its runtime counters (frames, bytes,
+// queue depths, retires — see internal/metrics) in Prometheus text format
+// at http://ADDR/metrics for the duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"cyclojoin"
+	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/trace"
 )
 
@@ -40,8 +47,26 @@ func run() int {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		oneSided  = flag.Bool("write", false, "use one-sided RDMA writes instead of send/recv")
 		traced    = flag.Bool("trace", false, "print a runtime event summary after the join")
+		metricsAt = flag.String("metrics", "", "serve Prometheus metrics at http://ADDR/metrics while running (e.g. 127.0.0.1:9090); empty disables")
 	)
 	flag.Parse()
+
+	if *metricsAt != "" {
+		ln, err := net.Listen("tcp", *metricsAt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roundabout: metrics listener:", err)
+			return 1
+		}
+		defer func() {
+			_ = ln.Close()
+		}()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Default().Handler())
+		go func() {
+			_ = http.Serve(ln, mux)
+		}()
+		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+	}
 
 	var alg cyclojoin.Algorithm
 	switch *algo {

@@ -28,8 +28,18 @@ import (
 	"sync"
 
 	"cyclojoin/internal/join"
+	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/relation"
 	"cyclojoin/internal/ring"
+)
+
+// Wheel instrumentation: how often the ring spins and how many queries
+// each spin amortizes — the Cyclotron economy made observable.
+var (
+	mRevolutions = metrics.Default().Counter("cyclotron_revolutions_total", "completed wheel revolutions")
+	mJoins       = metrics.Default().Counter("cyclotron_joins_total", "join queries served by the wheel")
+	mBatchJoins  = metrics.Default().Histogram("cyclotron_batch_joins", "join queries batched onto one revolution",
+		[]int64{1, 2, 4, 8, 16, 32, 64})
 )
 
 // Config sizes the wheel's ring.
@@ -321,6 +331,9 @@ func (w *Wheel) revolve(batch []*request) {
 	w.revolutions++
 	rev := w.revolutions
 	w.mu.Unlock()
+	mRevolutions.Inc()
+	mJoins.Add(int64(len(preps)))
+	mBatchJoins.Observe(int64(len(preps)))
 
 	for _, p := range preps {
 		if err != nil {

@@ -20,7 +20,17 @@ import (
 	"sort"
 	"sync"
 
+	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/relation"
+)
+
+// Store instrumentation, shared by all stores in the process (the Stats
+// method remains the per-store view).
+var (
+	mHits     = metrics.Default().Counter("hotset_hits_total", "relation lookups served from memory")
+	mReloads  = metrics.Default().Counter("hotset_reloads_total", "relation lookups that reloaded a spilled relation")
+	mSpills   = metrics.Default().Counter("hotset_spills_total", "relations evicted to disk")
+	mResident = metrics.Default().Gauge("hotset_resident_bytes", "bytes of relations held in memory")
 )
 
 // Store is a memory-budgeted relation cache with disk spill. It is safe
@@ -98,6 +108,7 @@ func (s *Store) Register(name string, rel *relation.Relation) error {
 	s.entries[name] = e
 	e.elem = s.lru.PushFront(e)
 	s.resident += size
+	mResident.Add(size)
 	return s.evictLocked()
 }
 
@@ -113,6 +124,7 @@ func (s *Store) Get(name string) (*relation.Relation, error) {
 	e.accesses++
 	if e.rel != nil {
 		s.stats.Hits++
+		mHits.Inc()
 		s.lru.MoveToFront(e.elem)
 		return e.rel, nil
 	}
@@ -128,7 +140,9 @@ func (s *Store) Get(name string) (*relation.Relation, error) {
 	e.rel = frag.Rel
 	e.elem = s.lru.PushFront(e)
 	s.resident += e.bytes
+	mResident.Add(e.bytes)
 	s.stats.Reloads++
+	mReloads.Inc()
 	if err := s.evictLocked(); err != nil {
 		return nil, err
 	}
@@ -155,7 +169,9 @@ func (s *Store) evictLocked() error {
 		e.elem = nil
 		e.rel = nil
 		s.resident -= e.bytes
+		mResident.Add(-e.bytes)
 		s.stats.Spills++
+		mSpills.Inc()
 	}
 	return nil
 }
@@ -165,6 +181,7 @@ func (s *Store) dropLocked(e *entry) {
 	if e.elem != nil {
 		s.lru.Remove(e.elem)
 		s.resident -= e.bytes
+		mResident.Add(-e.bytes)
 	}
 	delete(s.entries, e.name)
 	_ = os.Remove(e.path)

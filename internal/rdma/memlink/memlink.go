@@ -20,7 +20,15 @@ import (
 	"fmt"
 	"sync"
 
+	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/rdma"
+)
+
+// Transfer instrumentation, one atomic add per event (internal/metrics).
+var (
+	mSendTransfers  = metrics.Default().Counter("memlink_transfers_total", "data movements over in-process links", "kind", "send")
+	mWriteTransfers = metrics.Default().Counter("memlink_transfers_total", "data movements over in-process links", "kind", "write")
+	mBytes          = metrics.Default().Counter("memlink_bytes_total", "payload bytes moved over in-process links")
 )
 
 // queueDepth bounds the number of outstanding posted buffers per direction.
@@ -129,6 +137,8 @@ func (l *link) sendLoop() {
 			l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb, Err: err})
 			continue
 		}
+		mSendTransfers.Inc()
+		mBytes.Add(int64(len(payload)))
 		l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb})
 		l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb})
 	}
@@ -148,6 +158,8 @@ func (l *link) performWrite(wr workReq) {
 		return
 	}
 	copy(target.Data()[wr.off:], payload)
+	mWriteTransfers.Inc()
+	mBytes.Add(int64(len(payload)))
 	l.complete(rdma.Completion{Op: rdma.OpWrite, Buf: wr.buf})
 	if wr.hasImm {
 		// Write-with-immediate: the only one-sided form the target CPU

@@ -1,0 +1,203 @@
+package tcplink
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cyclojoin/internal/rdma"
+)
+
+// countingConn records every Write so framing behaviour is observable.
+type countingConn struct {
+	net.Conn
+	mu     sync.Mutex
+	writes int
+	bytes  int
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	c.bytes += len(p)
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+func (c *countingConn) snapshot() (writes, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes, c.bytes
+}
+
+// register allocates a buffer holding n payload bytes.
+func register(t *testing.T, n int) *rdma.Buffer {
+	t.Helper()
+	b, err := rdma.OpenDevice("t").Register(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetLen(n); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSingleWriteFraming checks that one posted frame results in exactly
+// one conn.Write — header, payload and CRC trailer coalesced — instead
+// of the 2–3 separate writes the old writeLoop issued.
+func TestSingleWriteFraming(t *testing.T) {
+	for _, checksum := range []bool{false, true} {
+		name := "plain"
+		if checksum {
+			name = "checksummed"
+		}
+		t.Run(name, func(t *testing.T) {
+			c1, c2 := net.Pipe()
+			cc := &countingConn{Conn: c1}
+			a := newLink(cc, checksum, defaultMaxFrame)
+			var b rdma.QueuePair
+			if checksum {
+				b = NewChecksummed(c2)
+			} else {
+				b = New(c2)
+			}
+			defer func() {
+				_ = a.Close()
+				_ = b.Close()
+			}()
+
+			const frames = 3
+			const payload = 100
+			if err := b.PostRecv(register(t, payload)); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < frames; i++ {
+				sb := register(t, payload)
+				if err := a.PostSend(sb); err != nil {
+					t.Fatal(err)
+				}
+				// Wait for the send completion so the frame is fully on
+				// the wire before counting.
+				select {
+				case c := <-a.Completions():
+					if c.Err != nil {
+						t.Fatal(c.Err)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatal("no send completion")
+				}
+				// Keep the receiver consuming.
+				select {
+				case c := <-b.Completions():
+					if c.Err != nil {
+						t.Fatal(c.Err)
+					}
+					if err := b.PostRecv(c.Buf); err != nil {
+						t.Fatal(err)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatal("no receive completion")
+				}
+			}
+			writes, bytes := cc.snapshot()
+			if writes != frames {
+				t.Errorf("%d frames took %d conn.Write calls, want %d (one per frame)", frames, writes, frames)
+			}
+			wantFrame := 5 + payload
+			if checksum {
+				wantFrame += 4
+			}
+			if bytes != frames*wantFrame {
+				t.Errorf("wire volume = %d B, want %d B", bytes, frames*wantFrame)
+			}
+		})
+	}
+}
+
+// TestOversizedSendRejected checks that a payload over the frame limit is
+// refused at post time with ErrFrameTooLarge and that nothing reaches
+// the wire.
+func TestOversizedSendRejected(t *testing.T) {
+	c1, c2 := net.Pipe()
+	cc := &countingConn{Conn: c1}
+	a := newLink(cc, false, 64)
+	defer func() {
+		_ = a.Close()
+		_ = c2.Close()
+	}()
+	err := a.PostSend(register(t, 65))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("PostSend(65 B past a 64 B limit) = %v, want ErrFrameTooLarge", err)
+	}
+	if writes, _ := cc.snapshot(); writes != 0 {
+		t.Errorf("rejected frame still caused %d writes", writes)
+	}
+	// The link stays usable: a frame within the limit goes through.
+	if err := a.PostSend(register(t, 64)); err != nil {
+		t.Errorf("in-range PostSend after rejection: %v", err)
+	}
+}
+
+// TestOversizedWriteRejected covers the one-sided write path: oversized
+// payloads and offsets the 32-bit wire field cannot carry are typed
+// errors at post time.
+func TestOversizedWriteRejected(t *testing.T) {
+	c1, c2 := net.Pipe()
+	cc := &countingConn{Conn: c1}
+	a := newLink(cc, false, 64)
+	defer func() {
+		_ = a.Close()
+		_ = c2.Close()
+	}()
+	src := register(t, 65)
+	if err := a.PostWrite(1, 0, src); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("PostWrite oversized payload = %v, want ErrFrameTooLarge", err)
+	}
+	small := register(t, 8)
+	for _, off := range []int{-1, maxWireOffset + 1, maxWireOffset - 4} {
+		if err := a.PostWriteImm(1, off, small, 0); !errors.Is(err, ErrOffsetOutOfRange) {
+			t.Errorf("PostWriteImm(off=%d) = %v, want ErrOffsetOutOfRange", off, err)
+		}
+	}
+	if writes, _ := cc.snapshot(); writes != 0 {
+		t.Errorf("rejected writes still caused %d conn writes", writes)
+	}
+	// An offset at the very top of the representable range is accepted
+	// at post time (bounds against the peer's extent are its business).
+	if err := a.PostWrite(1, maxWireOffset-8, small); err != nil {
+		t.Errorf("PostWrite at max representable offset: %v", err)
+	}
+}
+
+// TestDialTimeout checks that Dial is bounded by a deadline and that the
+// error names the configured timeout.
+func TestDialTimeout(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = ln.Close()
+	}()
+	// A 1 ns budget expires before even a loopback connect completes, so
+	// this deterministically exercises the timeout path.
+	start := time.Now()
+	_, err = DialTimeout(ln.Addr(), time.Nanosecond)
+	if err == nil {
+		t.Fatal("DialTimeout(1ns): want error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("DialTimeout(1ns) took %v; the deadline did not bound the dial", elapsed)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("DialTimeout error = %v, want a net timeout error", err)
+	}
+	if !strings.Contains(err.Error(), "timeout 1ns") {
+		t.Errorf("error %q does not surface the configured deadline", err)
+	}
+}

@@ -11,7 +11,11 @@
 // 4-byte big-endian payload length, followed by per-type header fields. A
 // message larger than the peer's posted receive buffer, or a one-sided
 // write naming an unknown key or exceeding the exposed extent, is a fatal
-// link error, as on real RNICs.
+// link error, as on real RNICs. Each frame reaches the socket in a single
+// writev (header, payload and CRC trailer coalesced), and work requests
+// the 32-bit wire fields cannot carry are rejected at post time with
+// ErrFrameTooLarge / ErrOffsetOutOfRange rather than corrupting the
+// stream.
 //
 // With NewChecksummed, every frame additionally carries a CRC-32C of its
 // payload, verified at the receiver — end-to-end integrity over links that
@@ -21,12 +25,16 @@ package tcplink
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"net"
 	"sync"
+	"time"
 
+	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/rdma"
 )
 
@@ -35,8 +43,46 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 const queueDepth = 256
 
-// maxFrame guards against corrupt length prefixes.
-const maxFrame = 1 << 30
+// defaultMaxFrame bounds payload sizes in both directions: at the
+// receiver it guards against corrupt length prefixes, at the sender it
+// keeps payload lengths far away from the uint32 wire field's wrap
+// point (a ≥ 4 GiB payload would otherwise truncate silently and
+// corrupt the stream). Tests shrink the limit via newLink.
+const defaultMaxFrame = 1 << 30
+
+// maxWireOffset is the largest write offset the 4-byte wire field can
+// carry.
+const maxWireOffset = math.MaxUint32
+
+// ErrFrameTooLarge is returned by PostSend/PostWrite/PostWriteImm when
+// the payload exceeds the maximum frame size. The work request is
+// rejected before anything reaches the wire.
+var ErrFrameTooLarge = errors.New("tcplink: frame exceeds the maximum frame size")
+
+// ErrOffsetOutOfRange is returned by PostWrite/PostWriteImm when the
+// remote offset (or offset plus payload length) cannot be represented
+// in the wire format's 32-bit offset field.
+var ErrOffsetOutOfRange = errors.New("tcplink: write offset not representable on the wire")
+
+// DefaultDialTimeout bounds Dial: a black-holed peer (dead machine,
+// dropped SYNs) turns into a diagnosable error instead of wedging ring
+// construction forever.
+const DefaultDialTimeout = 10 * time.Second
+
+// Hot-path instrumentation. Frames and bytes are counted per direction;
+// updates are single atomic adds (see internal/metrics).
+var (
+	mTxFrames    = metrics.Default().Counter("tcplink_frames_total", "frames moved over tcplink connections", "dir", "tx")
+	mRxFrames    = metrics.Default().Counter("tcplink_frames_total", "frames moved over tcplink connections", "dir", "rx")
+	mTxBytes     = metrics.Default().Counter("tcplink_bytes_total", "payload bytes moved over tcplink connections", "dir", "tx")
+	mRxBytes     = metrics.Default().Counter("tcplink_bytes_total", "payload bytes moved over tcplink connections", "dir", "rx")
+	mCompletions = metrics.Default().Counter("tcplink_completions_total", "completions delivered to applications")
+	mCRCFailures = metrics.Default().Counter("tcplink_checksum_failures_total", "CRC-32C payload mismatches detected at the receiver")
+	mPostRejects = metrics.Default().Counter("tcplink_post_rejects_total", "work requests rejected by sender-side validation")
+	mSendDepth   = metrics.Default().Gauge("tcplink_send_queue_depth", "posted work requests not yet on the wire")
+	mFrameBytes  = metrics.Default().Histogram("tcplink_frame_bytes", "transmitted frame payload sizes",
+		metrics.ExponentialBounds(1024, 4, 10))
+)
 
 // Frame types.
 const (
@@ -58,6 +104,14 @@ type workReq struct {
 type link struct {
 	conn     net.Conn
 	checksum bool
+	// maxFrame is the largest payload accepted in either direction
+	// (defaultMaxFrame outside tests).
+	maxFrame int
+	// coalesce stages header+payload+CRC into one Write for conns that
+	// lack a writev fast path (net.Pipe in tests); owned by writeLoop.
+	coalesce []byte
+	// isTCP selects the net.Buffers writev fast path.
+	isTCP bool
 
 	sendQ chan workReq
 	recvQ chan *rdma.Buffer
@@ -78,19 +132,22 @@ var _ rdma.WriteQueuePair = (*link)(nil)
 // New wraps an established connection in a queue pair. The link owns the
 // connection and closes it on Close.
 func New(conn net.Conn) rdma.QueuePair {
-	return newLink(conn, false)
+	return newLink(conn, false, defaultMaxFrame)
 }
 
 // NewChecksummed is New with per-frame CRC-32C payload verification. Both
 // endpoints must use it.
 func NewChecksummed(conn net.Conn) rdma.QueuePair {
-	return newLink(conn, true)
+	return newLink(conn, true, defaultMaxFrame)
 }
 
-func newLink(conn net.Conn, checksum bool) rdma.QueuePair {
+func newLink(conn net.Conn, checksum bool, maxFrame int) *link {
+	_, isTCP := conn.(*net.TCPConn)
 	l := &link{
 		conn:     conn,
 		checksum: checksum,
+		maxFrame: maxFrame,
+		isTCP:    isTCP,
 		sendQ:    make(chan workReq, queueDepth),
 		recvQ:    make(chan *rdma.Buffer, queueDepth),
 		cq:       make(chan rdma.Completion, rdma.CQDepth),
@@ -109,11 +166,21 @@ func newLink(conn net.Conn, checksum bool) rdma.QueuePair {
 	return l
 }
 
-// Dial connects to a listening peer and returns the queue pair.
+// Dial connects to a listening peer and returns the queue pair. The
+// connection attempt is bounded by DefaultDialTimeout; use DialTimeout
+// to choose the deadline.
 func Dial(addr string) (rdma.QueuePair, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout is Dial with an explicit connection deadline. The
+// configured timeout is surfaced in the error so a wedged ring
+// construction names the budget that was exceeded.
+func DialTimeout(addr string, timeout time.Duration) (rdma.QueuePair, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("tcplink: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("tcplink: dial %s (timeout %v): %w", addr, timeout, err)
 	}
 	return New(conn), nil
 }
@@ -151,6 +218,8 @@ func (l *link) writeLoop() {
 	// Header: type byte + payload length + (for writes) key, offset and
 	// optional immediate.
 	var hdr [17]byte
+	var sum [4]byte
+	var parts [3][]byte
 	for {
 		var wr workReq
 		select {
@@ -158,6 +227,7 @@ func (l *link) writeLoop() {
 			return
 		case wr = <-l.sendQ:
 		}
+		mSendDepth.Dec()
 		payload := wr.buf.Bytes()
 		n := 5
 		binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
@@ -176,24 +246,46 @@ func (l *link) writeLoop() {
 			binary.BigEndian.PutUint32(hdr[9:13], uint32(wr.off))
 			n = 13
 		}
-		if _, err := l.conn.Write(hdr[:n]); err != nil {
-			l.fail(rdma.Completion{Op: wr.kind, Buf: wr.buf, Err: fmt.Errorf("tcplink: write header: %w", err)})
-			return
-		}
-		if _, err := l.conn.Write(payload); err != nil {
-			l.fail(rdma.Completion{Op: wr.kind, Buf: wr.buf, Err: fmt.Errorf("tcplink: write payload: %w", err)})
-			return
-		}
+		k := 0
+		parts[k] = hdr[:n]
+		k++
+		parts[k] = payload
+		k++
 		if l.checksum {
-			var sum [4]byte
 			binary.BigEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
-			if _, err := l.conn.Write(sum[:]); err != nil {
-				l.fail(rdma.Completion{Op: wr.kind, Buf: wr.buf, Err: fmt.Errorf("tcplink: write checksum: %w", err)})
-				return
-			}
+			parts[k] = sum[:]
+			k++
 		}
+		if err := l.writeFrame(parts[:k]); err != nil {
+			l.fail(rdma.Completion{Op: wr.kind, Buf: wr.buf, Err: fmt.Errorf("tcplink: write frame: %w", err)})
+			return
+		}
+		mTxFrames.Inc()
+		mTxBytes.Add(int64(len(payload)))
+		mFrameBytes.Observe(int64(len(payload)))
 		l.complete(rdma.Completion{Op: wr.kind, Buf: wr.buf})
 	}
+}
+
+// writeFrame pushes one frame (header, payload, optional CRC trailer) to
+// the socket in a single call. On a TCP connection net.Buffers takes the
+// writev fast path, so the whole frame is one syscall with no copy; a
+// frame never straddles a partial write boundary of its parts. Generic
+// conns (net.Pipe in tests) have no writev path — net.Buffers would
+// degrade to one Write per slice — so the parts are coalesced into a
+// reusable staging buffer and written once.
+func (l *link) writeFrame(parts [][]byte) error {
+	if l.isTCP {
+		bufs := net.Buffers(parts)
+		_, err := bufs.WriteTo(l.conn)
+		return err
+	}
+	l.coalesce = l.coalesce[:0]
+	for _, p := range parts {
+		l.coalesce = append(l.coalesce, p...)
+	}
+	_, err := l.conn.Write(l.coalesce)
+	return err
 }
 
 func (l *link) readLoop() {
@@ -205,7 +297,7 @@ func (l *link) readLoop() {
 		}
 		kind := hdr[0]
 		n := int(binary.BigEndian.Uint32(hdr[1:5]))
-		if n > maxFrame {
+		if n > l.maxFrame {
 			l.fail(rdma.Completion{Op: rdma.OpRecv, Err: fmt.Errorf("tcplink: frame length %d exceeds limit", n)})
 			return
 		}
@@ -250,6 +342,8 @@ func (l *link) readSend(n int) bool {
 		l.fail(rdma.Completion{Op: rdma.OpRecv, Buf: rb, Err: err})
 		return false
 	}
+	mRxFrames.Inc()
+	mRxBytes.Add(int64(n))
 	l.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb})
 	return true
 }
@@ -264,7 +358,11 @@ func (l *link) verifyChecksum(payload []byte) bool {
 	if _, err := io.ReadFull(l.conn, sum[:]); err != nil {
 		return false
 	}
-	return binary.BigEndian.Uint32(sum[:]) == crc32.Checksum(payload, castagnoli)
+	if binary.BigEndian.Uint32(sum[:]) != crc32.Checksum(payload, castagnoli) {
+		mCRCFailures.Inc()
+		return false
+	}
+	return true
 }
 
 // readWrite handles an incoming one-sided write: the payload lands
@@ -306,6 +404,8 @@ func (l *link) readWrite(kind byte, n int, hdr []byte) bool {
 		l.fail(rdma.Completion{Op: rdma.OpWrite, Buf: target, Err: fmt.Errorf("tcplink: write payload checksum mismatch")})
 		return false
 	}
+	mRxFrames.Inc()
+	mRxBytes.Add(int64(n))
 	if kind == frameWriteImm {
 		l.complete(rdma.Completion{Op: rdma.OpWrite, Buf: target, Imm: imm})
 	}
@@ -336,7 +436,30 @@ func (l *link) PostWriteImm(key rdma.RemoteKey, offset int, src *rdma.Buffer, im
 	return l.post(workReq{kind: rdma.OpWrite, buf: src, key: key, off: offset, imm: imm, hasImm: true})
 }
 
+// validate rejects, at post time, work requests the wire format cannot
+// carry: the length and offset header fields are 4 bytes, so an
+// oversized payload or out-of-range offset would silently wrap and
+// corrupt the stream if allowed through. The limit check also mirrors
+// the receiver's maxFrame guard, so a frame the peer would kill the
+// connection over is refused locally with a typed error instead.
+func (l *link) validate(wr workReq) error {
+	if wr.buf.Len() > l.maxFrame {
+		mPostRejects.Inc()
+		return fmt.Errorf("%w: payload %d B, limit %d B", ErrFrameTooLarge, wr.buf.Len(), l.maxFrame)
+	}
+	if wr.kind == rdma.OpWrite {
+		if wr.off < 0 || wr.off > maxWireOffset || int64(wr.off)+int64(wr.buf.Len()) > maxWireOffset {
+			mPostRejects.Inc()
+			return fmt.Errorf("%w: offset %d + %d B payload", ErrOffsetOutOfRange, wr.off, wr.buf.Len())
+		}
+	}
+	return nil
+}
+
 func (l *link) post(wr workReq) error {
+	if err := l.validate(wr); err != nil {
+		return err
+	}
 	select {
 	case <-l.done:
 		return rdma.ErrClosed
@@ -346,6 +469,7 @@ func (l *link) post(wr workReq) error {
 	case <-l.done:
 		return rdma.ErrClosed
 	case l.sendQ <- wr:
+		mSendDepth.Inc()
 		return nil
 	}
 }
@@ -353,6 +477,7 @@ func (l *link) post(wr workReq) error {
 func (l *link) complete(c rdma.Completion) {
 	select {
 	case l.cq <- c:
+		mCompletions.Inc()
 	case <-l.done:
 	}
 }
@@ -375,19 +500,7 @@ func (l *link) fail(c rdma.Completion) {
 
 // PostSend implements rdma.QueuePair.
 func (l *link) PostSend(b *rdma.Buffer) error {
-	// Check shutdown first: with a closed done channel and free queue
-	// space, a bare select would choose nondeterministically.
-	select {
-	case <-l.done:
-		return rdma.ErrClosed
-	default:
-	}
-	select {
-	case <-l.done:
-		return rdma.ErrClosed
-	case l.sendQ <- workReq{kind: rdma.OpSend, buf: b}:
-		return nil
-	}
+	return l.post(workReq{kind: rdma.OpSend, buf: b})
 }
 
 // PostRecv implements rdma.QueuePair.

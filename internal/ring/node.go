@@ -2,13 +2,46 @@ package ring
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/rdma"
 	"cyclojoin/internal/relation"
 	"cyclojoin/internal/trace"
 )
+
+// durationBounds covers 1 µs … ~4 s in powers of four — the span between
+// a memlink hop and a badly stalled join entity.
+var durationBounds = metrics.ExponentialBounds(1<<10, 4, 12)
+
+// nodeMetrics are one ring position's hot-path instruments, labeled by
+// node id. Lookup is idempotent, so a replaced or re-created node keeps
+// accumulating into the same series.
+type nodeMetrics struct {
+	bytesIn   *metrics.Counter
+	bytesOut  *metrics.Counter
+	processed *metrics.Counter
+	retired   *metrics.Counter
+	procDepth *metrics.Gauge
+	waitNs    *metrics.Histogram
+	processNs *metrics.Histogram
+}
+
+func newNodeMetrics(id int) nodeMetrics {
+	r := metrics.Default()
+	node := strconv.Itoa(id)
+	return nodeMetrics{
+		bytesIn:   r.Counter("ring_bytes_in_total", "decoded fragment bytes received per ring node", "node", node),
+		bytesOut:  r.Counter("ring_bytes_out_total", "encoded fragment bytes transmitted per ring node", "node", node),
+		processed: r.Counter("ring_fragments_processed_total", "fragments handled by the join entity", "node", node),
+		retired:   r.Counter("ring_fragments_retired_total", "fragments that completed their revolution here", "node", node),
+		procDepth: r.Gauge("ring_procq_depth", "fragments queued for the join entity", "node", node),
+		waitNs:    r.Histogram("ring_wait_ns", "join-entity starvation (sync) time per fragment", durationBounds, "node", node),
+		processNs: r.Histogram("ring_process_ns", "join-entity processing time per fragment", durationBounds, "node", node),
+	}
+}
 
 // node is one Data Roundabout host: receiver + join entity + transmitter
 // over a statically registered buffer pool.
@@ -49,6 +82,8 @@ type node struct {
 
 	mu    sync.Mutex
 	stats NodeStats
+
+	m nodeMetrics
 }
 
 func newNode(id int, cfg Config, proc Processor, retired chan<- *relation.Fragment, errc chan<- error) *node {
@@ -65,6 +100,7 @@ func newNode(id int, cfg Config, proc Processor, retired chan<- *relation.Fragme
 		retired:  retired,
 		errc:     errc,
 		quit:     make(chan struct{}),
+		m:        newNodeMetrics(id),
 	}
 }
 
@@ -178,6 +214,7 @@ func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
 		n.mu.Lock()
 		n.stats.BytesIn += int64(c.Buf.Len())
 		n.mu.Unlock()
+		n.m.bytesIn.Add(int64(c.Buf.Len()))
 		n.tr.Record(trace.Event{
 			Time: time.Now(), Node: n.id, Kind: trace.FragmentReceived,
 			Fragment: frag.Index, Hops: frag.Hops, Bytes: c.Buf.Len(),
@@ -188,6 +225,7 @@ func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
 		// into ring backpressure.
 		select {
 		case n.procQ <- frag:
+			n.m.procDepth.Inc()
 		case <-stop:
 			return
 		case <-n.quit:
@@ -211,6 +249,7 @@ func (n *node) procLoop() {
 			return
 		case frag = <-n.procQ:
 		}
+		n.m.procDepth.Dec()
 		waited := time.Since(waitStart)
 
 		procStart := time.Now()
@@ -232,6 +271,9 @@ func (n *node) procLoop() {
 		n.stats.ProcessTime += procTime
 		n.stats.Processed++
 		n.mu.Unlock()
+		n.m.waitNs.Observe(waited.Nanoseconds())
+		n.m.processNs.Observe(procTime.Nanoseconds())
+		n.m.processed.Inc()
 
 		if err != nil {
 			n.report(fmt.Errorf("ring: node %d: process fragment %d: %w", n.id, frag.Index, err))
@@ -243,6 +285,7 @@ func (n *node) procLoop() {
 			n.mu.Lock()
 			n.stats.Retired++
 			n.mu.Unlock()
+			n.m.retired.Inc()
 			n.tr.Record(trace.Event{
 				Time: time.Now(), Node: n.id, Kind: trace.FragmentRetired,
 				Fragment: frag.Index, Hops: frag.Hops,
@@ -267,6 +310,7 @@ func (n *node) procLoop() {
 func (n *node) inject(frag *relation.Fragment) bool {
 	select {
 	case n.procQ <- frag:
+		n.m.procDepth.Inc()
 		return true
 	case <-n.quit:
 		return false
@@ -347,6 +391,7 @@ func (n *node) sendLoop(qp rdma.QueuePair, stop chan struct{}) {
 		n.mu.Lock()
 		n.stats.BytesOut += int64(sz)
 		n.mu.Unlock()
+		n.m.bytesOut.Add(int64(sz))
 		n.tr.Record(trace.Event{
 			Time: time.Now(), Node: n.id, Kind: trace.FragmentSent,
 			Fragment: fragIndex, Hops: fragHops, Bytes: sz,

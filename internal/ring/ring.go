@@ -25,12 +25,17 @@ import (
 	"sync"
 	"time"
 
+	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/rdma"
 	"cyclojoin/internal/rdma/memlink"
 	"cyclojoin/internal/rdma/tcplink"
 	"cyclojoin/internal/relation"
 	"cyclojoin/internal/trace"
 )
+
+// mStallAborts counts runs killed by the stall watchdog — the signal
+// that a host wedged and took the ring down with it.
+var mStallAborts = metrics.Default().Counter("ring_stall_aborts_total", "runs aborted by the stall watchdog")
 
 // Processor is the per-node "join entity": it is handed every fragment that
 // flows through the node, exactly once per revolution.
@@ -307,6 +312,7 @@ func (r *Ring) Run(perNode [][]*relation.Fragment) error {
 		case <-stall:
 			// Unblock injectors and loops without waiting for them —
 			// a stuck join entity cannot be interrupted.
+			mStallAborts.Inc()
 			r.abandon()
 			return fmt.Errorf("ring: stalled: no fragment retired for %v (%d/%d done); per-node progress: %s",
 				r.cfg.StallTimeout, done, total, r.progressSummary())

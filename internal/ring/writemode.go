@@ -146,12 +146,14 @@ func (n *node) recvLoopWrites(
 			n.mu.Lock()
 			n.stats.BytesIn += int64(length)
 			n.mu.Unlock()
+			n.m.bytesIn.Add(int64(length))
 			n.tr.Record(trace.Event{
 				Time: time.Now(), Node: n.id, Kind: trace.FragmentReceived,
 				Fragment: frag.Index, Hops: frag.Hops, Bytes: length,
 			})
 			select {
 			case n.procQ <- frag:
+				n.m.procDepth.Inc()
 			case <-stop:
 				return
 			case <-n.quit:
@@ -253,6 +255,7 @@ func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credit
 		n.mu.Lock()
 		n.stats.BytesOut += int64(sz)
 		n.mu.Unlock()
+		n.m.bytesOut.Add(int64(sz))
 		n.tr.Record(trace.Event{
 			Time: time.Now(), Node: n.id, Kind: trace.FragmentSent,
 			Fragment: fragIndex, Hops: fragHops, Bytes: sz,
