@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-metrics
+.PHONY: check build vet test race bench-metrics bench-ring
 
 check: build vet race
 
@@ -23,3 +23,13 @@ race:
 # Proves the instrumentation budget: one hot-path event must cost < 10 ns.
 bench-metrics:
 	$(GO) test -run NONE -bench . -benchmem ./internal/metrics/
+
+# Ring hot-path benchmarks → BENCH_ring.json (preserves the recorded
+# pre-zero-copy baseline; compare with the printed summary). The forward
+# staging benchmark fails outright if the little-endian fast path ever
+# allocates.
+bench-ring:
+	$(GO) test -run NONE -bench 'BenchmarkRingHop|BenchmarkForwardStage' -benchtime 2s ./internal/ring/ > /tmp/bench_ring.$$$$.txt && \
+	$(GO) test -run NONE -bench 'BenchmarkEncode|BenchmarkDecode|BenchmarkViewBind' -benchtime 2s ./internal/relation/ >> /tmp/bench_ring.$$$$.txt && \
+	$(GO) run ./cmd/benchring -o BENCH_ring.json -label "$$(git rev-parse --short HEAD 2>/dev/null || echo dev)" < /tmp/bench_ring.$$$$.txt; \
+	rm -f /tmp/bench_ring.$$$$.txt

@@ -1,0 +1,149 @@
+// Command benchring turns `go test -bench` output into BENCH_ring.json,
+// the tracked record of the ring hot-path cost. It reads benchmark output
+// on stdin, parses every Benchmark* line into name → {unit: value}, and
+// writes the JSON file. An existing file's "baseline" section is
+// preserved so current runs are always comparable against the recorded
+// pre-optimization numbers; -rebaseline promotes the parsed run to be the
+// new baseline instead.
+//
+// Usage:
+//
+//	go test ./internal/ring/ -bench . | benchring -o BENCH_ring.json -label "$(git rev-parse --short HEAD)"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// run is one labeled benchmark sweep.
+type run struct {
+	Label string `json:"label"`
+	Date  string `json:"date,omitempty"`
+	// Results maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// reported metrics, e.g. {"ns/op": 103940, "allocs/op": 9}.
+	Results map[string]map[string]float64 `json:"results"`
+}
+
+// file is the BENCH_ring.json layout.
+type file struct {
+	Description string `json:"description"`
+	Command     string `json:"command"`
+	Baseline    *run   `json:"baseline,omitempty"`
+	Current     *run   `json:"current,omitempty"`
+}
+
+// parseBench extracts benchmark results from `go test -bench` output.
+func parseBench(lines *bufio.Scanner) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	for lines.Scan() {
+		fields := strings.Fields(lines.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		// fields[1] is the iteration count; value/unit pairs follow.
+		metrics := make(map[string]float64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchring: %s: bad value %q", name, fields[i])
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			out[name] = metrics
+		}
+	}
+	return out, lines.Err()
+}
+
+// summarize prints the current-vs-baseline comparison for shared metrics.
+func summarize(w *os.File, baseline, current *run) {
+	if baseline == nil || current == nil {
+		return
+	}
+	names := make([]string, 0, len(current.Results))
+	for name := range current.Results {
+		if _, ok := baseline.Results[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, cur := baseline.Results[name], current.Results[name]
+		units := make([]string, 0, len(cur))
+		for unit := range cur {
+			if _, ok := base[unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			b, c := base[unit], cur[unit]
+			ratio := "  (n/a)"
+			if b > 0 {
+				ratio = fmt.Sprintf("  (%.2fx)", c/b)
+			}
+			fmt.Fprintf(w, "%-28s %-10s %14.1f -> %12.1f%s\n", name, unit, b, c, ratio)
+		}
+	}
+}
+
+func main() {
+	outPath := flag.String("o", "BENCH_ring.json", "output file")
+	label := flag.String("label", "", "label for this run (e.g. git commit)")
+	rebaseline := flag.Bool("rebaseline", false, "record this run as the baseline instead of current")
+	flag.Parse()
+
+	results, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchring: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var f file
+	if prev, err := os.ReadFile(*outPath); err == nil {
+		if err := json.Unmarshal(prev, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchring: %s exists but is not valid JSON: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+	}
+	f.Description = "Ring hot-path benchmarks: per-hop forwarding cost and codec cost. " +
+		"baseline is the recorded pre-zero-copy run; current is the latest `make bench-ring`."
+	f.Command = "make bench-ring"
+	r := &run{Label: *label, Date: time.Now().UTC().Format("2006-01-02"), Results: results}
+	if *rebaseline || f.Baseline == nil {
+		f.Baseline = r
+	}
+	if !*rebaseline {
+		f.Current = r
+	}
+
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *outPath, len(results))
+	summarize(os.Stdout, f.Baseline, f.Current)
+}

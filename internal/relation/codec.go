@@ -3,6 +3,7 @@ package relation
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 )
 
 // Wire format of a serialized fragment, little-endian:
@@ -20,13 +21,19 @@ import (
 // The format is deliberately flat so that a fragment can be encoded into a
 // pre-registered RDMA buffer without intermediate allocations, mirroring the
 // paper's requirement that all transfer units live in statically registered
-// memory (§III-C).
+// memory (§III-C). On little-endian hosts the key region IS a []uint64: the
+// codec moves it with a single bulk copy (Encode/Decode) or aliases it
+// outright (View), never looping per tuple.
 
 const frameMagic = 0xc1c70901 // "cyclotron" v1
 
 // headerSize is the fixed prefix length of an encoded fragment.
 const headerSize = 4 * 6 // five uint32 fields + magic
 const tupleCountSize = 8
+
+// hopsOffset locates the hops field inside the header — the only bytes the
+// encode-free forwarding path rewrites per hop.
+const hopsOffset = 12
 
 // EncodedSize returns the number of bytes Encode will produce for f.
 func EncodedSize(f *Fragment) int {
@@ -52,9 +59,17 @@ func Encode(f *Fragment, dst []byte) (int, error) {
 	le.PutUint32(dst[20:], uint32(f.Rel.schema.PayloadWidth))
 	le.PutUint64(dst[24:], uint64(f.Rel.Len()))
 	off := headerSize + tupleCountSize
-	for _, k := range f.Rel.keys {
-		le.PutUint64(dst[off:], k)
-		off += 8
+	n := f.Rel.Len()
+	if wire := aliasUint64(dst[off:off+n*KeyWidth], n); wire != nil {
+		// Bulk fast path: the destination key region reinterpreted as a
+		// uint64 column, filled by one memmove.
+		copy(wire, f.Rel.keys)
+		off += n * KeyWidth
+	} else {
+		for _, k := range f.Rel.keys {
+			le.PutUint64(dst[off:], k)
+			off += KeyWidth
+		}
 	}
 	off += copy(dst[off:], f.Rel.pay)
 	return off, nil
@@ -62,61 +77,106 @@ func Encode(f *Fragment, dst []byte) (int, error) {
 
 // EncodeAppend serializes f onto dst, growing it as needed, and returns the
 // extended slice. Convenience wrapper around Encode for non-registered
-// buffers (tests, kernel-TCP framing).
+// buffers (tests, kernel-TCP framing, hot-set spills). The grown region is
+// never zero-filled: Encode overwrites every byte it claims.
 func EncodeAppend(f *Fragment, dst []byte) ([]byte, error) {
-	start := len(dst)
 	need := EncodedSize(f)
-	dst = append(dst, make([]byte, need)...)
+	dst = slices.Grow(dst, need)
+	start := len(dst)
+	dst = dst[:start+need]
 	if _, err := Encode(f, dst[start:]); err != nil {
 		return nil, err
 	}
 	return dst, nil
 }
 
-// Decode deserializes a fragment from src. The schema name is applied to the
-// decoded relation; the payload width is taken from the wire. The decoded
-// relation owns fresh storage (no aliasing of src), so the source buffer can
-// be immediately reposted for the next RDMA receive.
-func Decode(src []byte, name string) (*Fragment, error) {
+// frameHeader is the parsed fixed prefix of an encoded fragment.
+type frameHeader struct {
+	index, of, hops, epoch int
+	width, tuples          int
+}
+
+// parseHeader validates an encoded frame's prefix against the bytes that
+// are physically present. Every check runs BEFORE anything is allocated or
+// aliased: a hostile header must not be able to overflow the byte
+// arithmetic or demand an enormous allocation.
+func parseHeader(src []byte) (frameHeader, error) {
+	var h frameHeader
 	if len(src) < headerSize+tupleCountSize {
-		return nil, fmt.Errorf("relation: decode: short frame (%d B)", len(src))
+		return h, fmt.Errorf("relation: decode: short frame (%d B)", len(src))
 	}
 	le := binary.LittleEndian
 	if m := le.Uint32(src[0:]); m != frameMagic {
-		return nil, fmt.Errorf("relation: decode: bad magic %#x", m)
+		return h, fmt.Errorf("relation: decode: bad magic %#x", m)
 	}
-	f := &Fragment{
-		Index: int(le.Uint32(src[4:])),
-		Of:    int(le.Uint32(src[8:])),
-		Hops:  int(le.Uint32(src[12:])),
-		Epoch: int(le.Uint32(src[16:])),
+	h.index = int(le.Uint32(src[4:]))
+	h.of = int(le.Uint32(src[8:]))
+	h.hops = int(le.Uint32(src[12:]))
+	h.epoch = int(le.Uint32(src[16:]))
+	h.width = int(le.Uint32(src[20:]))
+	h.tuples = int(le.Uint64(src[24:]))
+	if h.tuples < 0 || h.width < 0 {
+		return h, fmt.Errorf("relation: decode: invalid frame (n=%d width=%d)", h.tuples, h.width)
 	}
-	width := int(le.Uint32(src[20:]))
-	n := int(le.Uint64(src[24:]))
-	if n < 0 || width < 0 {
-		return nil, fmt.Errorf("relation: decode: invalid frame (n=%d width=%d)", n, width)
-	}
-	// Bound the claimed sizes by what the buffer physically holds BEFORE
-	// allocating anything: a hostile header could otherwise overflow the
-	// byte arithmetic or demand an enormous allocation.
 	body := int64(len(src) - headerSize - tupleCountSize)
-	if int64(n) > body/KeyWidth {
-		return nil, fmt.Errorf("relation: decode: frame header claims %d tuples, only %d B present", n, body)
+	if int64(h.tuples) > body/KeyWidth {
+		return h, fmt.Errorf("relation: decode: frame header claims %d tuples, only %d B present", h.tuples, body)
 	}
-	need := int64(n) * int64(KeyWidth+width)
+	need := int64(h.tuples) * int64(KeyWidth+h.width)
 	if need > body {
-		return nil, fmt.Errorf("relation: decode: truncated frame: %d B body, need %d B", body, need)
+		return h, fmt.Errorf("relation: decode: truncated frame: %d B body, need %d B", body, need)
 	}
-	rel := New(Schema{Name: name, PayloadWidth: width}, n)
-	off := headerSize + tupleCountSize
-	for i := 0; i < n; i++ {
-		rel.keys = append(rel.keys, le.Uint64(src[off:]))
-		off += 8
-	}
-	rel.pay = append(rel.pay, src[off:off+n*width]...)
-	f.Rel = rel
-	if err := f.Validate(); err != nil {
-		return nil, fmt.Errorf("relation: decode: %w", err)
-	}
-	return f, nil
+	return h, nil
 }
+
+// Decode deserializes a fragment from src. The schema name is applied to the
+// decoded relation; the payload width is taken from the wire. The decoded
+// relation owns fresh storage (no aliasing of src), so the source buffer can
+// be immediately reposted for the next RDMA receive. The key column moves
+// with one bulk copy on little-endian hosts; use View to skip even that.
+func Decode(src []byte, name string) (*Fragment, error) {
+	var v View
+	if err := v.Bind(src, name); err != nil {
+		return nil, err
+	}
+	return v.Materialize(), nil
+}
+
+// FrameHops reads the hops field of an encoded frame without decoding it.
+func FrameHops(frame []byte) (int, error) {
+	if err := checkFramePrefix(frame); err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint32(frame[hopsOffset:])), nil
+}
+
+// SetFrameHops patches the hops field of an encoded frame in place. This is
+// the entire per-hop serialization work of the encode-free forwarding path:
+// four bytes rewritten, everything else moves as-is.
+func SetFrameHops(frame []byte, hops int) error {
+	if err := checkFramePrefix(frame); err != nil {
+		return err
+	}
+	if hops < 0 {
+		return fmt.Errorf("relation: patch frame: negative hop count %d", hops)
+	}
+	binary.LittleEndian.PutUint32(frame[hopsOffset:], uint32(hops))
+	return nil
+}
+
+// checkFramePrefix guards the in-place header accessors against frames too
+// short or foreign to carry a header at all.
+func checkFramePrefix(frame []byte) error {
+	if len(frame) < headerSize {
+		return fmt.Errorf("relation: frame too short for a header (%d B)", len(frame))
+	}
+	if m := binary.LittleEndian.Uint32(frame); m != frameMagic {
+		return fmt.Errorf("relation: bad magic %#x", m)
+	}
+	return nil
+}
+
+// NativeLittleEndian reports whether this build aliases wire key columns in
+// place (host byte order == wire byte order). On other hosts View falls
+// back to a reusable scratch column and the bulk codec to per-key loops.
+func NativeLittleEndian() bool { return nativeLittleEndian }

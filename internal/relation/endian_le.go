@@ -1,0 +1,22 @@
+//go:build 386 || amd64 || amd64p32 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm
+
+package relation
+
+import "unsafe"
+
+// nativeLittleEndian marks builds where the host byte order matches the
+// little-endian wire format, enabling the key-column aliasing fast path.
+const nativeLittleEndian = true
+
+// aliasUint64 reinterprets the first 8×n bytes of b as n uint64s without
+// copying. It returns nil when b is not 8-byte aligned (a frame bound at an
+// odd offset); callers must then fall back to the portable per-key path.
+func aliasUint64(b []byte, n int) []uint64 {
+	if n == 0 {
+		return []uint64{}
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+}

@@ -1,0 +1,12 @@
+//go:build !(386 || amd64 || amd64p32 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm)
+
+package relation
+
+// nativeLittleEndian is false on big-endian (or unknown-endian) targets:
+// the wire format stays little-endian and every key crosses through the
+// portable encoding/binary path.
+const nativeLittleEndian = false
+
+// aliasUint64 always refuses on non-little-endian hosts, forcing the
+// portable per-key fallback.
+func aliasUint64(b []byte, n int) []uint64 { return nil }

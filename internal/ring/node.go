@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -16,6 +17,11 @@ import (
 // a memlink hop and a badly stalled join entity.
 var durationBounds = metrics.ExponentialBounds(1<<10, 4, 12)
 
+// stageBounds covers 64 ns … ~1 s in powers of four — the span of the
+// per-fragment staging work (a 4-byte header patch plus one memmove on the
+// fast path, a full encode on the first hop).
+var stageBounds = metrics.ExponentialBounds(1<<6, 4, 12)
+
 // nodeMetrics are one ring position's hot-path instruments, labeled by
 // node id. Lookup is idempotent, so a replaced or re-created node keeps
 // accumulating into the same series.
@@ -27,20 +33,74 @@ type nodeMetrics struct {
 	procDepth *metrics.Gauge
 	waitNs    *metrics.Histogram
 	processNs *metrics.Histogram
+
+	// Zero-copy hot-path accounting: every received frame should be a
+	// view bind (no decode allocation), and every non-first hop a frame
+	// copy (no re-encode). views+forwards vs encodes is the allocation
+	// win made visible.
+	views        *metrics.Counter
+	forwards     *metrics.Counter
+	encodes      *metrics.Counter
+	materializes *metrics.Counter
+	bindNs       *metrics.Histogram
+	forwardNs    *metrics.Histogram
+	encodeNs     *metrics.Histogram
 }
 
 func newNodeMetrics(id int) nodeMetrics {
 	r := metrics.Default()
 	node := strconv.Itoa(id)
 	return nodeMetrics{
-		bytesIn:   r.Counter("ring_bytes_in_total", "decoded fragment bytes received per ring node", "node", node),
-		bytesOut:  r.Counter("ring_bytes_out_total", "encoded fragment bytes transmitted per ring node", "node", node),
+		bytesIn:   r.Counter("ring_bytes_in_total", "encoded wire bytes received per ring node", "node", node),
+		bytesOut:  r.Counter("ring_bytes_out_total", "encoded wire bytes transmitted per ring node", "node", node),
 		processed: r.Counter("ring_fragments_processed_total", "fragments handled by the join entity", "node", node),
 		retired:   r.Counter("ring_fragments_retired_total", "fragments that completed their revolution here", "node", node),
 		procDepth: r.Gauge("ring_procq_depth", "fragments queued for the join entity", "node", node),
 		waitNs:    r.Histogram("ring_wait_ns", "join-entity starvation (sync) time per fragment", durationBounds, "node", node),
 		processNs: r.Histogram("ring_process_ns", "join-entity processing time per fragment", durationBounds, "node", node),
+		views:        r.Counter("ring_views_total", "received frames bound as allocation-free views of registered memory", "node", node),
+		forwards:     r.Counter("ring_forwards_total", "fragments forwarded by wire-frame copy and hops patch, no decode or re-encode", "node", node),
+		encodes:      r.Counter("ring_encodes_total", "fragments fully serialized into a send buffer (first hop of locally injected fragments)", "node", node),
+		materializes: r.Counter("ring_materializes_total", "fragments copied out of registered memory because no send buffer was free (congestion fallback)", "node", node),
+		bindNs:       r.Histogram("ring_view_bind_ns", "time to bind a received frame as a view", stageBounds, "node", node),
+		forwardNs:    r.Histogram("ring_forward_ns", "time to stage a forwarded frame (copy + hops patch)", stageBounds, "node", node),
+		encodeNs:     r.Histogram("ring_encode_ns", "time to fully encode a fragment into a send buffer", stageBounds, "node", node),
 	}
+}
+
+// inflight carries one fragment from the receiver to the join entity
+// together with the registered receive buffer whose bytes it aliases. The
+// buffer's receive credit is withheld until the join entity is done with
+// the frame — immediately after Process the frame is staged into a send
+// buffer (or, if none is free, copied out of registered memory), the view
+// retired, and the credit returned. A view is therefore never invalidated
+// while the join entity can still read it, and a node that falls behind
+// stops crediting its upstream neighbor exactly as before; crucially, the
+// credit never waits on downstream transmit progress, which would close a
+// circular wait around the ring.
+type inflight struct {
+	// frag is what the join entity sees. For a wire arrival it aliases
+	// view's storage; for a locally injected fragment it owns its data.
+	frag *relation.Fragment
+	// view is non-nil for wire arrivals: the frame decoded in place.
+	view *relation.View
+	// buf is the registered receive buffer holding the frame; nil for
+	// locally injected fragments.
+	buf *rdma.Buffer
+}
+
+// outbound is one fully staged send buffer queued for the transmitter:
+// wire bytes placed, length set. Staging happens entirely in the join
+// loop, never in the transmitter — the transmitter's waits (send credits,
+// posted completions) depend on downstream progress, and a buffer
+// acquisition there could close a resource cycle around the ring (or
+// starve behind an already-staged buffer in its own queue).
+type outbound struct {
+	// index and hops snapshot the fragment metadata for stats/tracing —
+	// the originating view may be rebound by the time the send posts.
+	index, hops int
+	staged      *rdma.Buffer
+	sz          int
 }
 
 // node is one Data Roundabout host: receiver + join entity + transmitter
@@ -57,16 +117,35 @@ type node struct {
 
 	// procQ feeds the join entity; its capacity is the ring-buffer depth,
 	// so a slow node absorbs that much slack before stalling upstream.
-	procQ chan *relation.Fragment
+	procQ chan inflight
 	// sendQ feeds the transmitter.
-	sendQ chan *relation.Fragment
+	sendQ chan outbound
 	// freeSend holds the registered send buffers not currently in flight.
 	freeSend chan *rdma.Buffer
-	// recvBufs is the registered receive pool; all are posted while the
-	// receiver runs.
+	// recvBufs is the registered receive pool. Each buffer is either
+	// posted on the inbound queue pair, pinned under a frame the pipeline
+	// still needs, or parked awaiting the next receiver start.
 	recvBufs []*rdma.Buffer
+	// views holds one reusable decode view per receive buffer: a buffer
+	// carries at most one frame at a time, so its view is rebound in
+	// place on every arrival — no per-fragment allocation.
+	views map[*rdma.Buffer]*relation.View
 
-	retired chan<- *relation.Fragment
+	// recvMu guards the receive-credit lifecycle: which buffers are
+	// pinned by in-flight frames and how a released buffer returns to the
+	// transport. The receiver start/stop path (node replacement) swaps
+	// repost out underneath running pipeline goroutines.
+	recvMu sync.Mutex
+	// pinned marks receive buffers whose frames are still referenced by
+	// the pipeline; startRecv must not post them.
+	pinned map[*rdma.Buffer]bool
+	// repost returns a released buffer's credit to the transport: PostRecv
+	// in send/recv mode, an upstream credit message in write mode. Nil
+	// while the receiver is stopped; released buffers are then parked
+	// (unpinned) for the next start.
+	repost func(*rdma.Buffer) error
+
+	retired chan<- retirement
 	errc    chan<- error
 
 	quit     chan struct{}
@@ -86,7 +165,7 @@ type node struct {
 	m nodeMetrics
 }
 
-func newNode(id int, cfg Config, proc Processor, retired chan<- *relation.Fragment, errc chan<- error) *node {
+func newNode(id int, cfg Config, proc Processor, retired chan<- retirement, errc chan<- error) *node {
 	slots := cfg.slots()
 	return &node{
 		id:       id,
@@ -94,9 +173,11 @@ func newNode(id int, cfg Config, proc Processor, retired chan<- *relation.Fragme
 		proc:     proc,
 		tr:       cfg.tracer(),
 		dev:      rdma.OpenDevice(fmt.Sprintf("rnic-%d", id)),
-		procQ:    make(chan *relation.Fragment, slots),
-		sendQ:    make(chan *relation.Fragment, slots),
-		freeSend: make(chan *rdma.Buffer, slots),
+		procQ:    make(chan inflight, slots),
+		sendQ:    make(chan outbound, slots),
+		freeSend: make(chan *rdma.Buffer, slots+2),
+		views:    make(map[*rdma.Buffer]*relation.View, slots),
+		pinned:   make(map[*rdma.Buffer]bool, slots),
 		retired:  retired,
 		errc:     errc,
 		quit:     make(chan struct{}),
@@ -113,7 +194,18 @@ func (n *node) start() error {
 			return fmt.Errorf("ring: node %d: register receive pool: %w", n.id, err)
 		}
 		n.recvBufs = recv
-		send, err := n.dev.RegisterPool(n.cfg.slots(), n.cfg.bufBytes())
+		for _, b := range recv {
+			n.views[b] = new(relation.View)
+		}
+		// The send pool covers every pipeline stage that can hold a
+		// staged buffer concurrently: the join loop staging one fragment,
+		// the send queue, and the transmitter's fragment in flight.
+		// Staging moved into the join loop (so the receive credit is
+		// freed before any transmit-side wait); without the extra two
+		// buffers a minimal slots=1 ring would lose the pipeline slack
+		// the pre-zero-copy design got from queuing heap fragments, and
+		// could wedge under full backpressure.
+		send, err := n.dev.RegisterPool(n.cfg.slots()+2, n.cfg.bufBytes())
 		if err != nil {
 			return fmt.Errorf("ring: node %d: register send pool: %w", n.id, err)
 		}
@@ -157,7 +249,20 @@ func (n *node) beginSend(qp rdma.QueuePair) error {
 func (n *node) startRecv(qp rdma.QueuePair) error {
 	n.in = qp
 	n.recvStop = make(chan struct{})
+	// Install the repost path and collect the postable buffers under one
+	// lock: buffers pinned by frames still in the pipeline (a replacement
+	// can restart the receiver while the join entity holds views) must
+	// not be posted — their release will repost them through the new qp.
+	n.recvMu.Lock()
+	n.repost = qp.PostRecv
+	post := make([]*rdma.Buffer, 0, len(n.recvBufs))
 	for _, b := range n.recvBufs {
+		if !n.pinned[b] {
+			post = append(post, b)
+		}
+	}
+	n.recvMu.Unlock()
+	for _, b := range post {
 		if err := qp.PostRecv(b); err != nil {
 			return fmt.Errorf("ring: node %d: post receive: %w", n.id, err)
 		}
@@ -172,17 +277,47 @@ func (n *node) startRecv(qp rdma.QueuePair) error {
 }
 
 // stopRecv quiesces the receiver and closes the inbound queue pair. The
-// receive buffer pool is retained for a later startRecv.
+// receive buffer pool is retained for a later startRecv; buffers released
+// while stopped are parked until then.
 func (n *node) stopRecv() {
 	if n.recvStop == nil {
 		return
 	}
+	n.recvMu.Lock()
+	n.repost = nil
+	n.recvMu.Unlock()
 	close(n.recvStop)
 	if n.in != nil {
 		_ = n.in.Close()
 	}
 	n.recvWG.Wait()
 	n.recvStop = nil
+}
+
+// releaseRecv returns a receive buffer's credit to the transport once the
+// pipeline is done with the frame it holds. With the receiver stopped
+// (node replacement in progress) the buffer is parked unpinned; the next
+// startRecv posts it.
+func (n *node) releaseRecv(buf *rdma.Buffer) {
+	if buf == nil {
+		return // locally injected fragment, no wire buffer
+	}
+	n.recvMu.Lock()
+	delete(n.pinned, buf)
+	repost := n.repost
+	n.recvMu.Unlock()
+	if repost == nil {
+		return
+	}
+	if err := repost(buf); err != nil {
+		// A receiver restart between the load above and this call closes
+		// the old endpoint; the buffer is already unpinned, so the new
+		// receiver posts it. Anything else is a real transport fault.
+		if errors.Is(err, rdma.ErrClosed) {
+			return
+		}
+		n.report(fmt.Errorf("ring: node %d: repost receive: %w", n.id, err))
+	}
 }
 
 func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
@@ -206,36 +341,52 @@ func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
 		if c.Op != rdma.OpRecv {
 			continue
 		}
-		frag, err := relation.Decode(c.Buf.Bytes(), "rotating")
-		if err != nil {
-			n.report(fmt.Errorf("ring: node %d: decode: %w", n.id, err))
-			return
-		}
-		n.mu.Lock()
-		n.stats.BytesIn += int64(c.Buf.Len())
-		n.mu.Unlock()
-		n.m.bytesIn.Add(int64(c.Buf.Len()))
-		n.tr.Record(trace.Event{
-			Time: time.Now(), Node: n.id, Kind: trace.FragmentReceived,
-			Fragment: frag.Index, Hops: frag.Hops, Bytes: c.Buf.Len(),
-		})
-		// Hand the fragment to the join entity *before* reposting the
-		// buffer: the repost is the receive credit that lets the
-		// upstream neighbor keep sending, so a full procQ translates
-		// into ring backpressure.
-		select {
-		case n.procQ <- frag:
-			n.m.procDepth.Inc()
-		case <-stop:
-			return
-		case <-n.quit:
-			return
-		}
-		if err := qp.PostRecv(c.Buf); err != nil {
-			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: repost receive: %w", n.id, err))
+		if !n.deliver(c.Buf, c.Buf.Bytes(), stop) {
 			return
 		}
 	}
+}
+
+// deliver binds a received frame in place as a view and hands it to the
+// join entity. The receive credit stays withheld until the pipeline
+// releases the buffer — after the frame is staged into a send buffer, or
+// at retirement — so a full procQ still translates into ring backpressure,
+// now without a decode-materialize cycle on the way in. Returns false when
+// the node is stopping or the frame is fatally malformed.
+func (n *node) deliver(buf *rdma.Buffer, frame []byte, stop chan struct{}) bool {
+	v := n.views[buf]
+	bindStart := time.Now()
+	if err := v.Bind(frame, "rotating"); err != nil {
+		n.report(fmt.Errorf("ring: node %d: decode: %w", n.id, err))
+		return false
+	}
+	n.m.bindNs.Observe(time.Since(bindStart).Nanoseconds())
+	n.m.views.Inc()
+	frag := v.Frag()
+	n.recvMu.Lock()
+	n.pinned[buf] = true
+	n.recvMu.Unlock()
+	n.mu.Lock()
+	n.stats.BytesIn += int64(len(frame))
+	n.mu.Unlock()
+	n.m.bytesIn.Add(int64(len(frame)))
+	n.tr.Record(trace.Event{
+		Time: time.Now(), Node: n.id, Kind: trace.FragmentReceived,
+		Fragment: frag.Index, Hops: frag.Hops, Bytes: len(frame),
+	})
+	select {
+	case n.procQ <- inflight{frag: frag, view: v, buf: buf}:
+		n.m.procDepth.Inc()
+		return true
+	case <-stop:
+	case <-n.quit:
+	}
+	// Stopping with the frame undelivered: unpin so a later receiver
+	// start reposts the buffer instead of leaking the credit.
+	n.recvMu.Lock()
+	delete(n.pinned, buf)
+	n.recvMu.Unlock()
+	return false
 }
 
 // ---- join entity ----
@@ -243,15 +394,16 @@ func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
 func (n *node) procLoop() {
 	for {
 		waitStart := time.Now()
-		var frag *relation.Fragment
+		var inf inflight
 		select {
 		case <-n.quit:
 			return
-		case frag = <-n.procQ:
+		case inf = <-n.procQ:
 		}
 		n.m.procDepth.Dec()
 		waited := time.Since(waitStart)
 
+		frag := inf.frag
 		procStart := time.Now()
 		n.tr.Record(trace.Event{
 			Time: procStart, Node: n.id, Kind: trace.ProcessStart,
@@ -282,34 +434,98 @@ func (n *node) procLoop() {
 
 		frag.Hops++
 		if frag.Hops >= n.cfg.Nodes {
+			// Retirement: only the metadata travels on. The frame's bytes
+			// live in registered receive memory whose credit goes straight
+			// back to the transport; a consumer that needed the tuples
+			// would inf.view.Materialize() before the release — today none
+			// does, Run just counts revolutions.
+			ret := retirement{index: frag.Index, hops: frag.Hops}
 			n.mu.Lock()
 			n.stats.Retired++
 			n.mu.Unlock()
 			n.m.retired.Inc()
 			n.tr.Record(trace.Event{
 				Time: time.Now(), Node: n.id, Kind: trace.FragmentRetired,
-				Fragment: frag.Index, Hops: frag.Hops,
+				Fragment: ret.index, Hops: ret.hops,
 			})
+			n.releaseRecv(inf.buf)
 			select {
-			case n.retired <- frag:
+			case n.retired <- ret:
 			case <-n.quit:
 				return
 			}
 			continue
 		}
+
+		// Forwarding. Liveness rule: the receive credit goes back BEFORE
+		// this loop blocks on anything send-side. Around the ring, "my
+		// credit returns when my send progresses, my send progresses when
+		// my neighbor credits me" is a circular wait; eager release after
+		// Process breaks it. On the hot path a free send buffer is ready
+		// and the frame is staged by one copy plus a 4-byte hops patch —
+		// then released. Only when every send buffer is busy does the
+		// fragment get copied out of registered memory (releasing the
+		// credit) and pay a full encode once a buffer frees up.
+		var ob outbound
+		if inf.view != nil {
+			select {
+			case buf := <-n.freeSend:
+				// Snapshot the metadata before the release: the credit
+				// return lets upstream overwrite the receive buffer, and
+				// with it the view this fragment aliases.
+				index, hops := frag.Index, frag.Hops
+				sz, ok := n.stageForward(inf.view, frag, buf)
+				if !ok {
+					return
+				}
+				n.releaseRecv(inf.buf)
+				ob = outbound{index: index, hops: hops, staged: buf, sz: sz}
+			default:
+				heap := inf.view.Materialize()
+				n.m.materializes.Inc()
+				n.releaseRecv(inf.buf)
+				var ok bool
+				if ob, ok = n.encodeOutbound(heap); !ok {
+					return
+				}
+			}
+		} else {
+			var ok bool
+			if ob, ok = n.encodeOutbound(inf.frag); !ok {
+				return
+			}
+		}
 		select {
-		case n.sendQ <- frag:
+		case n.sendQ <- ob:
 		case <-n.quit:
 			return
 		}
 	}
 }
 
+// encodeOutbound waits for a free send buffer and fully serializes a
+// heap-owned fragment (locally injected, or materialized under
+// congestion) into it. Called only after any receive credit the fragment
+// depended on has been released.
+func (n *node) encodeOutbound(frag *relation.Fragment) (outbound, bool) {
+	var buf *rdma.Buffer
+	select {
+	case <-n.quit:
+		return outbound{}, false
+	case buf = <-n.freeSend:
+	}
+	sz, ok := n.stageEncode(frag, buf)
+	if !ok {
+		return outbound{}, false
+	}
+	return outbound{index: frag.Index, hops: frag.Hops, staged: buf, sz: sz}, true
+}
+
 // inject hands a locally stored fragment to the join entity, as if it had
 // just arrived. It reports false if the node is shutting down.
 func (n *node) inject(frag *relation.Fragment) bool {
 	select {
-	case n.procQ <- frag:
+	case n.procQ <- inflight{frag: frag}:
 		n.m.procDepth.Inc()
 		return true
 	case <-n.quit:
@@ -347,43 +563,68 @@ func (n *node) stopSend() {
 	n.sendStop = nil
 }
 
+// stageForward copies a bound frame into the registered send buffer and
+// patches the 4-byte hops field in place — the entire per-hop cost of
+// forwarding a fragment that arrived off the wire. No decode, no
+// re-encode, no allocation.
+func (n *node) stageForward(v *relation.View, frag *relation.Fragment, buf *rdma.Buffer) (int, bool) {
+	frame := v.Frame()
+	if len(frame) > buf.Cap() {
+		n.report(fmt.Errorf("ring: node %d: fragment %d frame is %d B, buffers are %d B; raise Config.BufferBytes",
+			n.id, frag.Index, len(frame), buf.Cap()))
+		return 0, false
+	}
+	stageStart := time.Now()
+	dst := buf.Data()[:len(frame)]
+	copy(dst, frame)
+	if err := relation.SetFrameHops(dst, frag.Hops); err != nil {
+		n.report(fmt.Errorf("ring: node %d: patch forwarded frame: %w", n.id, err))
+		return 0, false
+	}
+	if err := buf.SetLen(len(frame)); err != nil {
+		n.report(err)
+		return 0, false
+	}
+	n.m.forwardNs.Observe(time.Since(stageStart).Nanoseconds())
+	n.m.forwards.Inc()
+	return len(frame), true
+}
+
+// stageEncode fully serializes a heap-owned fragment (locally injected, or
+// materialized under congestion) into the registered send buffer.
+func (n *node) stageEncode(frag *relation.Fragment, buf *rdma.Buffer) (int, bool) {
+	need := relation.EncodedSize(frag)
+	if need > buf.Cap() {
+		n.report(fmt.Errorf("ring: node %d: fragment %d needs %d B, buffers are %d B; raise Config.BufferBytes",
+			n.id, frag.Index, need, buf.Cap()))
+		return 0, false
+	}
+	encodeStart := time.Now()
+	sz, err := relation.Encode(frag, buf.Data())
+	if err != nil {
+		n.report(fmt.Errorf("ring: node %d: encode: %w", n.id, err))
+		return 0, false
+	}
+	if err := buf.SetLen(sz); err != nil {
+		n.report(err)
+		return 0, false
+	}
+	n.m.encodeNs.Observe(time.Since(encodeStart).Nanoseconds())
+	n.m.encodes.Inc()
+	return sz, true
+}
+
 func (n *node) sendLoop(qp rdma.QueuePair, stop chan struct{}) {
 	for {
-		var frag *relation.Fragment
+		var ob outbound
 		select {
 		case <-stop:
 			return
 		case <-n.quit:
 			return
-		case frag = <-n.sendQ:
+		case ob = <-n.sendQ:
 		}
-		var buf *rdma.Buffer
-		select {
-		case <-stop:
-			return
-		case <-n.quit:
-			return
-		case buf = <-n.freeSend:
-		}
-		need := relation.EncodedSize(frag)
-		if need > buf.Cap() {
-			n.report(fmt.Errorf("ring: node %d: fragment %d needs %d B, buffers are %d B; raise Config.BufferBytes",
-				n.id, frag.Index, need, buf.Cap()))
-			return
-		}
-		sz, err := relation.Encode(frag, buf.Data())
-		if err != nil {
-			n.report(fmt.Errorf("ring: node %d: encode: %w", n.id, err))
-			return
-		}
-		if err := buf.SetLen(sz); err != nil {
-			n.report(err)
-			return
-		}
-		// Capture metadata before handing the fragment to the wire: once
-		// posted, the revolution can complete and the orchestrator may
-		// reuse the fragment object (resetting its hop count).
-		fragIndex, fragHops := frag.Index, frag.Hops
+		buf, sz := ob.staged, ob.sz
 		if err := qp.PostSend(buf); err != nil {
 			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: post send: %w", n.id, err))
 			return
@@ -394,7 +635,7 @@ func (n *node) sendLoop(qp rdma.QueuePair, stop chan struct{}) {
 		n.m.bytesOut.Add(int64(sz))
 		n.tr.Record(trace.Event{
 			Time: time.Now(), Node: n.id, Kind: trace.FragmentSent,
-			Fragment: fragIndex, Hops: fragHops, Bytes: sz,
+			Fragment: ob.index, Hops: ob.hops, Bytes: sz,
 		})
 	}
 }
@@ -442,18 +683,24 @@ func (n *node) stop() {
 	}
 }
 
-// waitTimeout waits on wg up to d; it reports false (and leaks the helper
-// goroutine) when the group never finishes.
+// waitTimeout waits on wg up to d. The timer is stopped on the happy path
+// instead of lingering until it fires (time.After would strand it for the
+// full duration). The watcher goroutine itself cannot be cancelled —
+// sync.WaitGroup has no cancellable wait — but it holds no timer and exits
+// the moment the group finishes, so an abandoned join entity leaks exactly
+// one parked goroutine and nothing else.
 func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
 	done := make(chan struct{})
 	go func() {
 		wg.Wait()
 		close(done)
 	}()
+	t := time.NewTimer(d)
+	defer t.Stop()
 	select {
 	case <-done:
 		return true
-	case <-time.After(d):
+	case <-t.C:
 		return false
 	}
 }

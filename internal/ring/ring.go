@@ -180,13 +180,22 @@ type NodeStats struct {
 	RegisteredBytes int64
 }
 
+// retirement announces that a fragment completed its revolution. It is
+// deliberately metadata-only: the fragment's bytes stay in the retiring
+// node's registered receive buffer, whose credit goes straight back to the
+// transport. A consumer that needed the tuples would Materialize before
+// release; the orchestrator only counts.
+type retirement struct {
+	index, hops int
+}
+
 // Ring is a running Data Roundabout.
 type Ring struct {
 	cfg   Config
 	links LinkFactory
 	nodes []*node
 
-	retired chan *relation.Fragment
+	retired chan retirement
 	errc    chan error
 
 	mu     sync.Mutex
@@ -208,7 +217,7 @@ func New(cfg Config, links LinkFactory, procs []Processor) (*Ring, error) {
 	r := &Ring{
 		cfg:     cfg,
 		links:   links,
-		retired: make(chan *relation.Fragment, 64),
+		retired: make(chan retirement, 64),
 		errc:    make(chan error, cfg.Nodes*4),
 		nodes:   make([]*node, cfg.Nodes),
 	}

@@ -2,12 +2,12 @@ package ring
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"time"
 
 	"cyclojoin/internal/rdma"
-	"cyclojoin/internal/relation"
 	"cyclojoin/internal/trace"
-	"time"
 )
 
 // One-sided transport mode: instead of send/recv, the transmitter places
@@ -15,8 +15,10 @@ import (
 // has exposed, using RDMA write-with-immediate (the immediate carries the
 // encoded length, serving as the doorbell). Flow control is explicit
 // credits: the receiver advertises one credit per exposed buffer on the
-// reverse direction of the same queue pair, and re-credits a buffer as
-// soon as its fragment has been handed to the join entity.
+// reverse direction of the same queue pair, and re-credits a buffer once
+// the pipeline no longer references the frame inside it — after the frame
+// has been staged for forwarding or its fragment retired. Until then the
+// join entity reads tuples directly out of the exposed buffer.
 //
 // This is the "RDMA as distributed shared memory" wiring of a Data
 // Roundabout; functionally it must be indistinguishable from the send/recv
@@ -79,12 +81,28 @@ func (n *node) startRecvWrites(qp rdma.QueuePair) error {
 		}
 		return wqp.PostSend(cb)
 	}
+	// Expose every buffer — pinned ones too, since a frame still held by
+	// the pipeline will return its credit through this (re)started
+	// receiver — but advertise initial credits only for buffers not
+	// currently occupied by an in-flight frame.
+	var creditNow []rdma.RemoteKey
+	n.recvMu.Lock()
 	for _, b := range n.recvBufs {
 		key, err := wqp.Expose(b)
 		if err != nil {
+			n.recvMu.Unlock()
 			return fmt.Errorf("ring: node %d: expose receive buffer: %w", n.id, err)
 		}
 		keyOf[b] = key
+		if !n.pinned[b] {
+			creditNow = append(creditNow, key)
+		}
+	}
+	// In write mode a receive credit returns upstream as a credit message
+	// for the released buffer's exposed key.
+	n.repost = func(b *rdma.Buffer) error { return sendCredit(keyOf[b]) }
+	n.recvMu.Unlock()
+	for _, key := range creditNow {
 		if err := sendCredit(key); err != nil {
 			return fmt.Errorf("ring: node %d: initial credit: %w", n.id, err)
 		}
@@ -93,18 +111,12 @@ func (n *node) startRecvWrites(qp rdma.QueuePair) error {
 	n.recvWG.Add(1)
 	go func() {
 		defer n.recvWG.Done()
-		n.recvLoopWrites(wqp, stop, keyOf, freeCredits, sendCredit)
+		n.recvLoopWrites(wqp, stop, freeCredits)
 	}()
 	return nil
 }
 
-func (n *node) recvLoopWrites(
-	qp rdma.WriteQueuePair,
-	stop chan struct{},
-	keyOf map[*rdma.Buffer]rdma.RemoteKey,
-	freeCredits chan *rdma.Buffer,
-	sendCredit func(rdma.RemoteKey) error,
-) {
+func (n *node) recvLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, freeCredits chan *rdma.Buffer) {
 	for {
 		var c rdma.Completion
 		var ok bool
@@ -119,6 +131,14 @@ func (n *node) recvLoopWrites(
 			return
 		}
 		if c.Err != nil {
+			if c.Op == rdma.OpSend && errors.Is(c.Err, rdma.ErrClosed) {
+				// A credit message raced an upstream link teardown (node
+				// replacement closes the neighbor's endpoint while late
+				// credits are still in flight). Losing it is harmless —
+				// the replacement handshake re-credits every exposed
+				// buffer from scratch.
+				continue
+			}
 			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: write-mode receive: %w", n.id, c.Err))
 			return
 		}
@@ -132,36 +152,14 @@ func (n *node) recvLoopWrites(
 			}
 		case rdma.OpWrite:
 			// Doorbell: a fragment landed in c.Buf; Imm carries the
-			// encoded length.
+			// encoded length. The frame is bound in place and the buffer
+			// stays un-credited until the pipeline releases it.
 			length := int(c.Imm)
 			if length > c.Buf.Cap() {
 				n.report(fmt.Errorf("ring: node %d: write doorbell claims %d B in a %d B buffer", n.id, length, c.Buf.Cap()))
 				return
 			}
-			frag, err := relation.Decode(c.Buf.Data()[:length], "rotating")
-			if err != nil {
-				n.report(fmt.Errorf("ring: node %d: decode written fragment: %w", n.id, err))
-				return
-			}
-			n.mu.Lock()
-			n.stats.BytesIn += int64(length)
-			n.mu.Unlock()
-			n.m.bytesIn.Add(int64(length))
-			n.tr.Record(trace.Event{
-				Time: time.Now(), Node: n.id, Kind: trace.FragmentReceived,
-				Fragment: frag.Index, Hops: frag.Hops, Bytes: length,
-			})
-			select {
-			case n.procQ <- frag:
-				n.m.procDepth.Inc()
-			case <-stop:
-				return
-			case <-n.quit:
-				return
-			}
-			// The fragment is copied out; re-credit the buffer upstream.
-			if err := sendCredit(keyOf[c.Buf]); err != nil {
-				n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: re-credit: %w", n.id, err))
+			if !n.deliver(c.Buf, c.Buf.Data()[:length], stop) {
 				return
 			}
 		}
@@ -205,38 +203,18 @@ func (n *node) startSendWrites(qp rdma.QueuePair) error {
 
 func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credits chan rdma.RemoteKey) {
 	for {
-		var frag *relation.Fragment
+		var ob outbound
 		select {
 		case <-stop:
 			return
 		case <-n.quit:
 			return
-		case frag = <-n.sendQ:
+		case ob = <-n.sendQ:
 		}
-		var buf *rdma.Buffer
-		select {
-		case <-stop:
-			return
-		case <-n.quit:
-			return
-		case buf = <-n.freeSend:
-		}
-		need := relation.EncodedSize(frag)
-		if need > buf.Cap() {
-			n.report(fmt.Errorf("ring: node %d: fragment %d needs %d B, buffers are %d B; raise Config.BufferBytes",
-				n.id, frag.Index, need, buf.Cap()))
-			return
-		}
-		sz, err := relation.Encode(frag, buf.Data())
-		if err != nil {
-			n.report(fmt.Errorf("ring: node %d: encode: %w", n.id, err))
-			return
-		}
-		if err := buf.SetLen(sz); err != nil {
-			n.report(err)
-			return
-		}
-		// Wait for a free slot in the neighbor's exposed pool.
+		buf, sz := ob.staged, ob.sz
+		// Wait for a free slot in the neighbor's exposed pool. The frame
+		// already left this node's receive memory (staged in the join
+		// loop), so waiting here never withholds the upstream credit.
 		var key rdma.RemoteKey
 		select {
 		case <-stop:
@@ -245,9 +223,6 @@ func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credit
 			return
 		case key = <-credits:
 		}
-		// Capture metadata before the write: once posted, the revolution
-		// can complete and the fragment object may be reused.
-		fragIndex, fragHops := frag.Index, frag.Hops
 		if err := qp.PostWriteImm(key, 0, buf, uint32(sz)); err != nil {
 			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: post write: %w", n.id, err))
 			return
@@ -258,7 +233,7 @@ func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credit
 		n.m.bytesOut.Add(int64(sz))
 		n.tr.Record(trace.Event{
 			Time: time.Now(), Node: n.id, Kind: trace.FragmentSent,
-			Fragment: fragIndex, Hops: fragHops, Bytes: sz,
+			Fragment: ob.index, Hops: ob.hops, Bytes: sz,
 		})
 	}
 }
