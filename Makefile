@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-metrics bench-ring
+.PHONY: check build vet test race bench-metrics bench-ring bench-trace smoke-trace
 
 check: build vet race
 
@@ -23,6 +23,19 @@ race:
 # Proves the instrumentation budget: one hot-path event must cost < 10 ns.
 bench-metrics:
 	$(GO) test -run NONE -bench . -benchmem ./internal/metrics/
+
+# Proves the flight recorder budget: span begin/end on the hot path must
+# not allocate (the -benchmem column must read 0 allocs/op; the zero-alloc
+# guard test enforces it).
+bench-trace:
+	$(GO) test -run NONE -bench 'BenchmarkSpan|BenchmarkPoint' -benchmem ./internal/trace/
+
+# End-to-end flight-recorder smoke: run a small traced 4-node ring join,
+# write the Perfetto recording, and print the cyclotrace cost breakdown.
+# Artifacts: flight.json (load in ui.perfetto.dev) + flight_breakdown.txt.
+smoke-trace:
+	$(GO) run ./cmd/roundabout -nodes 4 -tuples 50000 -threads 2 -flightrec flight.json
+	$(GO) run ./cmd/cyclotrace flight.json | tee flight_breakdown.txt
 
 # Ring hot-path benchmarks → BENCH_ring.json (preserves the recorded
 # pre-zero-copy baseline; compare with the printed summary). The forward

@@ -8,6 +8,7 @@
 //	cyclobench -run fig7        # one experiment (fig3 fig5 fig7..fig12 table1)
 //	cyclobench -list            # list experiment ids
 //	cyclobench -metrics         # append the runtime-metrics table per experiment
+//	cyclobench -trace           # append the flight-recorder phase-share table
 //
 // The printed "paper:" notes state what the original evaluation reported,
 // so shapes can be compared at a glance; EXPERIMENTS.md records the full
@@ -20,11 +21,13 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"time"
 
 	"cyclojoin/internal/costmodel"
 	"cyclojoin/internal/experiments"
 	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/stats"
+	"cyclojoin/internal/trace"
 )
 
 func main() {
@@ -35,7 +38,12 @@ func run() int {
 	runID := flag.String("run", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	showMetrics := flag.Bool("metrics", false, "print the process runtime-metrics table after each experiment")
+	showTrace := flag.Bool("trace", false, "enable the flight recorder and print its per-phase share table after each experiment")
 	flag.Parse()
+
+	if *showTrace {
+		trace.Flight().Enable(trace.DefaultShardCap)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -71,6 +79,13 @@ func run() int {
 				return 1
 			}
 		}
+		if *showTrace {
+			fmt.Println()
+			if err := renderTrace(os.Stdout, e.ID); err != nil {
+				fmt.Fprintf(os.Stderr, "cyclobench: render trace: %v\n", err)
+				return 1
+			}
+		}
 		if i < len(selected)-1 {
 			fmt.Println()
 		}
@@ -92,6 +107,42 @@ func renderMetrics(w io.Writer, after string) error {
 	}
 	if tbl.Rows() == 0 {
 		tbl.SetNote("(no nonzero runtime metrics; simulated experiments do not exercise the live transport)")
+	}
+	return tbl.Render(w)
+}
+
+// renderTrace prints the flight recorder's per-phase time share
+// (cumulative across the experiments run so far). Experiments that run on
+// the cost model or the discrete-event simulator record no spans; only
+// live-ring experiments feed the recorder — the note says so rather than
+// printing an empty table. For the full per-node breakdown, run
+// roundabout -flightrec and analyze with cyclotrace.
+func renderTrace(w io.Writer, after string) error {
+	tbl := stats.NewTable("Flight recorder phase shares (after "+after+")",
+		"phase", "spans", "total", "share")
+	a := trace.Analyze(trace.Flight().Snapshot())
+	var total time.Duration
+	shares := make(map[trace.Phase]time.Duration)
+	counts := make(map[trace.Phase]int)
+	for _, sp := range trace.Flight().Snapshot() {
+		shares[sp.Phase] += time.Duration(sp.Dur)
+		counts[sp.Phase]++
+		total += time.Duration(sp.Dur)
+	}
+	for _, p := range trace.PipelinePhases {
+		if counts[p] == 0 {
+			continue
+		}
+		tbl.AddRow(p.String(), strconv.Itoa(counts[p]), shares[p].String(),
+			stats.Pct(float64(shares[p])/float64(total)))
+	}
+	for _, st := range a.Aux {
+		tbl.AddRow(st.Phase.String(), strconv.Itoa(st.Count), st.Total.String(),
+			stats.Pct(float64(st.Total)/float64(total)))
+	}
+	if tbl.Rows() == 0 {
+		tbl.SetNote("(no spans recorded; simulated experiments do not exercise the live ring —\n" +
+			" see roundabout -flightrec and cyclotrace for a live recording)")
 	}
 	return tbl.Render(w)
 }

@@ -1,0 +1,145 @@
+// Command cyclotrace digests a flight recording (the Perfetto JSON written
+// by roundabout -flightrec, or any trace.WritePerfetto output) into the
+// paper's Fig 2/3-style cost breakdown: where each ring host's wall clock
+// went per phase, how long fragment revolutions took, and which node the
+// ring is waiting on.
+//
+// Usage:
+//
+//	roundabout -nodes 4 -flightrec flight.json
+//	cyclotrace flight.json
+//
+// The same file loads in ui.perfetto.dev for the zoomable timeline view;
+// cyclotrace is the terminal companion that turns it into tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"cyclojoin/internal/stats"
+	"cyclojoin/internal/trace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cyclotrace FILE\n\nFILE is a Perfetto trace-event JSON flight recording (roundabout -flightrec).")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyclotrace:", err)
+		return 1
+	}
+	defer func() {
+		_ = f.Close()
+	}()
+	_, spans, err := trace.ReadPerfetto(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cyclotrace: %s: %v\n", flag.Arg(0), err)
+		return 1
+	}
+	a := trace.Analyze(spans)
+	if a.Spans == 0 {
+		fmt.Println("cyclotrace: no spans in recording (was the flight recorder enabled?)")
+		return 0
+	}
+	if err := render(a); err != nil {
+		fmt.Fprintln(os.Stderr, "cyclotrace:", err)
+		return 1
+	}
+	return 0
+}
+
+func render(a *trace.Analysis) error {
+	fmt.Printf("flight recording: %d spans, %d ring hosts, %d completed revolutions\n\n",
+		a.Spans, len(a.Nodes), len(a.Revolutions))
+
+	if len(a.Nodes) > 0 {
+		tbl := stats.NewTable("Per-node phase breakdown",
+			"node", "receive", "wait", "join", "stage", "send", "wall", "coverage", "starved")
+		for _, nb := range a.Nodes {
+			tbl.AddRow(
+				strconv.Itoa(nb.Node),
+				fmtDur(nb.Phases[trace.PhaseReceive]),
+				fmtDur(nb.Phases[trace.PhaseWait]),
+				fmtDur(nb.Phases[trace.PhaseJoin]),
+				fmtDur(nb.Phases[trace.PhaseStage]),
+				fmtDur(nb.Phases[trace.PhaseSend]),
+				fmtDur(nb.Wall),
+				stats.Pct(nb.Coverage),
+				stats.Pct(nb.Starvation),
+			)
+		}
+		tbl.SetNote("wait+join+stage tile the join entity's wall clock (coverage ~100%);\n" +
+			"receive/send run on their own entities and overlap the pipeline.")
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if len(a.Revolutions) > 0 {
+		tbl := stats.NewTable("Revolution latency (first join to retirement)",
+			"revolutions", "p50", "p90", "p99", "max")
+		tbl.AddRow(
+			strconv.Itoa(len(a.Revolutions)),
+			fmtDur(a.RevolutionP(50)),
+			fmtDur(a.RevolutionP(90)),
+			fmtDur(a.RevolutionP(99)),
+			fmtDur(a.Revolutions[len(a.Revolutions)-1]),
+		)
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if len(a.Aux) > 0 {
+		tbl := stats.NewTable("Detail phases (transport work requests, join internals)",
+			"phase", "spans", "total", "p50", "p99", "max")
+		for _, st := range a.Aux {
+			tbl.AddRow(st.Phase.String(), strconv.Itoa(st.Count),
+				fmtDur(st.Total), fmtDur(st.P50), fmtDur(st.P99), fmtDur(st.Max))
+		}
+		tbl.SetNote("build/probe/sort/merge overlap the join phase above; wr-* spans\n" +
+			"measure post-to-completion latency on the transport tracks.")
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if a.SlowestNode >= 0 {
+		fmt.Printf("ring imbalance: node %d is the slowest (largest join+stage time); "+
+			"node %d is the most starved (largest wait share)\n",
+			a.SlowestNode, a.MostStarvedNode)
+	}
+	return nil
+}
+
+// fmtDur renders a duration at a precision matched to its magnitude, so
+// millisecond-scale phases and microsecond-scale work requests both stay
+// readable in one table.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(time.Nanosecond).String()
+	}
+}

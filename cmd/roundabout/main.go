@@ -14,15 +14,23 @@
 // interface; the default is the in-process zero-copy transport. With
 // -metrics ADDR the process serves its runtime counters (frames, bytes,
 // queue depths, retires — see internal/metrics) in Prometheus text format
-// at http://ADDR/metrics for the duration of the run.
+// at http://ADDR/metrics, plus the standard pprof profiles under
+// http://ADDR/debug/pprof/, for the duration of the run. With -flightrec
+// FILE the cross-layer flight recorder captures spans from every layer
+// (transport work requests, ring pipeline, join phases) and writes a
+// Perfetto trace-event JSON file that loads in ui.perfetto.dev and feeds
+// the cyclotrace analyzer.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"time"
 
 	"cyclojoin"
 	"cyclojoin/internal/metrics"
@@ -48,8 +56,15 @@ func run() int {
 		oneSided  = flag.Bool("write", false, "use one-sided RDMA writes instead of send/recv")
 		traced    = flag.Bool("trace", false, "print a runtime event summary after the join")
 		metricsAt = flag.String("metrics", "", "serve Prometheus metrics at http://ADDR/metrics while running (e.g. 127.0.0.1:9090); empty disables")
+		flightrec = flag.String("flightrec", "", "record cross-layer spans and write a Perfetto trace-event JSON FILE (view at ui.perfetto.dev or with cyclotrace)")
 	)
 	flag.Parse()
+
+	// The recorder must be armed before the cluster exists: nodes, links and
+	// join algorithms take their shards at construction time.
+	if *flightrec != "" {
+		trace.Flight().Enable(trace.DefaultShardCap)
+	}
 
 	if *metricsAt != "" {
 		ln, err := net.Listen("tcp", *metricsAt)
@@ -57,15 +72,23 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "roundabout: metrics listener:", err)
 			return 1
 		}
-		defer func() {
-			_ = ln.Close()
-		}()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Default().Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
 		go func() {
-			_ = http.Serve(ln, mux)
+			_ = srv.Serve(ln)
 		}()
-		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
 	}
 
 	var alg cyclojoin.Algorithm
@@ -155,5 +178,46 @@ func run() int {
 			buf.Len(), buf.Count(trace.FragmentReceived), buf.Count(trace.ProcessEnd),
 			buf.Count(trace.FragmentSent), buf.Count(trace.FragmentRetired))
 	}
+	if *flightrec != "" {
+		if err := writeFlightRecording(*flightrec); err != nil {
+			fmt.Fprintln(os.Stderr, "roundabout:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeFlightRecording drains the process flight recorder into a Perfetto
+// trace-event JSON file.
+func writeFlightRecording(path string) error {
+	rec := trace.Flight()
+	// The send reapers close post-to-completion spans off the retirement
+	// critical path, so the join can finish a beat before the last send
+	// spans land; wait for the recording to go quiet before snapshotting.
+	prev := -1
+	for i := 0; i < 40; i++ {
+		n := len(rec.Snapshot())
+		if n == prev {
+			break
+		}
+		prev = n
+		time.Sleep(5 * time.Millisecond)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("flight recording: %w", err)
+	}
+	if err := rec.WritePerfetto(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("flight recording: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("flight recording: %w", err)
+	}
+	fmt.Printf("flight recording: %d spans -> %s (open in ui.perfetto.dev, or: cyclotrace %s)\n",
+		len(rec.Snapshot()), path, path)
+	if d := rec.Dropped(); d > 0 {
+		fmt.Printf("flight recording: %d spans dropped (ring buffers full; raise shard capacity)\n", d)
+	}
+	return nil
 }

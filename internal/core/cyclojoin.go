@@ -96,6 +96,18 @@ type Cluster struct {
 	closed   bool
 }
 
+// joinOpts derives host i's join options: label the host's algorithm spans
+// with its ring position, and default the algorithm's flight recorder to the
+// ring's so one recorder sees the whole cross-layer picture.
+func (c *Cluster) joinOpts(i int) join.Options {
+	opts := c.cfg.Opts
+	opts.TraceNode = i
+	if opts.Flight == nil {
+		opts.Flight = c.cfg.Ring.Flight
+	}
+	return opts
+}
+
 // NewCluster builds the ring. No data is stationed yet.
 func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.validate(); err != nil {
@@ -140,7 +152,8 @@ func (c *Cluster) Station(sFrags []*relation.Fragment, rFrags [][]*relation.Frag
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			st, err := c.cfg.Algorithm.SetupStationary(sFrags[i].Rel, c.cfg.Predicate, c.cfg.Opts)
+			opts := c.joinOpts(i)
+			st, err := c.cfg.Algorithm.SetupStationary(sFrags[i].Rel, c.cfg.Predicate, opts)
 			if err != nil {
 				errs[i] = fmt.Errorf("cyclojoin: host %d: setup stationary: %w", i, err)
 				return
@@ -153,7 +166,7 @@ func (c *Cluster) Station(sFrags []*relation.Fragment, rFrags [][]*relation.Frag
 			for j, f := range rFrags[i] {
 				rel := f.Rel
 				if !c.cfg.SkipRotatingSetup {
-					rel, err = c.cfg.Algorithm.SetupRotating(f.Rel, c.cfg.Predicate, c.cfg.Opts)
+					rel, err = c.cfg.Algorithm.SetupRotating(f.Rel, c.cfg.Predicate, opts)
 					if err != nil {
 						errs[i] = fmt.Errorf("cyclojoin: host %d: setup rotating fragment %d: %w", i, f.Index, err)
 						return

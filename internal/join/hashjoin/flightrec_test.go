@@ -1,0 +1,55 @@
+package hashjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclojoin/internal/join"
+	"cyclojoin/internal/join/jointest"
+	"cyclojoin/internal/trace"
+)
+
+// TestFlightSpans: a traced hash join records one build span and one
+// probe span per worker, labeled with the configured ring position.
+func TestFlightSpans(t *testing.T) {
+	rec := trace.NewRecorder(256)
+	rng := rand.New(rand.NewSource(7))
+	s := jointest.RandomRelation(rng, "S", 4000, 1000, 8)
+	r := jointest.RandomRelation(rng, "R", 4000, 1000, 8)
+	opts := join.Options{Parallelism: 2, Flight: rec, TraceNode: 3}
+
+	st, err := Join{}.SetupStationary(s, join.Equi{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Join(r, join.Discard{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var builds, probes int
+	for _, sp := range rec.Snapshot() {
+		if sp.Node != 3 {
+			t.Fatalf("span on node %d, want 3: %+v", sp.Node, sp)
+		}
+		switch sp.Phase {
+		case trace.PhaseBuild:
+			builds++
+			if sp.Arg != int64(s.Len()) {
+				t.Errorf("build span covers %d tuples, want %d", sp.Arg, s.Len())
+			}
+		case trace.PhaseProbe:
+			probes++
+		default:
+			t.Fatalf("unexpected phase: %+v", sp)
+		}
+		if sp.Dur < 1 {
+			t.Fatalf("span never ended: %+v", sp)
+		}
+	}
+	if builds != 1 {
+		t.Errorf("build spans = %d, want 1", builds)
+	}
+	if probes != opts.Workers() {
+		t.Errorf("probe spans = %d, want %d (one per worker)", probes, opts.Workers())
+	}
+}

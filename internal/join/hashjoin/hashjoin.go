@@ -19,10 +19,12 @@ package hashjoin
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 	"sync"
 
 	"cyclojoin/internal/join"
 	"cyclojoin/internal/relation"
+	"cyclojoin/internal/trace"
 )
 
 // Join implements join.Algorithm with a radix-partitioned hash join.
@@ -47,12 +49,23 @@ func (j Join) SetupStationary(s *relation.Relation, p join.Predicate, opts join.
 	if !j.Supports(p) {
 		return nil, fmt.Errorf("%w: hash join cannot evaluate %s", join.ErrUnsupportedPredicate, p)
 	}
+	fl := opts.FlightRecorder()
+	bs := fl.Shard(opts.TraceNode, "join/build")
+	bpd := bs.Begin(trace.PhaseBuild)
+	bpd.Arg = int64(s.Len())
 	b := RadixBits(s.Bytes(), opts)
 	st := &stationary{bits: b, opts: opts, payWidth: s.Schema().PayloadWidth}
 	st.parts = parallelCluster(s, b, opts.Workers())
 	for i := range st.parts {
 		st.parts[i].buildTable(b)
 	}
+	// One probe track per worker: Join runs the probe phase concurrently
+	// and shards are single-producer.
+	st.probeShards = make([]*trace.Shard, opts.Workers())
+	for w := range st.probeShards {
+		st.probeShards[w] = fl.Shard(opts.TraceNode, "join/probe/"+strconv.Itoa(w))
+	}
+	bs.End(bpd)
 	return st, nil
 }
 
@@ -197,6 +210,8 @@ type stationary struct {
 	parts    []partition
 	opts     join.Options
 	payWidth int
+	// probeShards records per-worker probe spans (index = worker).
+	probeShards []*trace.Shard
 }
 
 var _ join.Stationary = (*stationary)(nil)
@@ -223,28 +238,41 @@ func (st *stationary) Join(r *relation.Relation, c join.Collector) error {
 		workers = n
 	}
 	if workers == 1 {
-		st.joinRange(r, 0, n, c)
+		st.joinRange(r, 0, n, 0, c)
 		return nil
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := n*w/workers, n*(w+1)/workers
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			st.joinRange(r, lo, hi, c)
-		}()
+			st.joinRange(r, lo, hi, w, c)
+		}(w)
 	}
 	wg.Wait()
 	return nil
 }
 
-func (st *stationary) joinRange(r *relation.Relation, lo, hi int, c join.Collector) {
+func (st *stationary) joinRange(r *relation.Relation, lo, hi, worker int, c join.Collector) {
+	ps := st.probeShard(worker)
+	pd := ps.Begin(trace.PhaseProbe)
+	pd.Arg = int64(hi - lo)
 	for i := lo; i < hi; i++ {
 		k := r.Key(i)
 		pt := &st.parts[bucketOf(k, st.bits)]
 		pt.probe(k, r.Payload(i), st.bits, c)
 	}
+	ps.End(pd)
+}
+
+// probeShard returns the worker's probe track, tolerating a stationary
+// built outside SetupStationary (tests construct the struct directly).
+func (st *stationary) probeShard(worker int) *trace.Shard {
+	if worker < len(st.probeShards) && st.probeShards[worker] != nil {
+		return st.probeShards[worker]
+	}
+	return trace.NopShard()
 }
 
 // Partitions exposes the number of radix partitions, for tests and the

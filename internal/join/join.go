@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"cyclojoin/internal/relation"
+	"cyclojoin/internal/trace"
 )
 
 // Predicate is a join condition on a pair of keys.
@@ -94,6 +95,12 @@ type Options struct {
 	// Zero means: derive from L2CacheBytes so that one S partition plus
 	// its hash table fits in (a quarter of) L2, as in [22].
 	RadixBits int
+	// Flight is the span recorder algorithm-internal phases (build, probe,
+	// sort, merge) report to. Nil means the process-wide trace.Flight()
+	// (which records nothing unless enabled).
+	Flight *trace.Recorder
+	// TraceNode labels this host's join spans with its ring position.
+	TraceNode int
 }
 
 // DefaultL2Bytes is the paper testbed's 4 MB unified L2 cache.
@@ -113,6 +120,14 @@ func (o Options) L2Bytes() int {
 		return DefaultL2Bytes
 	}
 	return o.L2CacheBytes
+}
+
+// FlightRecorder returns the effective span recorder.
+func (o Options) FlightRecorder() *trace.Recorder {
+	if o.Flight == nil {
+		return trace.Flight()
+	}
+	return o.Flight
 }
 
 // ErrUnsupportedPredicate is returned by SetupStationary when the algorithm

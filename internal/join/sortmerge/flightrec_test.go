@@ -1,0 +1,55 @@
+package sortmerge
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclojoin/internal/join"
+	"cyclojoin/internal/join/jointest"
+	"cyclojoin/internal/trace"
+)
+
+// TestFlightSpans: a traced sort-merge join records one sort span and one
+// merge span per worker, labeled with the configured ring position.
+func TestFlightSpans(t *testing.T) {
+	rec := trace.NewRecorder(256)
+	rng := rand.New(rand.NewSource(11))
+	s := jointest.RandomRelation(rng, "S", 4000, 1000, 8)
+	r := jointest.RandomRelation(rng, "R", 4000, 1000, 8)
+	opts := join.Options{Parallelism: 2, Flight: rec, TraceNode: 1}
+
+	st, err := Join{}.SetupStationary(s, join.Band{Width: 2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Join(r, join.Discard{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sorts, merges int
+	for _, sp := range rec.Snapshot() {
+		if sp.Node != 1 {
+			t.Fatalf("span on node %d, want 1: %+v", sp.Node, sp)
+		}
+		switch sp.Phase {
+		case trace.PhaseSort:
+			sorts++
+			if sp.Arg != int64(s.Len()) {
+				t.Errorf("sort span covers %d tuples, want %d", sp.Arg, s.Len())
+			}
+		case trace.PhaseMerge:
+			merges++
+		default:
+			t.Fatalf("unexpected phase: %+v", sp)
+		}
+		if sp.Dur < 1 {
+			t.Fatalf("span never ended: %+v", sp)
+		}
+	}
+	if sorts != 1 {
+		t.Errorf("sort spans = %d, want 1", sorts)
+	}
+	if merges != opts.Workers() {
+		t.Errorf("merge spans = %d, want %d (one per worker)", merges, opts.Workers())
+	}
+}

@@ -16,10 +16,12 @@ package sortmerge
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"cyclojoin/internal/join"
 	"cyclojoin/internal/relation"
+	"cyclojoin/internal/trace"
 )
 
 // Join implements join.Algorithm with a sort-merge join. The zero value is
@@ -59,8 +61,20 @@ func (Join) SetupStationary(s *relation.Relation, p join.Predicate, opts join.Op
 	if err != nil {
 		return nil, err
 	}
+	fl := opts.FlightRecorder()
+	ss := fl.Shard(opts.TraceNode, "join/sort")
+	spd := ss.Begin(trace.PhaseSort)
+	spd.Arg = int64(s.Len())
 	sorted := ParallelSortedCopy(s, opts.Workers())
-	return &stationary{rel: sorted, width: w, opts: opts}, nil
+	st := &stationary{rel: sorted, width: w, opts: opts}
+	// One merge track per worker: Join runs the merge phase concurrently
+	// and shards are single-producer.
+	st.mergeShards = make([]*trace.Shard, opts.Workers())
+	for i := range st.mergeShards {
+		st.mergeShards[i] = fl.Shard(opts.TraceNode, "join/merge/"+strconv.Itoa(i))
+	}
+	ss.End(spd)
+	return st, nil
 }
 
 // SetupRotating implements join.Algorithm: sort a copy of r. The sorted
@@ -125,6 +139,8 @@ type stationary struct {
 	rel   *relation.Relation
 	width uint64
 	opts  join.Options
+	// mergeShards records per-worker merge spans (index = worker).
+	mergeShards []*trace.Shard
 }
 
 var _ join.Stationary = (*stationary)(nil)
@@ -145,7 +161,7 @@ func (st *stationary) Join(r *relation.Relation, c join.Collector) error {
 		workers = n
 	}
 	if workers == 1 {
-		st.mergeRange(r, 0, n, c)
+		st.mergeRange(r, 0, n, 0, c)
 		return nil
 	}
 	// Split R_j into contiguous sub-partitions r_{j,k}, one per core
@@ -155,10 +171,10 @@ func (st *stationary) Join(r *relation.Relation, c join.Collector) error {
 	for w := 0; w < workers; w++ {
 		lo, hi := n*w/workers, n*(w+1)/workers
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			st.mergeRange(r, lo, hi, c)
-		}()
+			st.mergeRange(r, lo, hi, w, c)
+		}(w)
 	}
 	wg.Wait()
 	return nil
@@ -167,7 +183,10 @@ func (st *stationary) Join(r *relation.Relation, c join.Collector) error {
 // mergeRange merges r[lo:hi] against the full stationary run using the
 // sliding-window band merge. For width 0 this degenerates to the classic
 // equi sort-merge with duplicate handling.
-func (st *stationary) mergeRange(r *relation.Relation, lo, hi int, c join.Collector) {
+func (st *stationary) mergeRange(r *relation.Relation, lo, hi, worker int, c join.Collector) {
+	ms := st.mergeShard(worker)
+	pd := ms.Begin(trace.PhaseMerge)
+	pd.Arg = int64(hi - lo)
 	sKeys := st.rel.Keys()
 	w := st.width
 	// Binary-search the first s that can match r[lo].
@@ -185,6 +204,16 @@ func (st *stationary) mergeRange(r *relation.Relation, lo, hi int, c join.Collec
 			c.Emit(rk, sKeys[sj], r.Payload(ri), st.rel.Payload(sj))
 		}
 	}
+	ms.End(pd)
+}
+
+// mergeShard returns the worker's merge track, tolerating a stationary
+// built outside SetupStationary (tests construct the struct directly).
+func (st *stationary) mergeShard(worker int) *trace.Shard {
+	if worker < len(st.mergeShards) && st.mergeShards[worker] != nil {
+		return st.mergeShards[worker]
+	}
+	return trace.NopShard()
 }
 
 func satSub(a, b uint64) uint64 {

@@ -18,10 +18,13 @@ package memlink
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/rdma"
+	"cyclojoin/internal/trace"
 )
 
 // Transfer instrumentation, one atomic add per event (internal/metrics).
@@ -30,6 +33,9 @@ var (
 	mWriteTransfers = metrics.Default().Counter("memlink_transfers_total", "data movements over in-process links", "kind", "write")
 	mBytes          = metrics.Default().Counter("memlink_bytes_total", "payload bytes moved over in-process links")
 )
+
+// linkSeq names flight-recorder tracks across all links in the process.
+var linkSeq atomic.Int64
 
 // queueDepth bounds the number of outstanding posted buffers per direction.
 // The Data Roundabout posts at most its ring-buffer count.
@@ -43,6 +49,10 @@ type workReq struct {
 	off    int
 	imm    uint32
 	hasImm bool
+	// pend is the flight-recorder span opened at post time and closed at
+	// completion — the WR post→completion latency the paper's §III-B
+	// pipelining argument turns on.
+	pend trace.Pending
 }
 
 type link struct {
@@ -52,9 +62,16 @@ type link struct {
 	recvQ chan *rdma.Buffer
 	cq    chan rdma.Completion
 
+	// shard records this link's work-request spans on the transport
+	// track; inert when flight recording is disabled.
+	shard *trace.Shard
+
 	mu      sync.Mutex
 	exposed map[rdma.RemoteKey]*rdma.Buffer
 	nextKey rdma.RemoteKey
+	// recvPend holds the open WRRecv span per posted receive buffer
+	// (guarded by mu): posted→filled is the buffer's residency time.
+	recvPend map[*rdma.Buffer]trace.Pending
 
 	// cqMu guards cq against close: completions are delivered by the
 	// PEER link's DMA goroutine, which outlives this side's Close.
@@ -80,11 +97,13 @@ func Pair() (a, b rdma.QueuePair) {
 
 func newLink() *link {
 	return &link{
-		sendQ:   make(chan workReq, queueDepth),
-		recvQ:   make(chan *rdma.Buffer, queueDepth),
-		cq:      make(chan rdma.Completion, rdma.CQDepth),
-		exposed: make(map[rdma.RemoteKey]*rdma.Buffer),
-		done:    make(chan struct{}),
+		sendQ:    make(chan workReq, queueDepth),
+		recvQ:    make(chan *rdma.Buffer, queueDepth),
+		cq:       make(chan rdma.Completion, rdma.CQDepth),
+		exposed:  make(map[rdma.RemoteKey]*rdma.Buffer),
+		recvPend: make(map[*rdma.Buffer]trace.Pending),
+		done:     make(chan struct{}),
+		shard:    trace.Flight().Shard(trace.NodeTransport, "memlink/"+strconv.FormatInt(linkSeq.Add(1), 10)),
 	}
 }
 
@@ -113,16 +132,25 @@ func (l *link) sendLoop() {
 			continue
 		}
 		sb := wr.buf
-		var rb *rdma.Buffer
-		select {
-		case <-l.done:
-			return
-		case <-l.peer.done:
-			l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: rdma.ErrClosed})
-			return
-		case rb = <-l.peer.recvQ:
-		}
 		payload := sb.Bytes()
+		var rb *rdma.Buffer
+		// Receiver-not-ready: waiting for the peer to post a buffer is the
+		// RNR stall interval. The span is opened only on the slow path.
+		select {
+		case rb = <-l.peer.recvQ:
+		default:
+			cs := l.shard.Begin(trace.PhaseCreditStall)
+			cs.Arg = int64(len(payload))
+			select {
+			case <-l.done:
+				return
+			case <-l.peer.done:
+				l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: rdma.ErrClosed})
+				return
+			case rb = <-l.peer.recvQ:
+			}
+			l.shard.End(cs)
+		}
 		if len(payload) > rb.Cap() {
 			err := fmt.Errorf("%w: message %d B, buffer %d B", rdma.ErrBufferTooSmall, len(payload), rb.Cap())
 			l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: err})
@@ -139,6 +167,10 @@ func (l *link) sendLoop() {
 		}
 		mSendTransfers.Inc()
 		mBytes.Add(int64(len(payload)))
+		wr.pend.Arg = int64(len(payload))
+		wr.pend.Aux = int64(len(l.cq))
+		l.shard.End(wr.pend)
+		l.peer.finishRecv(rb, len(payload))
 		l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb})
 		l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb})
 	}
@@ -160,6 +192,9 @@ func (l *link) performWrite(wr workReq) {
 	copy(target.Data()[wr.off:], payload)
 	mWriteTransfers.Inc()
 	mBytes.Add(int64(len(payload)))
+	wr.pend.Arg = int64(len(payload))
+	wr.pend.Aux = int64(len(l.cq))
+	l.shard.End(wr.pend)
 	l.complete(rdma.Completion{Op: rdma.OpWrite, Buf: wr.buf})
 	if wr.hasImm {
 		// Write-with-immediate: the only one-sided form the target CPU
@@ -208,6 +243,7 @@ func (l *link) postWrite(wr workReq) error {
 		return rdma.ErrClosed
 	default:
 	}
+	wr.pend = l.shard.Begin(trace.PhaseWRWrite)
 	select {
 	case <-l.done:
 		return rdma.ErrClosed
@@ -242,7 +278,7 @@ func (l *link) PostSend(b *rdma.Buffer) error {
 	select {
 	case <-l.done:
 		return rdma.ErrClosed
-	case l.sendQ <- workReq{kind: rdma.OpSend, buf: b}:
+	case l.sendQ <- workReq{kind: rdma.OpSend, buf: b, pend: l.shard.Begin(trace.PhaseWRSend)}:
 		return nil
 	}
 }
@@ -256,12 +292,58 @@ func (l *link) PostRecv(b *rdma.Buffer) error {
 		return rdma.ErrClosed
 	default:
 	}
+	// Stamp the residency span BEFORE the buffer becomes visible to the
+	// peer's DMA goroutine: once enqueued, finishRecv may run immediately.
+	l.stampRecv(b)
 	select {
 	case <-l.done:
+		l.dropRecvStamp(b)
 		return rdma.ErrClosed
 	case l.recvQ <- b:
 		return nil
 	}
+}
+
+// stampRecv opens the WRRecv residency span for a buffer about to be
+// posted.
+func (l *link) stampRecv(b *rdma.Buffer) {
+	if !l.shard.Enabled() {
+		return
+	}
+	pd := l.shard.Begin(trace.PhaseWRRecv)
+	l.mu.Lock()
+	l.recvPend[b] = pd
+	l.mu.Unlock()
+}
+
+// dropRecvStamp abandons a stamp whose post failed.
+func (l *link) dropRecvStamp(b *rdma.Buffer) {
+	if !l.shard.Enabled() {
+		return
+	}
+	l.mu.Lock()
+	delete(l.recvPend, b)
+	l.mu.Unlock()
+}
+
+// finishRecv closes the buffer's WRRecv span when a message lands in it.
+// Called by the PEER's DMA goroutine, hence the lock.
+func (l *link) finishRecv(b *rdma.Buffer, n int) {
+	if !l.shard.Enabled() {
+		return
+	}
+	l.mu.Lock()
+	pd, ok := l.recvPend[b]
+	if ok {
+		delete(l.recvPend, b)
+	}
+	l.mu.Unlock()
+	if !ok {
+		return
+	}
+	pd.Arg = int64(n)
+	pd.Aux = int64(len(l.cq))
+	l.shard.End(pd)
 }
 
 // Completions implements rdma.QueuePair.

@@ -1,0 +1,77 @@
+package tcplink
+
+import (
+	"net"
+	"testing"
+
+	"cyclojoin/internal/rdma"
+	"cyclojoin/internal/trace"
+)
+
+// TestWorkRequestSpans: with flight recording enabled, a send/recv
+// exchange over a pipe leaves a WR post→wire span on the sender track and
+// a receive-residency span on the receiver track, on the transport
+// pseudo-node. Links take their shard at construction, so enabling must
+// precede newLink.
+func TestWorkRequestSpans(t *testing.T) {
+	trace.Flight().Enable(trace.DefaultShardCap)
+	trace.Flight().Reset()
+	ca, cb := net.Pipe()
+	a := newLink(ca, false, defaultMaxFrame)
+	b := newLink(cb, false, defaultMaxFrame)
+	defer func() {
+		_ = a.Close()
+		_ = b.Close()
+	}()
+	dev := rdma.OpenDevice("flight")
+	rb, err := dev.Register(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PostRecv(rb); err != nil {
+		t.Fatal(err)
+	}
+	sb, err := dev.Register(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(sb.Data(), "span payload")
+	if err := sb.SetLen(12); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PostSend(sb); err != nil {
+		t.Fatal(err)
+	}
+	if c := <-b.Completions(); c.Err != nil || c.Op != rdma.OpRecv {
+		t.Fatalf("bad receive completion: %+v", c)
+	}
+	if c := <-a.Completions(); c.Err != nil || c.Op != rdma.OpSend {
+		t.Fatalf("bad send completion: %+v", c)
+	}
+
+	var sends, recvs int
+	for _, sp := range trace.Flight().Snapshot() {
+		if sp.Node != trace.NodeTransport {
+			t.Fatalf("transport span on node %d: %+v", sp.Node, sp)
+		}
+		switch sp.Phase {
+		case trace.PhaseWRSend:
+			sends++
+			if sp.Arg != 12 {
+				t.Errorf("WR send span carries %d B, want 12: %+v", sp.Arg, sp)
+			}
+		case trace.PhaseWRRecv:
+			recvs++
+			if sp.Arg != 12 {
+				t.Errorf("WR recv span carries %d B, want 12: %+v", sp.Arg, sp)
+			}
+		}
+		if sp.Dur < 1 {
+			t.Errorf("span never ended: %+v", sp)
+		}
+	}
+	if sends != 1 || recvs != 1 {
+		t.Fatalf("got %d WR send and %d WR recv spans, want 1 and 1", sends, recvs)
+	}
+	trace.Flight().Reset()
+}

@@ -31,12 +31,18 @@ import (
 	"io"
 	"math"
 	"net"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/rdma"
+	"cyclojoin/internal/trace"
 )
+
+// linkSeq names flight-recorder tracks across all links in the process.
+var linkSeq atomic.Int64
 
 // castagnoli is the CRC-32C table (the polynomial iWARP's MPA layer uses).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -99,6 +105,9 @@ type workReq struct {
 	off    int
 	imm    uint32
 	hasImm bool
+	// pend is the flight-recorder span opened at post time and closed
+	// once the frame is on the wire (WR post→completion latency).
+	pend trace.Pending
 }
 
 type link struct {
@@ -117,9 +126,16 @@ type link struct {
 	recvQ chan *rdma.Buffer
 	cq    chan rdma.Completion
 
+	// shard records this link's work-request spans on the transport
+	// track; inert when flight recording is disabled.
+	shard *trace.Shard
+
 	mu      sync.Mutex
 	exposed map[rdma.RemoteKey]*rdma.Buffer
 	nextKey rdma.RemoteKey
+	// recvPend holds the open WRRecv span per posted receive buffer
+	// (guarded by mu): posted→filled is the buffer's residency time.
+	recvPend map[*rdma.Buffer]trace.Pending
 
 	failOnce  sync.Once
 	closeOnce sync.Once
@@ -152,7 +168,9 @@ func newLink(conn net.Conn, checksum bool, maxFrame int) *link {
 		recvQ:    make(chan *rdma.Buffer, queueDepth),
 		cq:       make(chan rdma.Completion, rdma.CQDepth),
 		exposed:  make(map[rdma.RemoteKey]*rdma.Buffer),
+		recvPend: make(map[*rdma.Buffer]trace.Pending),
 		done:     make(chan struct{}),
+		shard:    trace.Flight().Shard(trace.NodeTransport, "tcplink/"+strconv.FormatInt(linkSeq.Add(1), 10)),
 	}
 	l.wg.Add(2)
 	go func() {
@@ -263,6 +281,9 @@ func (l *link) writeLoop() {
 		mTxFrames.Inc()
 		mTxBytes.Add(int64(len(payload)))
 		mFrameBytes.Observe(int64(len(payload)))
+		wr.pend.Arg = int64(len(payload))
+		wr.pend.Aux = int64(len(l.cq))
+		l.shard.End(wr.pend)
 		l.complete(rdma.Completion{Op: wr.kind, Buf: wr.buf})
 	}
 }
@@ -320,10 +341,19 @@ func (l *link) readLoop() {
 // readSend handles a two-sided message; reports false on fatal error.
 func (l *link) readSend(n int) bool {
 	var rb *rdma.Buffer
+	// Receiver-not-ready: a frame is on the wire but the application has
+	// no posted buffer. Only the slow path opens the stall span.
 	select {
-	case <-l.done:
-		return false
 	case rb = <-l.recvQ:
+	default:
+		cs := l.shard.Begin(trace.PhaseCreditStall)
+		cs.Arg = int64(n)
+		select {
+		case <-l.done:
+			return false
+		case rb = <-l.recvQ:
+		}
+		l.shard.End(cs)
 	}
 	if n > rb.Cap() {
 		l.fail(rdma.Completion{Op: rdma.OpRecv, Buf: rb,
@@ -344,6 +374,7 @@ func (l *link) readSend(n int) bool {
 	}
 	mRxFrames.Inc()
 	mRxBytes.Add(int64(n))
+	l.finishRecv(rb, n)
 	l.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb})
 	return true
 }
@@ -465,6 +496,11 @@ func (l *link) post(wr workReq) error {
 		return rdma.ErrClosed
 	default:
 	}
+	if wr.kind == rdma.OpSend {
+		wr.pend = l.shard.Begin(trace.PhaseWRSend)
+	} else {
+		wr.pend = l.shard.Begin(trace.PhaseWRWrite)
+	}
 	select {
 	case <-l.done:
 		return rdma.ErrClosed
@@ -512,12 +548,57 @@ func (l *link) PostRecv(b *rdma.Buffer) error {
 		return rdma.ErrClosed
 	default:
 	}
+	// Stamp the residency span BEFORE the buffer becomes visible to the
+	// read loop: once enqueued, finishRecv may run immediately.
+	l.stampRecv(b)
 	select {
 	case <-l.done:
+		l.dropRecvStamp(b)
 		return rdma.ErrClosed
 	case l.recvQ <- b:
 		return nil
 	}
+}
+
+// stampRecv opens the WRRecv residency span for a buffer about to be
+// posted.
+func (l *link) stampRecv(b *rdma.Buffer) {
+	if !l.shard.Enabled() {
+		return
+	}
+	pd := l.shard.Begin(trace.PhaseWRRecv)
+	l.mu.Lock()
+	l.recvPend[b] = pd
+	l.mu.Unlock()
+}
+
+// dropRecvStamp abandons a stamp whose post failed.
+func (l *link) dropRecvStamp(b *rdma.Buffer) {
+	if !l.shard.Enabled() {
+		return
+	}
+	l.mu.Lock()
+	delete(l.recvPend, b)
+	l.mu.Unlock()
+}
+
+// finishRecv closes the buffer's WRRecv span when a frame lands in it.
+func (l *link) finishRecv(b *rdma.Buffer, n int) {
+	if !l.shard.Enabled() {
+		return
+	}
+	l.mu.Lock()
+	pd, ok := l.recvPend[b]
+	if ok {
+		delete(l.recvPend, b)
+	}
+	l.mu.Unlock()
+	if !ok {
+		return
+	}
+	pd.Arg = int64(n)
+	pd.Aux = int64(len(l.cq))
+	l.shard.End(pd)
 }
 
 // Completions implements rdma.QueuePair.

@@ -51,13 +51,13 @@ func newNodeMetrics(id int) nodeMetrics {
 	r := metrics.Default()
 	node := strconv.Itoa(id)
 	return nodeMetrics{
-		bytesIn:   r.Counter("ring_bytes_in_total", "encoded wire bytes received per ring node", "node", node),
-		bytesOut:  r.Counter("ring_bytes_out_total", "encoded wire bytes transmitted per ring node", "node", node),
-		processed: r.Counter("ring_fragments_processed_total", "fragments handled by the join entity", "node", node),
-		retired:   r.Counter("ring_fragments_retired_total", "fragments that completed their revolution here", "node", node),
-		procDepth: r.Gauge("ring_procq_depth", "fragments queued for the join entity", "node", node),
-		waitNs:    r.Histogram("ring_wait_ns", "join-entity starvation (sync) time per fragment", durationBounds, "node", node),
-		processNs: r.Histogram("ring_process_ns", "join-entity processing time per fragment", durationBounds, "node", node),
+		bytesIn:      r.Counter("ring_bytes_in_total", "encoded wire bytes received per ring node", "node", node),
+		bytesOut:     r.Counter("ring_bytes_out_total", "encoded wire bytes transmitted per ring node", "node", node),
+		processed:    r.Counter("ring_fragments_processed_total", "fragments handled by the join entity", "node", node),
+		retired:      r.Counter("ring_fragments_retired_total", "fragments that completed their revolution here", "node", node),
+		procDepth:    r.Gauge("ring_procq_depth", "fragments queued for the join entity", "node", node),
+		waitNs:       r.Histogram("ring_wait_ns", "join-entity starvation (sync) time per fragment", durationBounds, "node", node),
+		processNs:    r.Histogram("ring_process_ns", "join-entity processing time per fragment", durationBounds, "node", node),
 		views:        r.Counter("ring_views_total", "received frames bound as allocation-free views of registered memory", "node", node),
 		forwards:     r.Counter("ring_forwards_total", "fragments forwarded by wire-frame copy and hops patch, no decode or re-encode", "node", node),
 		encodes:      r.Counter("ring_encodes_total", "fragments fully serialized into a send buffer (first hop of locally injected fragments)", "node", node),
@@ -163,10 +163,20 @@ type node struct {
 	stats NodeStats
 
 	m nodeMetrics
+
+	// Flight-recorder shards, one per entity track (receiver, join entity,
+	// transmitter). Inert no-op shards when recording is disabled.
+	frecv, fjoin, fsend *trace.Shard
+	// sendPend holds the open PhaseSend span for each posted send buffer;
+	// the reaper closes it when the completion arrives, so the span covers
+	// post→completion rather than just the post call.
+	pendMu   sync.Mutex
+	sendPend map[*rdma.Buffer]trace.Pending
 }
 
 func newNode(id int, cfg Config, proc Processor, retired chan<- retirement, errc chan<- error) *node {
 	slots := cfg.slots()
+	fl := cfg.flightRecorder()
 	return &node{
 		id:       id,
 		cfg:      cfg,
@@ -182,6 +192,10 @@ func newNode(id int, cfg Config, proc Processor, retired chan<- retirement, errc
 		errc:     errc,
 		quit:     make(chan struct{}),
 		m:        newNodeMetrics(id),
+		frecv:    fl.Shard(id, "recv"),
+		fjoin:    fl.Shard(id, "join"),
+		fsend:    fl.Shard(id, "send"),
+		sendPend: make(map[*rdma.Buffer]trace.Pending),
 	}
 }
 
@@ -354,6 +368,7 @@ func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
 // now without a decode-materialize cycle on the way in. Returns false when
 // the node is stopping or the frame is fatally malformed.
 func (n *node) deliver(buf *rdma.Buffer, frame []byte, stop chan struct{}) bool {
+	rspan := n.frecv.Begin(trace.PhaseReceive)
 	v := n.views[buf]
 	bindStart := time.Now()
 	if err := v.Bind(frame, "rotating"); err != nil {
@@ -363,6 +378,7 @@ func (n *node) deliver(buf *rdma.Buffer, frame []byte, stop chan struct{}) bool 
 	n.m.bindNs.Observe(time.Since(bindStart).Nanoseconds())
 	n.m.views.Inc()
 	frag := v.Frag()
+	rspan.Frag, rspan.Hop, rspan.Arg = int32(frag.Index), int32(frag.Hops), int64(len(frame))
 	n.recvMu.Lock()
 	n.pinned[buf] = true
 	n.recvMu.Unlock()
@@ -377,6 +393,7 @@ func (n *node) deliver(buf *rdma.Buffer, frame []byte, stop chan struct{}) bool 
 	select {
 	case n.procQ <- inflight{frag: frag, view: v, buf: buf}:
 		n.m.procDepth.Inc()
+		n.frecv.End(rspan)
 		return true
 	case <-stop:
 	case <-n.quit:
@@ -393,6 +410,10 @@ func (n *node) deliver(buf *rdma.Buffer, frame []byte, stop chan struct{}) bool 
 
 func (n *node) procLoop() {
 	for {
+		// The wait/join/stage spans tile this loop back to back, so the
+		// join-entity track has no unaccounted gaps: cyclotrace reconciles
+		// their sum against the track's wall clock.
+		wpd := n.fjoin.Begin(trace.PhaseWait)
 		waitStart := time.Now()
 		var inf inflight
 		select {
@@ -404,6 +425,10 @@ func (n *node) procLoop() {
 		waited := time.Since(waitStart)
 
 		frag := inf.frag
+		wpd.Frag, wpd.Hop = int32(frag.Index), int32(frag.Hops)
+		n.fjoin.End(wpd)
+		jpd := n.fjoin.Begin(trace.PhaseJoin)
+		jpd.Frag, jpd.Hop, jpd.Arg = int32(frag.Index), int32(frag.Hops), int64(frag.Rel.Len())
 		procStart := time.Now()
 		n.tr.Record(trace.Event{
 			Time: procStart, Node: n.id, Kind: trace.ProcessStart,
@@ -411,6 +436,9 @@ func (n *node) procLoop() {
 		})
 		err := n.proc.Process(frag)
 		procTime := time.Since(procStart)
+		n.fjoin.End(jpd)
+		spd := n.fjoin.Begin(trace.PhaseStage)
+		spd.Frag, spd.Hop = int32(frag.Index), int32(frag.Hops)
 		n.tr.Record(trace.Event{
 			Time: time.Now(), Node: n.id, Kind: trace.ProcessEnd,
 			Fragment: frag.Index, Hops: frag.Hops,
@@ -444,6 +472,7 @@ func (n *node) procLoop() {
 			n.stats.Retired++
 			n.mu.Unlock()
 			n.m.retired.Inc()
+			n.fjoin.Point(trace.PhaseRetire, int32(ret.index), int32(ret.hops), 0)
 			n.tr.Record(trace.Event{
 				Time: time.Now(), Node: n.id, Kind: trace.FragmentRetired,
 				Fragment: ret.index, Hops: ret.hops,
@@ -454,6 +483,7 @@ func (n *node) procLoop() {
 			case <-n.quit:
 				return
 			}
+			n.fjoin.End(spd)
 			continue
 		}
 
@@ -495,11 +525,13 @@ func (n *node) procLoop() {
 				return
 			}
 		}
+		spd.Arg = int64(ob.sz)
 		select {
 		case n.sendQ <- ob:
 		case <-n.quit:
 			return
 		}
+		n.fjoin.End(spd)
 	}
 }
 
@@ -625,6 +657,15 @@ func (n *node) sendLoop(qp rdma.QueuePair, stop chan struct{}) {
 		case ob = <-n.sendQ:
 		}
 		buf, sz := ob.staged, ob.sz
+		// The send span runs from post to completion (closed by the
+		// reaper), covering the transport's whole handling of the frame.
+		spd := n.fsend.Begin(trace.PhaseSend)
+		spd.Frag, spd.Hop, spd.Arg = int32(ob.index), int32(ob.hops), int64(sz)
+		if spd.Active() {
+			n.pendMu.Lock()
+			n.sendPend[buf] = spd
+			n.pendMu.Unlock()
+		}
 		if err := qp.PostSend(buf); err != nil {
 			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: post send: %w", n.id, err))
 			return
@@ -662,11 +703,28 @@ func (n *node) sendReaper(qp rdma.QueuePair, stop chan struct{}) {
 		if c.Op != rdma.OpSend {
 			continue
 		}
+		n.endSendSpan(c.Buf)
 		select {
 		case n.freeSend <- c.Buf:
 		case <-n.quit:
 			return
 		}
+	}
+}
+
+// endSendSpan closes the PhaseSend span opened when buf was posted.
+func (n *node) endSendSpan(buf *rdma.Buffer) {
+	if !n.fsend.Enabled() {
+		return
+	}
+	n.pendMu.Lock()
+	spd, ok := n.sendPend[buf]
+	if ok {
+		delete(n.sendPend, buf)
+	}
+	n.pendMu.Unlock()
+	if ok {
+		n.fsend.End(spd)
 	}
 }
 

@@ -110,6 +110,11 @@ type Config struct {
 	BufferBytes int
 	// Tracer receives runtime events (nil disables tracing).
 	Tracer trace.Tracer
+	// Flight is the span recorder for the flight recorder. Nil means the
+	// process-wide trace.Flight() (which records nothing unless enabled).
+	// Recording must be enabled before New: nodes take their shards at
+	// construction time.
+	Flight *trace.Recorder
 	// OneSidedWrites switches the transmitters to RDMA write-with-
 	// immediate into buffers the downstream neighbor exposes, with
 	// explicit credit flow control on the reverse channel, instead of
@@ -132,6 +137,14 @@ func (c Config) tracer() trace.Tracer {
 		return trace.Nop{}
 	}
 	return c.Tracer
+}
+
+// flightRecorder returns the effective span recorder.
+func (c Config) flightRecorder() *trace.Recorder {
+	if c.Flight == nil {
+		return trace.Flight()
+	}
+	return c.Flight
 }
 
 // Defaults for Config.

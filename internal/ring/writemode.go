@@ -214,14 +214,30 @@ func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credit
 		buf, sz := ob.staged, ob.sz
 		// Wait for a free slot in the neighbor's exposed pool. The frame
 		// already left this node's receive memory (staged in the join
-		// loop), so waiting here never withholds the upstream credit.
+		// loop), so waiting here never withholds the upstream credit. A
+		// credit-stall span records only the slow path, so an uncongested
+		// ring pays nothing.
 		var key rdma.RemoteKey
 		select {
-		case <-stop:
-			return
-		case <-n.quit:
-			return
 		case key = <-credits:
+		default:
+			cs := n.fsend.Begin(trace.PhaseCreditStall)
+			cs.Frag, cs.Hop, cs.Arg = int32(ob.index), int32(ob.hops), int64(sz)
+			select {
+			case <-stop:
+				return
+			case <-n.quit:
+				return
+			case key = <-credits:
+			}
+			n.fsend.End(cs)
+		}
+		spd := n.fsend.Begin(trace.PhaseSend)
+		spd.Frag, spd.Hop, spd.Arg = int32(ob.index), int32(ob.hops), int64(sz)
+		if spd.Active() {
+			n.pendMu.Lock()
+			n.sendPend[buf] = spd
+			n.pendMu.Unlock()
 		}
 		if err := qp.PostWriteImm(key, 0, buf, uint32(sz)); err != nil {
 			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: post write: %w", n.id, err))
@@ -259,6 +275,7 @@ func (n *node) sendReaperWrites(qp rdma.WriteQueuePair, stop chan struct{}, cred
 		}
 		switch c.Op {
 		case rdma.OpWrite:
+			n.endSendSpan(c.Buf)
 			select {
 			case n.freeSend <- c.Buf:
 			case <-n.quit:

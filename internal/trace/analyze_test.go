@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = int64(time.Millisecond)
+
+// synthSpans builds a tidy two-node recording where the numbers are easy
+// to check by hand:
+//
+//	node 0 join entity: wait 2ms, join 6ms, stage 2ms  (wall 10ms)
+//	node 1 join entity: wait 5ms, join 4ms, stage 1ms  (wall 10ms)
+//	frag 0: first join at t=2ms, retired at t=30ms     (revolution 28ms)
+//	frag 1: first join at t=4ms, retired at t=24ms     (revolution 20ms)
+//	aux: two wr-send spans (1ms, 3ms)
+func synthSpans() []Span {
+	return []Span{
+		// node 0: wait |0,2) join |2,8) stage |8,10)
+		{Start: 0, Dur: 2 * ms, Node: 0, Track: 0, Phase: PhaseWait, Frag: 0, Hop: 0},
+		{Start: 2 * ms, Dur: 6 * ms, Node: 0, Track: 0, Phase: PhaseJoin, Frag: 0, Hop: 0},
+		{Start: 8 * ms, Dur: 2 * ms, Node: 0, Track: 0, Phase: PhaseStage, Frag: 0, Hop: 0},
+		// node 1: wait |0,5) join |5,9) stage |9,10)
+		{Start: 0, Dur: 5 * ms, Node: 1, Track: 1, Phase: PhaseWait, Frag: 1, Hop: 0},
+		{Start: 4 * ms, Dur: 4 * ms, Node: 1, Track: 1, Phase: PhaseJoin, Frag: 1, Hop: 0},
+		{Start: 9 * ms, Dur: 1 * ms, Node: 1, Track: 1, Phase: PhaseStage, Frag: 1, Hop: 0},
+		// overlapping receive/send spans must not affect wall or coverage
+		{Start: 0, Dur: 3 * ms, Node: 0, Track: 2, Phase: PhaseReceive, Frag: 1, Hop: 0, Arg: 4096},
+		{Start: 8 * ms, Dur: 3 * ms, Node: 0, Track: 3, Phase: PhaseSend, Frag: 0, Hop: 1, Arg: 4096},
+		// retirements
+		{Start: 30 * ms, Node: 1, Track: 1, Phase: PhaseRetire, Frag: 0, Hop: 2},
+		{Start: 24 * ms, Node: 0, Track: 0, Phase: PhaseRetire, Frag: 1, Hop: 2},
+		// aux transport spans (negative node)
+		{Start: 1 * ms, Dur: 1 * ms, Node: NodeTransport, Track: 4, Phase: PhaseWRSend, Frag: -1, Hop: -1},
+		{Start: 5 * ms, Dur: 3 * ms, Node: NodeTransport, Track: 4, Phase: PhaseWRSend, Frag: -1, Hop: -1},
+	}
+}
+
+func TestAnalyzeBreakdown(t *testing.T) {
+	a := Analyze(synthSpans())
+	if len(a.Nodes) != 2 {
+		t.Fatalf("got %d nodes, want 2", len(a.Nodes))
+	}
+	n0, n1 := a.Nodes[0], a.Nodes[1]
+	if n0.Node != 0 || n1.Node != 1 {
+		t.Fatalf("nodes out of order: %+v", a.Nodes)
+	}
+	if n0.Wall != 10*time.Millisecond {
+		t.Fatalf("node 0 wall = %v, want 10ms", n0.Wall)
+	}
+	if n0.Phases[PhaseWait] != 2*time.Millisecond || n0.Phases[PhaseJoin] != 6*time.Millisecond || n0.Phases[PhaseStage] != 2*time.Millisecond {
+		t.Fatalf("node 0 phases wrong: %+v", n0.Phases)
+	}
+	if n0.Coverage < 0.999 || n0.Coverage > 1.001 {
+		t.Fatalf("node 0 coverage = %v, want ~1 (phases tile the wall clock)", n0.Coverage)
+	}
+	if got, want := n0.Starvation, 0.2; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("node 0 starvation = %v, want %v", got, want)
+	}
+	if got, want := n1.Starvation, 0.5; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("node 1 starvation = %v, want %v", got, want)
+	}
+	if n0.Busy != 8*time.Millisecond || n1.Busy != 5*time.Millisecond {
+		t.Fatalf("busy wrong: node0=%v node1=%v", n0.Busy, n1.Busy)
+	}
+	if a.SlowestNode != 0 {
+		t.Fatalf("slowest node = %d, want 0 (largest busy time)", a.SlowestNode)
+	}
+	if a.MostStarvedNode != 1 {
+		t.Fatalf("most starved node = %d, want 1", a.MostStarvedNode)
+	}
+	// Receive/send must be reported but kept out of the wall math.
+	if n0.Phases[PhaseReceive] != 3*time.Millisecond || n0.Phases[PhaseSend] != 3*time.Millisecond {
+		t.Fatalf("overlapping phases lost: %+v", n0.Phases)
+	}
+}
+
+func TestAnalyzeRevolutions(t *testing.T) {
+	a := Analyze(synthSpans())
+	if len(a.Revolutions) != 2 {
+		t.Fatalf("got %d revolutions, want 2", len(a.Revolutions))
+	}
+	if a.Revolutions[0] != 20*time.Millisecond || a.Revolutions[1] != 28*time.Millisecond {
+		t.Fatalf("revolutions = %v, want [20ms 28ms]", a.Revolutions)
+	}
+	if got := a.RevolutionP(50); got != 20*time.Millisecond {
+		t.Fatalf("p50 = %v, want 20ms", got)
+	}
+	if got := a.RevolutionP(99); got != 28*time.Millisecond {
+		t.Fatalf("p99 = %v, want 28ms", got)
+	}
+}
+
+func TestAnalyzeAux(t *testing.T) {
+	a := Analyze(synthSpans())
+	if len(a.Aux) != 1 {
+		t.Fatalf("got %d aux stats, want 1: %+v", len(a.Aux), a.Aux)
+	}
+	st := a.Aux[0]
+	if st.Phase != PhaseWRSend || st.Count != 2 || st.Total != 4*time.Millisecond {
+		t.Fatalf("aux stat wrong: %+v", st)
+	}
+	if st.P50 != 1*time.Millisecond || st.Max != 3*time.Millisecond {
+		t.Fatalf("aux percentiles wrong: %+v", st)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Spans != 0 || len(a.Nodes) != 0 || len(a.Revolutions) != 0 {
+		t.Fatalf("empty analysis not empty: %+v", a)
+	}
+	if a.SlowestNode != -1 || a.MostStarvedNode != -1 {
+		t.Fatalf("empty analysis has node picks: %+v", a)
+	}
+	if a.RevolutionP(99) != 0 {
+		t.Fatal("percentile of nothing should be 0")
+	}
+}

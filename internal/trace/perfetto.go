@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Perfetto export: the Chrome trace-event JSON format, readable by
+// ui.perfetto.dev and chrome://tracing. The mapping is
+//
+//	pid  = ring node (NodeTransport spans share transportPID),
+//	tid  = recorder track (one per producing shard),
+//	"X"  = complete event for interval spans (ts/dur in µs, ns precision
+//	       via three decimals),
+//	"i"  = instant event for Point spans,
+//	"M"  = metadata naming each process ("node 3") and thread ("join").
+//
+// The correlation key and magnitudes travel in args, so a span clicked in
+// the UI shows frag/hop/arg/aux. ReadPerfetto parses the same format back
+// for cmd/cyclotrace.
+
+// transportPID is the pid under which link-level (NodeTransport) tracks
+// are grouped in the Perfetto UI.
+const transportPID = 9999
+
+func perfettoPID(node int) int {
+	if node < 0 {
+		return transportPID
+	}
+	return node
+}
+
+// WritePerfetto emits tracks and spans as Chrome trace-event JSON. Spans
+// should come from Recorder.Snapshot (or ReadPerfetto); output is
+// deterministic for a given input, which the golden test relies on.
+func WritePerfetto(w io.Writer, tracks []TrackInfo, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line []byte) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.Write(line)
+		return err
+	}
+
+	// Process metadata: one per distinct pid, in order of first appearance.
+	seenPID := make(map[int]bool)
+	for _, t := range tracks {
+		pid := perfettoPID(t.Node)
+		if seenPID[pid] {
+			continue
+		}
+		seenPID[pid] = true
+		name := "transport"
+		if t.Node >= 0 {
+			name = "node " + strconv.Itoa(t.Node)
+		}
+		line := fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`, pid, strconv.Quote(name))
+		if err := emit([]byte(line)); err != nil {
+			return err
+		}
+	}
+	// Thread metadata: one per track.
+	for _, t := range tracks {
+		line := fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			perfettoPID(t.Node), t.ID, strconv.Quote(t.Entity))
+		if err := emit([]byte(line)); err != nil {
+			return err
+		}
+	}
+
+	var buf []byte
+	for _, sp := range spans {
+		buf = buf[:0]
+		buf = append(buf, `{"name":`...)
+		buf = strconv.AppendQuote(buf, sp.Phase.String())
+		if sp.Dur > 0 {
+			buf = append(buf, `,"ph":"X","ts":`...)
+			buf = appendMicros(buf, sp.Start)
+			buf = append(buf, `,"dur":`...)
+			buf = appendMicros(buf, sp.Dur)
+		} else {
+			buf = append(buf, `,"ph":"i","s":"t","ts":`...)
+			buf = appendMicros(buf, sp.Start)
+		}
+		buf = append(buf, `,"pid":`...)
+		buf = strconv.AppendInt(buf, int64(perfettoPID(int(sp.Node))), 10)
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(sp.Track), 10)
+		buf = append(buf, `,"args":{"frag":`...)
+		buf = strconv.AppendInt(buf, int64(sp.Frag), 10)
+		buf = append(buf, `,"hop":`...)
+		buf = strconv.AppendInt(buf, int64(sp.Hop), 10)
+		buf = append(buf, `,"arg":`...)
+		buf = strconv.AppendInt(buf, sp.Arg, 10)
+		buf = append(buf, `,"aux":`...)
+		buf = strconv.AppendInt(buf, sp.Aux, 10)
+		buf = append(buf, `}}`...)
+		if err := emit(buf); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendMicros formats ns as µs with three decimals (full ns precision).
+func appendMicros(b []byte, ns int64) []byte {
+	b = strconv.AppendInt(b, ns/1000, 10)
+	b = append(b, '.')
+	frac := ns % 1000
+	b = append(b, byte('0'+frac/100), byte('0'+(frac/10)%10), byte('0'+frac%10))
+	return b
+}
+
+// WritePerfetto exports the recorder's current snapshot.
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	return WritePerfetto(w, r.Tracks(), r.Snapshot())
+}
+
+// perfettoEvent is the subset of the trace-event schema the parser reads.
+type perfettoEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int32   `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Args struct {
+		Name string `json:"name"`
+		Frag *int32 `json:"frag"`
+		Hop  *int32 `json:"hop"`
+		Arg  *int64 `json:"arg"`
+		Aux  *int64 `json:"aux"`
+	} `json:"args"`
+}
+
+// ReadPerfetto parses a recording produced by WritePerfetto back into
+// tracks and spans. Events with names no Phase claims are skipped, so a
+// file round-trips even if a future writer adds event types.
+func ReadPerfetto(r io.Reader) ([]TrackInfo, []Span, error) {
+	var doc struct {
+		TraceEvents []perfettoEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("trace: parse perfetto json: %w", err)
+	}
+	byName := make(map[string]Phase, len(phaseNames))
+	for p, n := range phaseNames {
+		byName[n] = p
+	}
+	node := func(pid int) int {
+		if pid == transportPID {
+			return NodeTransport
+		}
+		return pid
+	}
+	var tracks []TrackInfo
+	var spans []Span
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				tracks = append(tracks, TrackInfo{ID: ev.Tid, Node: node(ev.Pid), Entity: ev.Args.Name})
+			}
+		case "X", "i":
+			phase, ok := byName[ev.Name]
+			if !ok {
+				continue
+			}
+			sp := Span{
+				Start: int64(math.Round(ev.Ts * 1000)),
+				Node:  int32(node(ev.Pid)),
+				Track: ev.Tid,
+				Phase: phase,
+				Frag:  -1,
+				Hop:   -1,
+			}
+			if ev.Ph == "X" {
+				sp.Dur = int64(math.Round(ev.Dur * 1000))
+				if sp.Dur <= 0 {
+					sp.Dur = 1
+				}
+			}
+			if ev.Args.Frag != nil {
+				sp.Frag = *ev.Args.Frag
+			}
+			if ev.Args.Hop != nil {
+				sp.Hop = *ev.Args.Hop
+			}
+			if ev.Args.Arg != nil {
+				sp.Arg = *ev.Args.Arg
+			}
+			if ev.Args.Aux != nil {
+				sp.Aux = *ev.Args.Aux
+			}
+			spans = append(spans, sp)
+		}
+	}
+	return tracks, spans, nil
+}

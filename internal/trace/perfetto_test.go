@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenTracks/goldenSpans are a small deterministic recording: two node
+// tracks, one transport track, interval + instant events.
+var goldenTracks = []TrackInfo{
+	{ID: 0, Node: 0, Entity: "recv"},
+	{ID: 1, Node: 0, Entity: "join"},
+	{ID: 2, Node: 1, Entity: "join"},
+	{ID: 3, Node: NodeTransport, Entity: "memlink/1"},
+}
+
+var goldenSpans = []Span{
+	{Start: 1000, Dur: 2500, Node: 0, Track: 0, Phase: PhaseReceive, Frag: 0, Hop: 1, Arg: 4096},
+	{Start: 1500, Dur: 123456, Node: 0, Track: 1, Phase: PhaseJoin, Frag: 0, Hop: 1, Arg: 512},
+	{Start: 2000, Dur: 777, Node: NodeTransport, Track: 3, Phase: PhaseWRSend, Frag: -1, Hop: -1, Arg: 4096, Aux: 2},
+	{Start: 130000, Dur: 50000, Node: 1, Track: 2, Phase: PhaseWait, Frag: 0, Hop: 2},
+	{Start: 200001, Node: 1, Track: 2, Phase: PhaseRetire, Frag: 0, Hop: 2},
+}
+
+// golden is the exact bytes WritePerfetto must emit for the fixture — the
+// wire-format contract with ui.perfetto.dev and cyclotrace.
+const golden = `{"displayTimeUnit":"ns","traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"args":{"name":"node 0"}},
+{"name":"process_name","ph":"M","pid":1,"args":{"name":"node 1"}},
+{"name":"process_name","ph":"M","pid":9999,"args":{"name":"transport"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"recv"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"join"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"join"}},
+{"name":"thread_name","ph":"M","pid":9999,"tid":3,"args":{"name":"memlink/1"}},
+{"name":"receive","ph":"X","ts":1.000,"dur":2.500,"pid":0,"tid":0,"args":{"frag":0,"hop":1,"arg":4096,"aux":0}},
+{"name":"join","ph":"X","ts":1.500,"dur":123.456,"pid":0,"tid":1,"args":{"frag":0,"hop":1,"arg":512,"aux":0}},
+{"name":"wr-send","ph":"X","ts":2.000,"dur":0.777,"pid":9999,"tid":3,"args":{"frag":-1,"hop":-1,"arg":4096,"aux":2}},
+{"name":"wait","ph":"X","ts":130.000,"dur":50.000,"pid":1,"tid":2,"args":{"frag":0,"hop":2,"arg":0,"aux":0}},
+{"name":"retire","ph":"i","s":"t","ts":200.001,"pid":1,"tid":2,"args":{"frag":0,"hop":2,"arg":0,"aux":0}}
+]}
+`
+
+func TestWritePerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, goldenTracks, goldenSpans); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != golden {
+		t.Fatalf("perfetto output drifted from the golden format.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+func TestPerfettoRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, goldenTracks, goldenSpans); err != nil {
+		t.Fatal(err)
+	}
+	tracks, spans, err := ReadPerfetto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tracks, goldenTracks) {
+		t.Fatalf("tracks round-trip mismatch:\ngot  %+v\nwant %+v", tracks, goldenTracks)
+	}
+	if !reflect.DeepEqual(spans, goldenSpans) {
+		t.Fatalf("spans round-trip mismatch:\ngot  %+v\nwant %+v", spans, goldenSpans)
+	}
+}
+
+// TestPerfettoRecorderExport drives a live recorder end to end: record,
+// export, parse, and check the events survived with their correlation
+// keys intact.
+func TestPerfettoRecorderExport(t *testing.T) {
+	rec := NewRecorder(64)
+	s := rec.Shard(3, "join")
+	pd := s.Begin(PhaseJoin)
+	pd.Frag, pd.Hop, pd.Arg = 9, 2, 100
+	s.End(pd)
+	s.Point(PhaseRetire, 9, 4, 0)
+
+	var buf bytes.Buffer
+	if err := rec.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"name":"node 3"`) {
+		t.Fatalf("export lacks the node process name:\n%s", out)
+	}
+	tracks, spans, err := ReadPerfetto(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != 1 || tracks[0].Entity != "join" || tracks[0].Node != 3 {
+		t.Fatalf("bad tracks: %+v", tracks)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Phase != PhaseJoin || spans[0].Frag != 9 || spans[0].Hop != 2 || spans[0].Arg != 100 {
+		t.Fatalf("join span lost fields: %+v", spans[0])
+	}
+	if spans[1].Phase != PhaseRetire || spans[1].Dur != 0 {
+		t.Fatalf("retire instant lost fields: %+v", spans[1])
+	}
+}
+
+// TestPerfettoSkipsUnknownEvents: forward compatibility — events with
+// unrecognized names parse away cleanly.
+func TestPerfettoSkipsUnknownEvents(t *testing.T) {
+	in := `{"traceEvents":[
+		{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"join"}},
+		{"name":"mystery","ph":"X","ts":1.0,"dur":1.0,"pid":0,"tid":0},
+		{"name":"join","ph":"X","ts":2.0,"dur":3.0,"pid":0,"tid":0,"args":{"frag":1,"hop":0,"arg":0,"aux":0}}
+	]}`
+	_, spans, err := ReadPerfetto(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Phase != PhaseJoin || spans[0].Start != 2000 || spans[0].Dur != 3000 {
+		t.Fatalf("unexpected spans: %+v", spans)
+	}
+}

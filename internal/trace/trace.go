@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"cyclojoin/internal/metrics"
 )
 
 // Kind classifies a runtime event.
@@ -80,53 +82,109 @@ var _ Tracer = Nop{}
 // Record implements Tracer.
 func (Nop) Record(Event) {}
 
-// Buffer accumulates events in memory. The zero value is ready to use.
+// DefaultBufferCap bounds a zero-value Buffer: once full, each new event
+// evicts the oldest one.
+const DefaultBufferCap = 1 << 16
+
+// mBufferDropped counts events evicted from full Buffers, process-wide.
+var mBufferDropped = metrics.Default().Counter("trace_events_dropped_total", "ring trace events evicted from full trace.Buffer rings")
+
+// Buffer accumulates recent events in a bounded ring: when full, the
+// oldest event is dropped (and counted) rather than growing without
+// bound — a long run keeps the most recent window instead of eating the
+// heap. The zero value is ready to use with DefaultBufferCap; NewBuffer
+// chooses the capacity.
 type Buffer struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// cap is the configured capacity; 0 means DefaultBufferCap.
+	cap    int
 	events []Event
+	// head indexes the oldest event once the ring has wrapped.
+	head    int
+	dropped int64
+	// counts tallies retained events per kind, so Count is O(1) instead
+	// of a scan under lock per call site (Kind is a uint8, so the array
+	// covers every possible value).
+	counts [256]int64
 }
 
 var _ Tracer = (*Buffer)(nil)
 
-// Record implements Tracer.
+// NewBuffer returns a Buffer retaining at most capacity events
+// (<=0 means DefaultBufferCap).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = DefaultBufferCap
+	}
+	return &Buffer{cap: capacity}
+}
+
+func (b *Buffer) capacity() int {
+	if b.cap > 0 {
+		return b.cap
+	}
+	return DefaultBufferCap
+}
+
+// Record implements Tracer. When the ring is full the oldest event is
+// evicted and counted in Dropped (and trace_events_dropped_total).
 func (b *Buffer) Record(ev Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.events = append(b.events, ev)
+	if len(b.events) < b.capacity() {
+		b.events = append(b.events, ev)
+		b.counts[ev.Kind]++
+		return
+	}
+	old := &b.events[b.head]
+	b.counts[old.Kind]--
+	b.dropped++
+	mBufferDropped.Inc()
+	*old = ev
+	b.counts[ev.Kind]++
+	b.head++
+	if b.head == len(b.events) {
+		b.head = 0
+	}
 }
 
-// Events returns a copy of the recorded events in arrival order.
+// Events returns a copy of the retained events in arrival order.
 func (b *Buffer) Events() []Event {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	cp := make([]Event, len(b.events))
-	copy(cp, b.events)
+	cp := make([]Event, 0, len(b.events))
+	cp = append(cp, b.events[b.head:]...)
+	cp = append(cp, b.events[:b.head]...)
 	return cp
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events.
 func (b *Buffer) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.events)
 }
 
-// Count tallies events of one kind.
+// Count tallies retained events of one kind in O(1).
 func (b *Buffer) Count(kind Kind) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	n := 0
-	for _, ev := range b.events {
-		if ev.Kind == kind {
-			n++
-		}
-	}
-	return n
+	return int(b.counts[kind])
 }
 
-// Reset discards all recorded events.
+// Dropped returns the number of events evicted because the ring was full.
+func (b *Buffer) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Reset discards all retained events and the drop count.
 func (b *Buffer) Reset() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.events = b.events[:0]
+	b.head = 0
+	b.dropped = 0
+	b.counts = [256]int64{}
 }

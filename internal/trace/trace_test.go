@@ -76,3 +76,57 @@ func TestBufferConcurrent(t *testing.T) {
 func TestNopDiscards(t *testing.T) {
 	Nop{}.Record(Event{Kind: ProcessStart}) // must not panic
 }
+
+// TestBufferBounded: a full Buffer evicts its oldest events instead of
+// growing without bound, counts the loss, and keeps Len/Count exact.
+func TestBufferBounded(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		kind := ProcessStart
+		if i >= 6 {
+			kind = FragmentSent
+		}
+		b.Record(Event{Node: i, Kind: kind})
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+	if d := b.Dropped(); d != 6 {
+		t.Fatalf("Dropped = %d, want 6", d)
+	}
+	evs := b.Events()
+	for i, ev := range evs {
+		if want := 6 + i; ev.Node != want {
+			t.Fatalf("event %d is node %d, want %d (oldest-drop order violated)", i, ev.Node, want)
+		}
+	}
+	// Counts must track evictions, not just inserts.
+	if b.Count(ProcessStart) != 0 {
+		t.Fatalf("Count(ProcessStart) = %d, want 0 after eviction", b.Count(ProcessStart))
+	}
+	if b.Count(FragmentSent) != 4 {
+		t.Fatalf("Count(FragmentSent) = %d, want 4", b.Count(FragmentSent))
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Dropped() != 0 || b.Count(FragmentSent) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+// TestBufferZeroValueCap: the zero value stays usable and gets the
+// default cap.
+func TestBufferZeroValueCap(t *testing.T) {
+	var b Buffer
+	for i := 0; i < DefaultBufferCap+10; i++ {
+		b.Record(Event{Kind: ProcessStart})
+	}
+	if b.Len() != DefaultBufferCap {
+		t.Fatalf("Len = %d, want %d", b.Len(), DefaultBufferCap)
+	}
+	if b.Dropped() != 10 {
+		t.Fatalf("Dropped = %d, want 10", b.Dropped())
+	}
+	if b.Count(ProcessStart) != DefaultBufferCap {
+		t.Fatalf("Count = %d, want %d", b.Count(ProcessStart), DefaultBufferCap)
+	}
+}
