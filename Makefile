@@ -1,18 +1,35 @@
 # The ring and tcplink code is concurrency-heavy: `make check` is the
 # tier-1 gate (see ROADMAP.md) and runs the full suite under the race
-# detector on top of build and vet.
+# detector on top of build, vet and the cyclolint analyzer suite.
 
 GO ?= go
 
-.PHONY: check build vet test race bench-metrics bench-ring bench-trace smoke-trace
+.PHONY: check build vet lint cyclolint test race bench-metrics bench-ring bench-trace smoke-trace
 
-check: build vet race
+check: build vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own analyzer suite (see internal/lint and
+# DESIGN.md §9) plus staticcheck when it is installed locally. CI runs
+# staticcheck and govulncheck in a dedicated pinned job; locally they are
+# optional so a bare toolchain can still run `make check`.
+lint: cyclolint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+# cyclolint is driven through `go vet -vettool` so package results are
+# cached by the build cache; `bin/cyclolint ./...` works standalone too.
+cyclolint:
+	$(GO) build -o bin/cyclolint ./cmd/cyclolint
+	$(GO) vet -vettool=$(CURDIR)/bin/cyclolint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,224 @@
+// Command cyclolint runs the repo's custom analyzer suite (see
+// internal/lint) in two modes:
+//
+// Standalone, over package patterns, from anywhere in the module:
+//
+//	cyclolint ./...
+//	cyclolint -disable hotpathalloc ./internal/ring
+//
+// As a go vet tool, speaking vet's unitchecker protocol — the .cfg
+// handshake, -V=full version stamping and -flags discovery — so the
+// toolchain drives it incrementally with build-cache hits:
+//
+//	go vet -vettool=$(pwd)/bin/cyclolint ./...
+//
+// Diagnostics print as file:line:col: analyzer: message; the exit code is
+// nonzero when any diagnostic is reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cyclojoin/internal/lint"
+	"cyclojoin/internal/lint/analysis"
+	"cyclojoin/internal/lint/load"
+)
+
+// version participates in go vet's build-cache key via -V=full; bump it
+// when analyzer behavior changes so stale cached verdicts are discarded.
+const version = "v0.1.0"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("cyclolint", flag.ContinueOnError)
+	vFlag := fs.String("V", "", "print version and exit (go vet protocol)")
+	flagsFlag := fs.Bool("flags", false, "print flag definitions as JSON and exit (go vet protocol)")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: cyclolint [-disable names] [packages]\n       cyclolint <unit>.cfg  (go vet -vettool mode)\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case *vFlag != "":
+		// go vet invokes `tool -V=full` and wants "name version ...".
+		fmt.Printf("cyclolint version %s\n", version)
+		return 0
+	case *flagsFlag:
+		// go vet discovers tool flags via `tool -flags`; we expose none.
+		fmt.Println("[]")
+		return 0
+	}
+	analyzers := selected(*disable)
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(analyzers, rest[0])
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	return runStandalone(analyzers, rest)
+}
+
+// selected filters the suite by the -disable list.
+func selected(disable string) []*analysis.Analyzer {
+	skip := make(map[string]bool)
+	for _, name := range strings.Split(disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			skip[name] = true
+		}
+	}
+	var out []*analysis.Analyzer
+	for _, a := range lint.Analyzers() {
+		if !skip[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runStandalone loads patterns via go list export data and analyzes each
+// matched package.
+func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
+		return 2
+	}
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
+		return 2
+	}
+	bad := false
+	for _, pkg := range pkgs {
+		diags := analyze(analyzers, &analysis.Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		})
+		if len(diags) > 0 {
+			bad = true
+			print(os.Stderr, pkg.Fset, diags)
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+// unitConfig is the subset of go vet's unitchecker .cfg the tool needs.
+type unitConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one compilation unit described by a go vet .cfg.
+func runUnit(analyzers []*analysis.Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
+		return 2
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cyclolint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// go vet expects the facts file regardless; cyclolint keeps no
+	// cross-package facts, so an empty one satisfies the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	imp := load.Importer(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, err := load.CheckFiles(fset, imp, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
+		return 2
+	}
+	diags := analyze(analyzers, &analysis.Pass{
+		Fset:      fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	})
+	if len(diags) > 0 {
+		print(os.Stderr, fset, diags)
+		return 2
+	}
+	return 0
+}
+
+// labeled pairs a diagnostic with the analyzer that produced it.
+type labeled struct {
+	analysis.Diagnostic
+	analyzer string
+}
+
+// analyze runs each analyzer over the shared pass skeleton and collects
+// position-sorted diagnostics.
+func analyze(analyzers []*analysis.Analyzer, base *analysis.Pass) []labeled {
+	var diags []labeled
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      base.Fset,
+			Files:     base.Files,
+			Pkg:       base.Pkg,
+			TypesInfo: base.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, labeled{Diagnostic: d, analyzer: name})
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "cyclolint: %s: %v\n", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		return diags[i].Pos < diags[j].Pos
+	})
+	return diags
+}
+
+func print(w *os.File, fset *token.FileSet, diags []labeled) {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(".", name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.analyzer, d.Message)
+	}
+}

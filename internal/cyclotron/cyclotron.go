@@ -38,7 +38,7 @@ import (
 var (
 	mRevolutions = metrics.Default().Counter("cyclotron_revolutions_total", "completed wheel revolutions")
 	mJoins       = metrics.Default().Counter("cyclotron_joins_total", "join queries served by the wheel")
-	mBatchJoins  = metrics.Default().Histogram("cyclotron_batch_joins", "join queries batched onto one revolution",
+	mBatchJoins  = metrics.Default().Histogram("cyclotron_batch_depth", "join queries batched onto one revolution",
 		[]int64{1, 2, 4, 8, 16, 32, 64})
 )
 

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/hotpathalloc"
+	"cyclojoin/internal/lint/linttest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, hotpathalloc.Analyzer, "hotpathalloc")
+}

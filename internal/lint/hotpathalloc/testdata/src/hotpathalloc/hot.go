@@ -1,0 +1,138 @@
+// Test surface for the hotpathalloc analyzer: each allocating construct
+// inside an annotated function, the amortized-append and coldpath
+// escapes, and an unannotated control.
+package hotpathalloc
+
+import (
+	"fmt"
+	"time"
+)
+
+type sink struct {
+	buf []byte
+	n   int
+}
+
+var out any
+
+// plain is unannotated: allocation is unconstrained here.
+func plain() []int {
+	return make([]int, 8)
+}
+
+// hot shows the sanctioned steady-state shapes: counters, in-place
+// writes, and append amortized by a same-function x = x[:0] reset.
+//
+//cyclolint:hotpath
+func hot(s *sink, b []byte) {
+	s.n++
+	s.buf = s.buf[:0]
+	s.buf = append(s.buf, b...)
+}
+
+//cyclolint:hotpath
+func alloc() []int {
+	return make([]int, 8) // want `make allocates`
+}
+
+//cyclolint:hotpath
+func grow(dst []int, v int) []int {
+	return append(dst, v) // want `append may grow`
+}
+
+//cyclolint:hotpath
+func format(err error) {
+	fmt.Println(err) // want `fmt\.Println allocates`
+}
+
+//cyclolint:hotpath
+func coldFormat(err error) {
+	if err != nil {
+		//cyclolint:coldpath error branch, the caller is about to stop
+		fmt.Println(err)
+	}
+}
+
+//cyclolint:hotpath
+func timer() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After allocates`
+}
+
+//cyclolint:hotpath
+func box(v int) {
+	out = v // want `boxing int`
+}
+
+//cyclolint:hotpath
+func noBoxPointer(p *sink) {
+	out = p
+}
+
+//cyclolint:hotpath
+func closure() func() int {
+	return func() int { return 1 } // want `closure literal`
+}
+
+//cyclolint:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+//cyclolint:hotpath
+func constConcatOK() string {
+	return "a" + "b"
+}
+
+//cyclolint:hotpath
+func convert(b []byte) string {
+	return string(b) // want `conversion copies`
+}
+
+//cyclolint:hotpath
+func unconvert(s string) []byte {
+	return []byte(s) // want `conversion copies`
+}
+
+//cyclolint:hotpath
+func spawn() {
+	go plain() // want `go statement`
+}
+
+//cyclolint:hotpath
+func sliceLit() []int {
+	return []int{1, 2} // want `slice literal`
+}
+
+//cyclolint:hotpath
+func mapLit() map[int]int {
+	return map[int]int{} // want `map literal`
+}
+
+//cyclolint:hotpath
+func ptrLit() *sink {
+	return &sink{} // want `&composite literal`
+}
+
+//cyclolint:hotpath
+func valueStructOK(n int) sink {
+	return sink{n: n}
+}
+
+//cyclolint:hotpath
+func variadic(vs ...int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+//cyclolint:hotpath
+func callVariadic() int {
+	return variadic(1, 2, 3) // want `variadic function allocates`
+}
+
+//cyclolint:hotpath
+func spreadOK(vs []int) int {
+	return variadic(vs...)
+}

@@ -1,0 +1,32 @@
+// Package lint assembles cyclolint's analyzer suite. Each analyzer
+// enforces one repo invariant that tests cannot economically cover:
+//
+//	viewescape   — relation.View aliases must not outlive the buffer credit
+//	hotpathalloc — //cyclolint:hotpath functions stay allocation-free
+//	spanpair     — trace Begin/End pairing on every return path
+//	unsafeonly   — unsafe confined to build-tagged endian files
+//	metricname   — metric names are greppable, unit-suffixed literals
+//
+// Drivers (cmd/cyclolint standalone and vettool modes, linttest) consume
+// Analyzers(); the suite order is stable for deterministic output.
+package lint
+
+import (
+	"cyclojoin/internal/lint/analysis"
+	"cyclojoin/internal/lint/hotpathalloc"
+	"cyclojoin/internal/lint/metricname"
+	"cyclojoin/internal/lint/spanpair"
+	"cyclojoin/internal/lint/unsafeonly"
+	"cyclojoin/internal/lint/viewescape"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		viewescape.Analyzer,
+		hotpathalloc.Analyzer,
+		spanpair.Analyzer,
+		unsafeonly.Analyzer,
+		metricname.Analyzer,
+	}
+}

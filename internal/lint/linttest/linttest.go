@@ -1,0 +1,215 @@
+// Package linttest is cyclolint's golden-test harness, a small analog of
+// golang.org/x/tools/go/analysis/analysistest. A test package lives
+// under the analyzer's testdata/src/<pkg> directory and marks expected
+// diagnostics with trailing comments:
+//
+//	h.v = v // want `stored in a struct field`
+//
+// Each `want` carries one or more Go-quoted regular expressions; every
+// expectation must be matched by a diagnostic on that line and every
+// diagnostic must match an expectation, or the test fails.
+//
+// Test packages type-check against the real module: imports of
+// cyclojoin/... (and the stdlib) resolve through the same export-data
+// importer the drivers use, so testdata can exercise analyzers against
+// the genuine relation.View, trace.Shard and metrics.Registry types.
+package linttest
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cyclojoin/internal/lint/analysis"
+	"cyclojoin/internal/lint/load"
+)
+
+// Run analyzes each testdata/src/<pkg> directory (relative to the
+// calling test's working directory) as one package and checks its `want`
+// expectations against a.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	exports := moduleExports(t)
+	for _, pkg := range pkgs {
+		runPackage(t, a, exports, pkg)
+	}
+}
+
+// moduleExports indexes export data for every module package and its
+// (stdlib) dependencies, shared across the test's packages.
+func moduleExports(t *testing.T) map[string]string {
+	t.Helper()
+	root := moduleRoot(t)
+	exports, _, err := load.GoList(root, "./...")
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	return exports
+}
+
+// moduleRoot locates the enclosing module's directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("linttest: go list -m: %v\n%s", err, stderr.String())
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func runPackage(t *testing.T, a *analysis.Analyzer, exports map[string]string, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkg))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := load.Importer(fset, nil, exports)
+	loaded, err := load.CheckFiles(fset, imp, "cyclolinttest/"+pkg, filenames)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     loaded.Files,
+		Pkg:       loaded.Types,
+		TypesInfo: loaded.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: %s on %s: %v", a.Name, pkg, err)
+	}
+	checkExpectations(t, fset, loaded, pkg, diags)
+}
+
+// expectation is one `want` regexp anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+// parseWants extracts the `want` expectations from a package's comments.
+func parseWants(t *testing.T, fset *token.FileSet, loaded *load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range loaded.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("linttest: %s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a want payload: a sequence of Go-quoted strings
+// (interpreted or backquoted).
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		q, rest, err := scanQuoted(s)
+		if err != nil {
+			t.Fatalf("linttest: %s: malformed want clause %q: %v", pos, s, err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(rest)
+	}
+	return out
+}
+
+// scanQuoted consumes one leading Go string literal from s.
+func scanQuoted(s string) (value, rest string, err error) {
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated backquote")
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				v, err := strconv.Unquote(s[:i+1])
+				return v, s[i+1:], err
+			}
+		}
+		return "", "", fmt.Errorf("unterminated quote")
+	default:
+		return "", "", fmt.Errorf("expected quoted pattern")
+	}
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, loaded *load.Package, pkg string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, loaded)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	if t.Failed() {
+		t.Logf("package %s: %d diagnostics, %d expectations", pkg, len(diags), len(wants))
+	}
+}

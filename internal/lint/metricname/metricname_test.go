@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/linttest"
+	"cyclojoin/internal/lint/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	linttest.Run(t, metricname.Analyzer, "metricname")
+}

@@ -1,0 +1,27 @@
+// Test surface for the metricname analyzer: the suffix convention per
+// instrument kind, snake_case shape, and the literal-name requirement.
+package metricname
+
+import "cyclojoin/internal/metrics"
+
+var reg = metrics.NewRegistry()
+
+var (
+	counterOK      = reg.Counter("frames_total", "frames moved")
+	counterBytesOK = reg.Counter("rx_bytes_total", "bytes received")
+	counterCase    = reg.Counter("FramesTotal", "frames moved")  // want `not snake_case`
+	counterSuffix  = reg.Counter("frames_count", "frames moved") // want `must end in _total`
+
+	gaugeDepthOK = reg.Gauge("send_queue_depth", "queued sends")
+	gaugeBytesOK = reg.Gauge("resident_bytes", "resident memory")
+	gaugeSuffix  = reg.Gauge("send_queue_size", "queued sends") // want `must end in _depth or _bytes`
+
+	histNsOK     = reg.Histogram("bind_ns", "bind latency", []int64{1, 10, 100})
+	histBytesOK  = reg.Histogram("frame_bytes", "frame sizes", []int64{64, 512, 4096})
+	histSuffix   = reg.Histogram("bind_time", "bind latency", []int64{1, 10, 100})   // want `must end in`
+	histBadShape = reg.Histogram("bind__ns", "double underscore", []int64{1, 2, 10}) // want `not snake_case`
+)
+
+func dynamicName(name string) *metrics.Counter {
+	return reg.Counter(name, "computed names defeat grep") // want `string literal`
+}

@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/linttest"
+	"cyclojoin/internal/lint/spanpair"
+)
+
+func TestSpanPair(t *testing.T) {
+	linttest.Run(t, spanpair.Analyzer, "spanpair")
+}

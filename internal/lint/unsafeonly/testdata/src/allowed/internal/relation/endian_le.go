@@ -1,0 +1,12 @@
+//go:build 386 || amd64 || arm || arm64 || riscv64
+
+// An allowlisted endian file: unsafe behind a build constraint, at the
+// blessed path suffix. Nothing to report.
+package relation
+
+import "unsafe"
+
+// WordAt reinterprets 8 bytes in place.
+func WordAt(b []byte) uint64 {
+	return *(*uint64)(unsafe.Pointer(&b[0]))
+}

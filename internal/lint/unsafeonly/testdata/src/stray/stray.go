@@ -1,0 +1,9 @@
+// A stray unsafe import outside the allowlist.
+package stray
+
+import "unsafe" // want `unsafe import outside the endian allowlist`
+
+// Addr leaks an address as an integer.
+func Addr(p *int) uintptr {
+	return uintptr(unsafe.Pointer(p))
+}

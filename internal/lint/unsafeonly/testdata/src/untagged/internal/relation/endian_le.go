@@ -1,0 +1,10 @@
+// An allowlisted path missing its build constraint: the portable
+// fallback could never be selected.
+package relation
+
+import "unsafe" // want `lacks a //go:build constraint`
+
+// WordAt reinterprets 8 bytes in place.
+func WordAt(b []byte) uint64 {
+	return *(*uint64)(unsafe.Pointer(&b[0]))
+}

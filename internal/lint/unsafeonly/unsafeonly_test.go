@@ -1,0 +1,16 @@
+package unsafeonly_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/linttest"
+	"cyclojoin/internal/lint/unsafeonly"
+)
+
+func TestUnsafeOnly(t *testing.T) {
+	linttest.Run(t, unsafeonly.Analyzer,
+		"allowed/internal/relation",
+		"stray",
+		"untagged/internal/relation",
+	)
+}

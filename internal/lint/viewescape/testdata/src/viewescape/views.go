@@ -1,0 +1,90 @@
+// Test surface for the viewescape analyzer: every way a bound view's
+// alias can outlive its buffer credit, plus the sanctioned patterns.
+package viewescape
+
+import "cyclojoin/internal/relation"
+
+type holder struct {
+	v  *relation.View
+	bs []byte
+}
+
+var global *relation.View
+
+func storeField(h *holder, v *relation.View) {
+	h.v = v // want `stored in a struct field`
+}
+
+func storeFrame(h *holder, v *relation.View) {
+	h.bs = v.Frame() // want `stored in a struct field`
+}
+
+func storeGlobal(v *relation.View) {
+	global = v // want `package-level variable`
+}
+
+func storeMap(m map[int]*relation.View, v *relation.View) {
+	m[0] = v // want `map or slice element`
+}
+
+func send(ch chan *relation.View, v *relation.View) {
+	ch <- v // want `sent on a channel`
+}
+
+func ret(v *relation.View) *relation.View {
+	return v // want `returned`
+}
+
+func retFrame(v *relation.View) []byte {
+	return v.Frame() // want `returned`
+}
+
+func retSubslice(v *relation.View) []byte {
+	b := v.Frame()
+	return b[:4] // want `returned`
+}
+
+func retStruct(v *relation.View) holder {
+	return holder{bs: v.Frame()} // want `returned`
+}
+
+// Materialize is the sanctioned ownership transfer: its result is a deep
+// copy and may go anywhere.
+func materialized(v *relation.View) *relation.Fragment {
+	return v.Materialize()
+}
+
+type fragHolder struct {
+	f *relation.Fragment
+}
+
+func materializedField(h *fragHolder, v *relation.View) {
+	h.f = v.Materialize()
+}
+
+// Passing a view down the stack is fine: the callee runs under the
+// caller's credit.
+func argOK(v *relation.View) int {
+	return consume(v)
+}
+
+func consume(v *relation.View) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// An annotated handoff is allowed; the justification documents who
+// releases the credit.
+func sanctionedSend(ch chan *relation.View, v *relation.View) {
+	//cyclolint:viewsafe the credit travels with the view; the receiver releases it
+	ch <- v
+}
+
+func localsOK(v *relation.View) int {
+	b := v.Frame()
+	w := v
+	_ = w
+	return len(b)
+}

@@ -1,0 +1,12 @@
+package viewescape_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/linttest"
+	"cyclojoin/internal/lint/viewescape"
+)
+
+func TestViewEscape(t *testing.T) {
+	linttest.Run(t, viewescape.Analyzer, "viewescape")
+}

@@ -58,10 +58,14 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//cyclolint:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n. Negative n is a programming error; it is applied as-is
 // rather than checked, to keep the hot path branch-free.
+//
+//cyclolint:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -73,15 +77,23 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//cyclolint:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add moves the level by n (negative to decrease).
+//
+//cyclolint:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Inc adds one.
+//
+//cyclolint:hotpath
 func (g *Gauge) Inc() { g.v.Add(1) }
 
 // Dec subtracts one.
+//
+//cyclolint:hotpath
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
 // Value returns the current level.
@@ -100,6 +112,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//cyclolint:hotpath
 func (h *Histogram) Observe(v int64) {
 	// Open-coded binary search: sort.Search's closure can escape and this
 	// is the per-fragment hot path — Observe must never allocate.

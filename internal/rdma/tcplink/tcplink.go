@@ -295,6 +295,8 @@ func (l *link) writeLoop() {
 // conns (net.Pipe in tests) have no writev path — net.Buffers would
 // degrade to one Write per slice — so the parts are coalesced into a
 // reusable staging buffer and written once.
+//
+//cyclolint:hotpath
 func (l *link) writeFrame(parts [][]byte) error {
 	if l.isTCP {
 		bufs := net.Buffers(parts)
@@ -350,6 +352,9 @@ func (l *link) readSend(n int) bool {
 		cs.Arg = int64(n)
 		select {
 		case <-l.done:
+			// Close the stall span on shutdown too, so the trace shows how
+			// long the frame waited for a buffer that never arrived.
+			l.shard.End(cs)
 			return false
 		case rb = <-l.recvQ:
 		}
@@ -473,20 +478,28 @@ func (l *link) PostWriteImm(key rdma.RemoteKey, offset int, src *rdma.Buffer, im
 // corrupt the stream if allowed through. The limit check also mirrors
 // the receiver's maxFrame guard, so a frame the peer would kill the
 // connection over is refused locally with a typed error instead.
+// validate applies the sender-side frame limits before queueing.
+//
+//cyclolint:hotpath
 func (l *link) validate(wr workReq) error {
 	if wr.buf.Len() > l.maxFrame {
 		mPostRejects.Inc()
+		//cyclolint:coldpath rejected post: caller handles the error off the fast path
 		return fmt.Errorf("%w: payload %d B, limit %d B", ErrFrameTooLarge, wr.buf.Len(), l.maxFrame)
 	}
 	if wr.kind == rdma.OpWrite {
 		if wr.off < 0 || wr.off > maxWireOffset || int64(wr.off)+int64(wr.buf.Len()) > maxWireOffset {
 			mPostRejects.Inc()
+			//cyclolint:coldpath rejected post: caller handles the error off the fast path
 			return fmt.Errorf("%w: offset %d + %d B payload", ErrOffsetOutOfRange, wr.off, wr.buf.Len())
 		}
 	}
 	return nil
 }
 
+// post queues a validated work request, opening its residency span.
+//
+//cyclolint:hotpath
 func (l *link) post(wr workReq) error {
 	if err := l.validate(wr); err != nil {
 		return err
@@ -510,6 +523,9 @@ func (l *link) post(wr workReq) error {
 	}
 }
 
+// complete delivers one completion to the application's CQ.
+//
+//cyclolint:hotpath
 func (l *link) complete(c rdma.Completion) {
 	select {
 	case l.cq <- c:
@@ -562,6 +578,8 @@ func (l *link) PostRecv(b *rdma.Buffer) error {
 
 // stampRecv opens the WRRecv residency span for a buffer about to be
 // posted.
+//
+//cyclolint:hotpath
 func (l *link) stampRecv(b *rdma.Buffer) {
 	if !l.shard.Enabled() {
 		return
@@ -573,6 +591,8 @@ func (l *link) stampRecv(b *rdma.Buffer) {
 }
 
 // dropRecvStamp abandons a stamp whose post failed.
+//
+//cyclolint:hotpath
 func (l *link) dropRecvStamp(b *rdma.Buffer) {
 	if !l.shard.Enabled() {
 		return
@@ -583,6 +603,8 @@ func (l *link) dropRecvStamp(b *rdma.Buffer) {
 }
 
 // finishRecv closes the buffer's WRRecv span when a frame lands in it.
+//
+//cyclolint:hotpath
 func (l *link) finishRecv(b *rdma.Buffer, n int) {
 	if !l.shard.Enabled() {
 		return

@@ -7,10 +7,12 @@ import (
 
 	"cyclojoin/internal/rdma"
 	"cyclojoin/internal/rdma/rdmatest"
+	"cyclojoin/internal/testutil"
 )
 
 // TestConformancePipe runs the suite over an in-memory net.Pipe.
 func TestConformancePipe(t *testing.T) {
+	testutil.CheckNoLeaks(t)
 	rdmatest.Run(t, func(t *testing.T) (rdma.QueuePair, rdma.QueuePair) {
 		c1, c2 := net.Pipe()
 		return New(c1), New(c2)
@@ -19,6 +21,7 @@ func TestConformancePipe(t *testing.T) {
 
 // TestConformanceLoopback runs the suite over real TCP sockets.
 func TestConformanceLoopback(t *testing.T) {
+	testutil.CheckNoLeaks(t)
 	rdmatest.Run(t, func(t *testing.T) (rdma.QueuePair, rdma.QueuePair) {
 		ln, err := Listen("127.0.0.1:0")
 		if err != nil {

@@ -312,6 +312,9 @@ func (n *node) stopRecv() {
 // pipeline is done with the frame it holds. With the receiver stopped
 // (node replacement in progress) the buffer is parked unpinned; the next
 // startRecv posts it.
+// releaseRecv returns buf's receive credit to the transport.
+//
+//cyclolint:hotpath
 func (n *node) releaseRecv(buf *rdma.Buffer) {
 	if buf == nil {
 		return // locally injected fragment, no wire buffer
@@ -330,6 +333,7 @@ func (n *node) releaseRecv(buf *rdma.Buffer) {
 		if errors.Is(err, rdma.ErrClosed) {
 			return
 		}
+		//cyclolint:coldpath transport fault: the node is about to stop
 		n.report(fmt.Errorf("ring: node %d: repost receive: %w", n.id, err))
 	}
 }
@@ -367,12 +371,18 @@ func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
 // at retirement — so a full procQ still translates into ring backpressure,
 // now without a decode-materialize cycle on the way in. Returns false when
 // the node is stopping or the frame is fatally malformed.
+//
+//cyclolint:hotpath
 func (n *node) deliver(buf *rdma.Buffer, frame []byte, stop chan struct{}) bool {
 	rspan := n.frecv.Begin(trace.PhaseReceive)
 	v := n.views[buf]
 	bindStart := time.Now()
 	if err := v.Bind(frame, "rotating"); err != nil {
+		//cyclolint:coldpath malformed frame: the node is about to stop
 		n.report(fmt.Errorf("ring: node %d: decode: %w", n.id, err))
+		// The receive still happened; record its span before bailing so
+		// the trace shows the malformed delivery instead of a gap.
+		n.frecv.End(rspan)
 		return false
 	}
 	n.m.bindNs.Observe(time.Since(bindStart).Nanoseconds())
@@ -391,6 +401,10 @@ func (n *node) deliver(buf *rdma.Buffer, frame []byte, stop chan struct{}) bool 
 		Fragment: frag.Index, Hops: frag.Hops, Bytes: len(frame),
 	})
 	select {
+	// The view rides the queue bound to live receive memory, and that is
+	// the point: the buffer credit travels with it (buf stays pinned), and
+	// the join loop releases the credit only after staging or Materialize.
+	//cyclolint:viewsafe credit travels with the view; procLoop releases it after staging or Materialize
 	case n.procQ <- inflight{frag: frag, view: v, buf: buf}:
 		n.m.procDepth.Inc()
 		n.frecv.End(rspan)
@@ -403,6 +417,7 @@ func (n *node) deliver(buf *rdma.Buffer, frame []byte, stop chan struct{}) bool 
 	n.recvMu.Lock()
 	delete(n.pinned, buf)
 	n.recvMu.Unlock()
+	n.frecv.End(rspan)
 	return false
 }
 
@@ -418,6 +433,9 @@ func (n *node) procLoop() {
 		var inf inflight
 		select {
 		case <-n.quit:
+			// Close the wait span on shutdown: the terminal wait interval
+			// is part of the join-entity track, not a gap.
+			n.fjoin.End(wpd)
 			return
 		case inf = <-n.procQ:
 		}
@@ -457,6 +475,7 @@ func (n *node) procLoop() {
 
 		if err != nil {
 			n.report(fmt.Errorf("ring: node %d: process fragment %d: %w", n.id, frag.Index, err))
+			n.fjoin.End(spd)
 			return
 		}
 
@@ -481,6 +500,7 @@ func (n *node) procLoop() {
 			select {
 			case n.retired <- ret:
 			case <-n.quit:
+				n.fjoin.End(spd)
 				return
 			}
 			n.fjoin.End(spd)
@@ -506,6 +526,7 @@ func (n *node) procLoop() {
 				index, hops := frag.Index, frag.Hops
 				sz, ok := n.stageForward(inf.view, frag, buf)
 				if !ok {
+					n.fjoin.End(spd)
 					return
 				}
 				n.releaseRecv(inf.buf)
@@ -516,12 +537,14 @@ func (n *node) procLoop() {
 				n.releaseRecv(inf.buf)
 				var ok bool
 				if ob, ok = n.encodeOutbound(heap); !ok {
+					n.fjoin.End(spd)
 					return
 				}
 			}
 		} else {
 			var ok bool
 			if ob, ok = n.encodeOutbound(inf.frag); !ok {
+				n.fjoin.End(spd)
 				return
 			}
 		}
@@ -529,6 +552,7 @@ func (n *node) procLoop() {
 		select {
 		case n.sendQ <- ob:
 		case <-n.quit:
+			n.fjoin.End(spd)
 			return
 		}
 		n.fjoin.End(spd)
@@ -599,9 +623,12 @@ func (n *node) stopSend() {
 // patches the 4-byte hops field in place — the entire per-hop cost of
 // forwarding a fragment that arrived off the wire. No decode, no
 // re-encode, no allocation.
+//
+//cyclolint:hotpath
 func (n *node) stageForward(v *relation.View, frag *relation.Fragment, buf *rdma.Buffer) (int, bool) {
 	frame := v.Frame()
 	if len(frame) > buf.Cap() {
+		//cyclolint:coldpath misconfiguration fault: the node is about to stop
 		n.report(fmt.Errorf("ring: node %d: fragment %d frame is %d B, buffers are %d B; raise Config.BufferBytes",
 			n.id, frag.Index, len(frame), buf.Cap()))
 		return 0, false
@@ -610,6 +637,7 @@ func (n *node) stageForward(v *relation.View, frag *relation.Fragment, buf *rdma
 	dst := buf.Data()[:len(frame)]
 	copy(dst, frame)
 	if err := relation.SetFrameHops(dst, frag.Hops); err != nil {
+		//cyclolint:coldpath corrupt frame fault: the node is about to stop
 		n.report(fmt.Errorf("ring: node %d: patch forwarded frame: %w", n.id, err))
 		return 0, false
 	}
@@ -713,6 +741,8 @@ func (n *node) sendReaper(qp rdma.QueuePair, stop chan struct{}) {
 }
 
 // endSendSpan closes the PhaseSend span opened when buf was posted.
+//
+//cyclolint:hotpath
 func (n *node) endSendSpan(buf *rdma.Buffer) {
 	if !n.fsend.Enabled() {
 		return

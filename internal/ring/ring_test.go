@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cyclojoin/internal/relation"
+	"cyclojoin/internal/testutil"
 	"cyclojoin/internal/workload"
 )
 
@@ -85,6 +86,7 @@ func newRecorderRing(t *testing.T, nodes int, cfg Config, links LinkFactory) (*R
 func TestOneRevolutionExactlyOnce(t *testing.T) {
 	for _, nodes := range []int{1, 2, 3, 6} {
 		t.Run(fmt.Sprintf("%dnodes", nodes), func(t *testing.T) {
+			testutil.CheckNoLeaks(t)
 			r, recs := newRecorderRing(t, nodes, Config{}, nil)
 			frags := buildFrags(t, nodes, 600)
 			if err := r.Run(perNode(frags)); err != nil {
@@ -131,6 +133,7 @@ func TestMultipleFragmentsPerNode(t *testing.T) {
 // TestRunTwice: a ring is reusable across joins (ternary joins, setup
 // reuse).
 func TestRunTwice(t *testing.T) {
+	testutil.CheckNoLeaks(t)
 	r, recs := newRecorderRing(t, 3, Config{}, nil)
 	frags := buildFrags(t, 3, 300)
 	if err := r.Run(perNode(frags)); err != nil {
@@ -149,6 +152,7 @@ func TestRunTwice(t *testing.T) {
 }
 
 func TestTCPLinksRing(t *testing.T) {
+	testutil.CheckNoLeaks(t)
 	r, recs := newRecorderRing(t, 3, Config{}, TCPLinks())
 	frags := buildFrags(t, 3, 300)
 	if err := r.Run(perNode(frags)); err != nil {

@@ -225,8 +225,12 @@ func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credit
 			cs.Frag, cs.Hop, cs.Arg = int32(ob.index), int32(ob.hops), int64(sz)
 			select {
 			case <-stop:
+				// End the stall span on shutdown so the trace keeps the
+				// stalled interval instead of silently truncating it.
+				n.fsend.End(cs)
 				return
 			case <-n.quit:
+				n.fsend.End(cs)
 				return
 			case key = <-credits:
 			}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cyclojoin/internal/relation"
+	"cyclojoin/internal/testutil"
 	"cyclojoin/internal/workload"
 )
 
@@ -13,6 +14,7 @@ import (
 func TestWriteModeOneRevolution(t *testing.T) {
 	for _, nodes := range []int{1, 2, 3, 6} {
 		t.Run(fmt.Sprintf("%dnodes", nodes), func(t *testing.T) {
+			testutil.CheckNoLeaks(t)
 			r, recs := newRecorderRing(t, nodes, Config{OneSidedWrites: true}, nil)
 			frags := buildFrags(t, nodes, 600)
 			if err := r.Run(perNode(frags)); err != nil {
@@ -34,6 +36,7 @@ func TestWriteModeOneRevolution(t *testing.T) {
 }
 
 func TestWriteModeOverTCP(t *testing.T) {
+	testutil.CheckNoLeaks(t)
 	r, recs := newRecorderRing(t, 3, Config{OneSidedWrites: true}, TCPLinks())
 	frags := buildFrags(t, 3, 400)
 	if err := r.Run(perNode(frags)); err != nil {

@@ -1,0 +1,138 @@
+// Package testutil holds cross-package test helpers. Its centerpiece is
+// the goroutine-leak check: the ring's shutdown contract says every
+// goroutine a Ring or link spawns exits when Stop/Close returns, and a
+// test that leaks a receiver or send-loop goroutine poisons every later
+// test in the binary (shared default metrics registry, stray completions,
+// false t.Parallel interactions). Asserting the contract at test end
+// catches the leak in the test that caused it.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredStacks matches goroutines that are allowed to outlive a test:
+// the testing framework's own machinery and the runtime's helpers.
+var ignoredStacks = []string{
+	"testing.RunTests",
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.tRunner",
+	"testing.runFuzzing",
+	"testing.runTests",
+	"runtime.goexit0",
+	"runtime/pprof",
+	"runtime.MemProfile",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ensureSigM",
+	"created by runtime",
+	"runtime.gc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+}
+
+// CheckNoLeaks registers a cleanup that fails the test if goroutines
+// born during the test are still running when it ends. Call it FIRST in
+// the test, before spawning anything: the baseline snapshot is taken at
+// the call. Shutdown is asynchronous in places (completion fan-out,
+// net.Pipe unblocking), so the check polls briefly before declaring a
+// leak.
+func CheckNoLeaks(t *testing.T) {
+	t.Helper()
+	baseline := stackIDs()
+	t.Cleanup(func() {
+		if t.Failed() {
+			// The test already failed; a leak report would bury the
+			// original failure under shutdown noise.
+			return
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedSince(baseline)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d goroutine(s) started during the test are still running:\n%s",
+			len(leaked), strings.Join(leaked, "\n"))
+	})
+}
+
+// stackIDs snapshots the IDs of all live goroutines.
+func stackIDs() map[string]bool {
+	ids := make(map[string]bool)
+	for _, g := range goroutines() {
+		ids[g.id] = true
+	}
+	return ids
+}
+
+// leakedSince returns rendered stacks of interesting goroutines not in
+// the baseline.
+func leakedSince(baseline map[string]bool) []string {
+	var out []string
+	for _, g := range goroutines() {
+		if baseline[g.id] || ignored(g.stack) {
+			continue
+		}
+		out = append(out, fmt.Sprintf("goroutine %s:\n%s", g.id, indent(g.stack)))
+	}
+	sort.Strings(out)
+	return out
+}
+
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// goroutines parses runtime.Stack(all=true) into per-goroutine records.
+func goroutines() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		header, _, ok := strings.Cut(block, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		id := strings.TrimPrefix(header, "goroutine ")
+		if i := strings.IndexByte(id, ' '); i >= 0 {
+			id = id[:i]
+		}
+		out = append(out, goroutine{id: id, stack: block})
+	}
+	return out
+}
+
+func ignored(stack string) bool {
+	for _, pat := range ignoredStacks {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

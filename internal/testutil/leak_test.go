@@ -1,0 +1,53 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLeakedSinceSeesNewGoroutine(t *testing.T) {
+	baseline := stackIDs()
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-block
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if len(leakedSince(baseline)) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocked goroutine never showed up in leakedSince")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(block)
+	<-done
+	for {
+		if len(leakedSince(baseline)) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine still reported after exit: %v", leakedSince(baseline))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCheckNoLeaksCleanRun(t *testing.T) {
+	CheckNoLeaks(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestIgnoredFiltersTestingFrames(t *testing.T) {
+	if !ignored("goroutine 1 [chan receive]:\ntesting.(*T).Run(...)") {
+		t.Error("testing frames should be ignored")
+	}
+	if ignored("goroutine 9 [select]:\ncyclojoin/internal/ring.(*node).procLoop(...)") {
+		t.Error("ring goroutines must not be ignored")
+	}
+}

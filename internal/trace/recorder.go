@@ -203,6 +203,8 @@ func (r *Recorder) Epoch() time.Time { return r.epoch }
 
 // now is the hot-path clock: monotonic ns since the epoch, never zero (a
 // zero start is the "disabled" sentinel inside Pending).
+//
+//cyclolint:hotpath
 func (r *Recorder) now() int64 {
 	d := time.Since(r.epoch).Nanoseconds()
 	if d <= 0 {
@@ -334,6 +336,8 @@ func (p Pending) Active() bool { return p.start != 0 }
 
 // Begin opens a span. Cost while enabled: one atomic load plus one
 // monotonic clock read; zero allocations. While disabled: one nil check.
+//
+//cyclolint:hotpath
 func (s *Shard) Begin(p Phase) Pending {
 	if s.rec == nil || !s.rec.enabled.Load() {
 		return Pending{}
@@ -343,6 +347,8 @@ func (s *Shard) Begin(p Phase) Pending {
 
 // End closes a span and records it. The duration is clamped to >=1 ns so
 // interval spans are always distinguishable from Point instants (Dur 0).
+//
+//cyclolint:hotpath
 func (s *Shard) End(pd Pending) {
 	if pd.start == 0 {
 		return
@@ -355,6 +361,8 @@ func (s *Shard) End(pd Pending) {
 }
 
 // Point records an instant event (Dur 0), e.g. a fragment retirement.
+//
+//cyclolint:hotpath
 func (s *Shard) Point(p Phase, frag, hop int32, arg int64) {
 	if s.rec == nil || !s.rec.enabled.Load() {
 		return
@@ -364,6 +372,8 @@ func (s *Shard) Point(p Phase, frag, hop int32, arg int64) {
 
 // write stores one span, overwriting the oldest when full. No allocation:
 // the ring was sized at Shard creation.
+//
+//cyclolint:hotpath
 func (s *Shard) write(sp Span) {
 	sp.Node = s.node
 	sp.Track = s.track

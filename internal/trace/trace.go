@@ -128,10 +128,15 @@ func (b *Buffer) capacity() int {
 
 // Record implements Tracer. When the ring is full the oldest event is
 // evicted and counted in Dropped (and trace_events_dropped_total).
+//
+//cyclolint:hotpath
 func (b *Buffer) Record(ev Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if len(b.events) < b.capacity() {
+		// Warm-up only: the ring grows to capacity once, then every Record
+		// overwrites in place.
+		//cyclolint:coldpath one-time warm-up growth to the fixed capacity
 		b.events = append(b.events, ev)
 		b.counts[ev.Kind]++
 		return
