@@ -5,6 +5,9 @@
 //
 //	cyclolint ./...
 //	cyclolint -disable hotpathalloc ./internal/ring
+//	cyclolint -json ./...     (machine-readable diagnostics on stdout)
+//	cyclolint -sarif ./...    (SARIF 2.1.0 on stdout, for code scanning)
+//	cyclolint -fix ./...      (apply suggested fixes in place)
 //
 // As a go vet tool, speaking vet's unitchecker protocol — the .cfg
 // handshake, -V=full version stamping and -flags discovery — so the
@@ -12,11 +15,25 @@
 //
 //	go vet -vettool=$(pwd)/bin/cyclolint ./...
 //
-// Diagnostics print as file:line:col: analyzer: message; the exit code is
-// nonzero when any diagnostic is reported.
+// Fact-using analyzers (UsesFacts) exchange per-package summaries across
+// package boundaries. Standalone mode threads them in process: go list
+// returns matched packages in dependency order, so a dependency's facts
+// are always computed before its importers run (packages outside the
+// matched patterns contribute no facts — run ./... for whole-module
+// precision). In vet mode the summaries ride the vetx files: each unit
+// writes a JSON table of {analyzer: {version, data}} blobs and reads its
+// dependencies' tables via the .cfg's PackageVetx map. Blobs written by a
+// different version of the same analyzer are discarded, and -V=full
+// composes every analyzer's version so bumping one invalidates vet's
+// cached verdicts.
+//
+// Diagnostics print as file:line:col: analyzer: message, sorted by
+// (file, line, column, analyzer); the exit code is nonzero when any
+// diagnostic is reported.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,12 +48,31 @@ import (
 	"cyclojoin/internal/lint/load"
 )
 
-// version participates in go vet's build-cache key via -V=full; bump it
-// when analyzer behavior changes so stale cached verdicts are discarded.
-const version = "v0.1.0"
+// version is the driver's own version; suiteVersion folds in each
+// analyzer's, so either kind of bump discards stale cached vet verdicts.
+const version = "v0.2.0"
+
+// suiteVersion stamps the driver and every analyzer version into the
+// -V=full reply, which go vet hashes into its build-cache key.
+func suiteVersion() string {
+	parts := []string{version}
+	for _, a := range lint.Analyzers() {
+		if a.Version != "" {
+			parts = append(parts, a.Name+"."+a.Version)
+		}
+	}
+	return strings.Join(parts, "+")
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// outputOptions selects the standalone-mode diagnostic sink.
+type outputOptions struct {
+	json  bool
+	sarif bool
+	fix   bool
 }
 
 func run(args []string) int {
@@ -44,8 +80,11 @@ func run(args []string) int {
 	vFlag := fs.String("V", "", "print version and exit (go vet protocol)")
 	flagsFlag := fs.Bool("flags", false, "print flag definitions as JSON and exit (go vet protocol)")
 	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	jsonFlag := fs.Bool("json", false, "print diagnostics as JSON on stdout (standalone mode)")
+	sarifFlag := fs.Bool("sarif", false, "print diagnostics as SARIF 2.1.0 on stdout (standalone mode)")
+	fixFlag := fs.Bool("fix", false, "apply suggested fixes to the source files (standalone mode)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: cyclolint [-disable names] [packages]\n       cyclolint <unit>.cfg  (go vet -vettool mode)\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: cyclolint [-disable names] [-json|-sarif] [-fix] [packages]\n       cyclolint <unit>.cfg  (go vet -vettool mode)\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -56,7 +95,7 @@ func run(args []string) int {
 	switch {
 	case *vFlag != "":
 		// go vet invokes `tool -V=full` and wants "name version ...".
-		fmt.Printf("cyclolint version %s\n", version)
+		fmt.Printf("cyclolint version %s\n", suiteVersion())
 		return 0
 	case *flagsFlag:
 		// go vet discovers tool flags via `tool -flags`; we expose none.
@@ -71,7 +110,7 @@ func run(args []string) int {
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	return runStandalone(analyzers, rest)
+	return runStandalone(analyzers, rest, outputOptions{json: *jsonFlag, sarif: *sarifFlag, fix: *fixFlag})
 }
 
 // selected filters the suite by the -disable list.
@@ -91,9 +130,17 @@ func selected(disable string) []*analysis.Analyzer {
 	return out
 }
 
+// located is a diagnostic resolved to a concrete file position, ready for
+// cross-package accumulation and output.
+type located struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
 // runStandalone loads patterns via go list export data and analyzes each
-// matched package.
-func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
+// matched package, threading facts between packages in process.
+func runStandalone(analyzers []*analysis.Analyzer, patterns []string, opts outputOptions) int {
 	dir, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
@@ -104,23 +151,96 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
 		fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
 		return 2
 	}
-	bad := false
+	// facts[analyzer][package path] — filled in dependency order, since
+	// that is the order go list yields the matched packages in.
+	facts := make(map[string]map[string][]byte)
+	read := func(a *analysis.Analyzer, path string) []byte {
+		return facts[a.Name][path]
+	}
+	var all []located
 	for _, pkg := range pkgs {
+		pkgPath := pkg.Types.Path()
+		export := func(a *analysis.Analyzer, data []byte) {
+			m := facts[a.Name]
+			if m == nil {
+				m = make(map[string][]byte)
+				facts[a.Name] = m
+			}
+			m[pkgPath] = data
+		}
 		diags := analyze(analyzers, &analysis.Pass{
 			Fset:      pkg.Fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
-		})
-		if len(diags) > 0 {
-			bad = true
-			print(os.Stderr, pkg.Fset, diags)
+		}, read, export)
+		if opts.fix {
+			if err := applyFixes(pkg.Fset, diags); err != nil {
+				fmt.Fprintf(os.Stderr, "cyclolint: -fix: %v\n", err)
+				return 2
+			}
+		}
+		for _, d := range diags {
+			all = append(all, located{pos: pkg.Fset.Position(d.Pos), analyzer: d.analyzer, message: d.Message})
 		}
 	}
-	if bad {
+	sortLocated(all)
+	switch {
+	case opts.json:
+		emitJSON(os.Stdout, all)
+	case opts.sarif:
+		emitSARIF(os.Stdout, all)
+	default:
+		for _, d := range all {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", relName(d.pos.Filename), d.pos.Line, d.pos.Column, d.analyzer, d.message)
+		}
+	}
+	if len(all) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// applyFixes rewrites the source files touched by the diagnostics'
+// suggested fixes, refusing the whole batch on any conflict.
+func applyFixes(fset *token.FileSet, diags []labeled) error {
+	var withFix []analysis.Diagnostic
+	src := make(map[string][]byte)
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		withFix = append(withFix, d.Diagnostic)
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				name := fset.Position(e.Pos).Filename
+				if _, ok := src[name]; ok {
+					continue
+				}
+				data, err := os.ReadFile(name)
+				if err != nil {
+					return err
+				}
+				src[name] = data
+			}
+		}
+	}
+	if len(withFix) == 0 {
+		return nil
+	}
+	out, err := analysis.ApplyFixes(fset, withFix, src)
+	if err != nil {
+		return err
+	}
+	for name, data := range out {
+		if bytes.Equal(data, src[name]) {
+			continue
+		}
+		if err := os.WriteFile(name, data, 0o666); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // unitConfig is the subset of go vet's unitchecker .cfg the tool needs.
@@ -129,9 +249,21 @@ type unitConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// vetxFile is the cyclolint facts file exchanged between vet units: one
+// versioned blob per fact-exporting analyzer.
+type vetxFile struct {
+	Analyzers map[string]vetxEntry `json:"analyzers"`
+}
+
+type vetxEntry struct {
+	Version string `json:"version"`
+	Data    []byte `json:"data,omitempty"`
 }
 
 // runUnit analyzes one compilation unit described by a go vet .cfg.
@@ -146,16 +278,16 @@ func runUnit(analyzers []*analysis.Analyzer, cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "cyclolint: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// go vet expects the facts file regardless; cyclolint keeps no
-	// cross-package facts, so an empty one satisfies the protocol.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
-			return 2
-		}
-	}
 	if cfg.VetxOnly {
-		return 0
+		// Facts are still needed downstream: run just the fact-exporting
+		// analyzers, with their reports discarded.
+		var factAnalyzers []*analysis.Analyzer
+		for _, a := range analyzers {
+			if a.UsesFacts {
+				factAnalyzers = append(factAnalyzers, a)
+			}
+		}
+		analyzers = factAnalyzers
 	}
 	fset := token.NewFileSet()
 	imp := load.Importer(fset, cfg.ImportMap, cfg.PackageFile)
@@ -167,17 +299,73 @@ func runUnit(analyzers []*analysis.Analyzer, cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
 		return 2
 	}
+	// Dependencies' facts arrive via their vetx files, loaded lazily and
+	// keyed by import path through the .cfg's PackageVetx map.
+	depVetx := make(map[string]*vetxFile)
+	read := func(a *analysis.Analyzer, path string) []byte {
+		vf, ok := depVetx[path]
+		if !ok {
+			vf = loadVetx(cfg.PackageVetx[path])
+			depVetx[path] = vf
+		}
+		if vf == nil {
+			return nil
+		}
+		e, ok := vf.Analyzers[a.Name]
+		if !ok || e.Version != a.Version {
+			return nil
+		}
+		return e.Data
+	}
+	out := vetxFile{Analyzers: make(map[string]vetxEntry)}
+	export := func(a *analysis.Analyzer, data []byte) {
+		out.Analyzers[a.Name] = vetxEntry{Version: a.Version, Data: data}
+	}
 	diags := analyze(analyzers, &analysis.Pass{
 		Fset:      fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
-	})
+	}, read, export)
+	if cfg.VetxOutput != "" {
+		blob, err := json.Marshal(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
 	if len(diags) > 0 {
-		print(os.Stderr, fset, diags)
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", relName(pos.Filename), pos.Line, pos.Column, d.analyzer, d.Message)
+		}
 		return 2
 	}
 	return 0
+}
+
+// loadVetx parses one dependency's facts file; any failure (missing path,
+// old format) degrades to "no facts".
+func loadVetx(path string) *vetxFile {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var vf vetxFile
+	if err := json.Unmarshal(data, &vf); err != nil {
+		return nil
+	}
+	return &vf
 }
 
 // labeled pairs a diagnostic with the analyzer that produced it.
@@ -187,16 +375,23 @@ type labeled struct {
 }
 
 // analyze runs each analyzer over the shared pass skeleton and collects
-// position-sorted diagnostics.
-func analyze(analyzers []*analysis.Analyzer, base *analysis.Pass) []labeled {
+// diagnostics sorted by (file, line, column, analyzer).
+func analyze(analyzers []*analysis.Analyzer, base *analysis.Pass, read func(*analysis.Analyzer, string) []byte, export func(*analysis.Analyzer, []byte)) []labeled {
 	var diags []labeled
 	for _, a := range analyzers {
+		a := a
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      base.Fset,
 			Files:     base.Files,
 			Pkg:       base.Pkg,
 			TypesInfo: base.TypesInfo,
+		}
+		if read != nil {
+			pass.ReadFacts = func(path string) []byte { return read(a, path) }
+		}
+		if export != nil {
+			pass.ExportFacts = func(data []byte) { export(a, data) }
 		}
 		name := a.Name
 		pass.Report = func(d analysis.Diagnostic) {
@@ -207,18 +402,146 @@ func analyze(analyzers []*analysis.Analyzer, base *analysis.Pass) []labeled {
 		}
 	}
 	sort.SliceStable(diags, func(i, j int) bool {
-		return diags[i].Pos < diags[j].Pos
+		pi, pj := base.Fset.Position(diags[i].Pos), base.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].analyzer < diags[j].analyzer
 	})
 	return diags
 }
 
-func print(w *os.File, fset *token.FileSet, diags []labeled) {
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		name := pos.Filename
-		if rel, err := filepath.Rel(".", name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+func sortLocated(ds []located) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].pos.Filename != ds[j].pos.Filename {
+			return ds[i].pos.Filename < ds[j].pos.Filename
 		}
-		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.analyzer, d.Message)
+		if ds[i].pos.Line != ds[j].pos.Line {
+			return ds[i].pos.Line < ds[j].pos.Line
+		}
+		if ds[i].pos.Column != ds[j].pos.Column {
+			return ds[i].pos.Column < ds[j].pos.Column
+		}
+		return ds[i].analyzer < ds[j].analyzer
+	})
+}
+
+// relName shortens a path to be relative to the working directory when
+// that does not escape upward.
+func relName(name string) string {
+	if rel, err := filepath.Rel(".", name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
 	}
+	return name
+}
+
+// jsonDiag is one -json output record.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func emitJSON(w *os.File, ds []located) {
+	out := make([]jsonDiag, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, jsonDiag{File: relName(d.pos.Filename), Line: d.pos.Line, Column: d.pos.Column, Analyzer: d.analyzer, Message: d.message})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// SARIF 2.1.0 structures, trimmed to what code-scanning uploads need.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name    string      `json:"name"`
+	Version string      `json:"version"`
+	Rules   []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func emitSARIF(w *os.File, ds []located) {
+	var rules []sarifRule
+	for _, a := range lint.Analyzers() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(ds))
+	for _, d := range ds {
+		results = append(results, sarifResult{
+			RuleID:  d.analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(relName(d.pos.Filename))},
+				Region:           sarifRegion{StartLine: d.pos.Line, StartColumn: d.pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "cyclolint", Version: suiteVersion(), Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(log)
 }

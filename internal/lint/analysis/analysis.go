@@ -33,6 +33,17 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the enforced invariant.
 	Doc string
+	// Version participates in the vet build-cache key and in fact
+	// compatibility: facts written by a different version of the same
+	// analyzer are discarded, and bumping it invalidates cached vet
+	// verdicts for every package. Bump it whenever Run's behavior or the
+	// fact encoding changes.
+	Version string
+	// UsesFacts marks analyzers that exchange per-package summaries
+	// (facts) with their runs over dependency packages. Drivers run these
+	// analyzers in dependency order and persist their fact blobs (the
+	// vetx file, in go vet mode).
+	UsesFacts bool
 	// Run inspects one package via the Pass and reports findings.
 	Run func(*Pass) error
 }
@@ -52,14 +63,61 @@ type Pass struct {
 	// Report consumes one diagnostic.
 	Report func(Diagnostic)
 
+	// ReadFacts returns the fact blob this analyzer exported for the
+	// imported package at path, or nil when none exists (package outside
+	// the analyzed set, or written by a different analyzer version).
+	// Nil when the driver has no fact store.
+	ReadFacts func(path string) []byte
+	// ExportFacts records this package's fact blob for downstream
+	// packages' passes. Nil when the driver has no fact store.
+	ExportFacts func(data []byte)
+
 	// directives caches the per-file directive index.
 	directives map[*ast.File]map[int][]string
 }
 
-// Diagnostic is one finding, positioned in Fset.
+// Diagnostic is one finding, positioned in Fset. End is optional (NoPos
+// means "just Pos"). Fixes carry machine-applicable suggested edits the
+// -fix driver can apply.
 type Diagnostic struct {
 	Pos     token.Pos
+	End     token.Pos
 	Message string
+	Fixes   []SuggestedFix
+}
+
+// SuggestedFix is one machine-applicable resolution of a diagnostic. All
+// edits must apply together.
+type SuggestedFix struct {
+	// Message says what applying the fix does ("rename to frame_bytes").
+	Message string
+	// Edits are the non-overlapping text replacements.
+	Edits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. A zero-width
+// range (End == Pos) is an insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// ImportedFacts looks up this analyzer's facts for an imported package,
+// tolerating drivers without a fact store.
+func (p *Pass) ImportedFacts(path string) []byte {
+	if p.ReadFacts == nil {
+		return nil
+	}
+	return p.ReadFacts(path)
+}
+
+// Export records this package's fact blob, tolerating drivers without a
+// fact store.
+func (p *Pass) Export(data []byte) {
+	if p.ExportFacts != nil {
+		p.ExportFacts(data)
+	}
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// fileEdit is one TextEdit resolved to byte offsets within a single file.
+type fileEdit struct {
+	start, end int
+	newText    string
+}
+
+// ApplyFixes applies every suggested fix in diags to the file contents in
+// src (filename → bytes) and returns the rewritten set. Only files present
+// in src are touched; fixes into other files are reported as errors.
+// Overlapping edits (within one fix or across fixes) make the whole batch
+// fail — a fix set that disagrees with itself must not half-apply.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, src map[string][]byte) (map[string][]byte, error) {
+	perFile := make(map[string][]fileEdit)
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				start := fset.Position(e.Pos)
+				name := start.Filename
+				if _, ok := src[name]; !ok {
+					return nil, fmt.Errorf("fix %q edits %s, which is not in the rewrite set", fix.Message, name)
+				}
+				endOff := start.Offset
+				if e.End.IsValid() {
+					end := fset.Position(e.End)
+					if end.Filename != name {
+						return nil, fmt.Errorf("fix %q spans files %s and %s", fix.Message, name, end.Filename)
+					}
+					endOff = end.Offset
+				}
+				if endOff < start.Offset {
+					return nil, fmt.Errorf("fix %q has an inverted edit range", fix.Message)
+				}
+				perFile[name] = append(perFile[name], fileEdit{start: start.Offset, end: endOff, newText: e.NewText})
+			}
+		}
+	}
+	out := make(map[string][]byte, len(src))
+	for name, content := range src {
+		edits := perFile[name]
+		if len(edits) == 0 {
+			out[name] = content
+			continue
+		}
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return edits[i].end < edits[j].end
+		})
+		var buf []byte
+		prev := 0
+		for i, e := range edits {
+			if i > 0 && e.start < edits[i-1].end {
+				if e == edits[i-1] {
+					continue // identical duplicate edit: harmless
+				}
+				return nil, fmt.Errorf("overlapping fixes in %s at byte %d", name, e.start)
+			}
+			if e.start > len(content) || e.end > len(content) {
+				return nil, fmt.Errorf("fix in %s out of range (byte %d of %d)", name, e.end, len(content))
+			}
+			buf = append(buf, content[prev:e.start]...)
+			buf = append(buf, e.newText...)
+			prev = e.end
+		}
+		buf = append(buf, content[prev:]...)
+		out[name] = buf
+	}
+	return out, nil
+}

@@ -1,0 +1,20 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/bufown"
+	"cyclojoin/internal/lint/linttest"
+)
+
+func TestBufOwn(t *testing.T) {
+	linttest.Run(t, bufown.Analyzer, "bufown")
+}
+
+func TestBufOwnCrossPackage(t *testing.T) {
+	linttest.Run(t, bufown.Analyzer, "bufdep/dep", "bufdep/use")
+}
+
+func TestBufOwnFix(t *testing.T) {
+	linttest.RunFix(t, bufown.Analyzer, "bufown")
+}

@@ -1,0 +1,73 @@
+package bufown
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Effect is one function's buffer-custody behavior in combined parameter
+// indexing (receiver first when present). It crosses package boundaries
+// as a serialized fact, so a helper that releases or acquires on the
+// caller's behalf is understood from any importing package.
+type Effect struct {
+	// Key is the function's FullName.
+	Key string `json:"key"`
+	// ParamRelease lists the parameters whose buffer the callee releases
+	// (sends back on a free list or posts to the transport).
+	ParamRelease []int `json:"param_release,omitempty"`
+	// ParamBorrowed lists buffer parameters the callee only borrows: it
+	// neither releases nor keeps them, so custody stays with the caller
+	// across the call (e.g. a helper that stages bytes into the buffer).
+	ParamBorrowed []int `json:"param_borrowed,omitempty"`
+	// AcquiresResult lists result indices carrying a buffer the callee
+	// acquired (received from a free list or registered) — the caller
+	// takes over the credit.
+	AcquiresResult []int `json:"acquires_result,omitempty"`
+}
+
+func (e *Effect) empty() bool {
+	return len(e.ParamRelease) == 0 && len(e.ParamBorrowed) == 0 && len(e.AcquiresResult) == 0
+}
+
+// BufFacts is the per-package fact blob.
+type BufFacts struct {
+	Effects []*Effect `json:"effects"`
+}
+
+// EncodeBufFacts serializes an effect table in deterministic order.
+func EncodeBufFacts(effects map[string]*Effect) []byte {
+	keys := make([]string, 0, len(effects))
+	for k, e := range effects {
+		if e != nil && !e.empty() {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	f := &BufFacts{}
+	for _, k := range keys {
+		f.Effects = append(f.Effects, effects[k])
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// DecodeBufFacts parses a fact blob, tolerating nil/garbage.
+func DecodeBufFacts(data []byte) map[string]*Effect {
+	out := make(map[string]*Effect)
+	if len(data) == 0 {
+		return out
+	}
+	var f BufFacts
+	if err := json.Unmarshal(data, &f); err != nil {
+		return out
+	}
+	for _, e := range f.Effects {
+		if e != nil && e.Key != "" {
+			out[e.Key] = e
+		}
+	}
+	return out
+}

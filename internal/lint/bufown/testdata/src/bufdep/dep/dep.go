@@ -1,0 +1,19 @@
+package dep
+
+import "cyclojoin/internal/rdma"
+
+// Take pulls a buffer off the free list; the caller owns the credit.
+func Take(free chan *rdma.Buffer) *rdma.Buffer {
+	return <-free
+}
+
+// Recycle returns b's credit to its free list on the caller's behalf.
+func Recycle(free chan *rdma.Buffer, b *rdma.Buffer) {
+	free <- b
+}
+
+// Fill stages data into b but leaves custody with the caller.
+func Fill(b *rdma.Buffer, payload []byte) int {
+	n := copy(b.Data(), payload)
+	return n
+}

@@ -1,0 +1,43 @@
+package use
+
+import (
+	"cyclojoin/internal/rdma"
+
+	"cyclolinttest/bufdep/dep"
+)
+
+// leakAcrossCall acquires through dep.Take but drops the credit on the
+// early-exit path; the acquire and the leak are only visible through the
+// callee's exported effect.
+func leakAcrossCall(free chan *rdma.Buffer, bad bool) {
+	buf := dep.Take(free)
+	if bad {
+		return // want `registered buffer buf .* is still held on this return path`
+	}
+	dep.Recycle(free, buf)
+}
+
+// releasedByHelper is clean: dep.Recycle releases on our behalf.
+func releasedByHelper(free chan *rdma.Buffer) {
+	buf := dep.Take(free)
+	dep.Recycle(free, buf)
+}
+
+// borrowedThenReleased is clean: dep.Fill only borrows the buffer, so the
+// credit is still ours to release afterwards.
+func borrowedThenReleased(free chan *rdma.Buffer, payload []byte) int {
+	buf := dep.Take(free)
+	n := dep.Fill(buf, payload)
+	free <- buf
+	return n
+}
+
+// borrowedThenLeaked shows a borrow does not launder the credit.
+func borrowedThenLeaked(free chan *rdma.Buffer, payload []byte, bad bool) {
+	buf := dep.Take(free)
+	dep.Fill(buf, payload)
+	if bad {
+		return // want `registered buffer buf .* is still held on this return path`
+	}
+	free <- buf
+}

@@ -1,0 +1,194 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const src = `package p
+
+type View struct{ b []byte }
+
+var sink *View
+var sinkBytes []byte
+
+func (v *View) Frame() []byte { return v.b }
+
+type holder struct{ v *View }
+
+func storeGlobal(v *View) { sink = v }
+
+func storeField(h *holder, v *View) { h.v = v }
+
+func passThrough(v *View) *View { return v }
+
+func indirectStore(v *View) { storeGlobal(passThrough(v)) }
+
+func fresh() *View { return &View{} }
+
+func leakFresh() { storeGlobal(fresh()) }
+
+func frameOf(v *View) []byte { return v.Frame() }
+
+func leakFrame(ch chan []byte) {
+	v := fresh()
+	ch <- frameOf(v)
+}
+
+func launder(v *View) *View { return v }
+
+func cleanViaLaunder() { storeGlobal(launder(fresh())) }
+
+type sender interface{ send(v *View) }
+
+type chanSender struct{ ch chan *View }
+
+func (c *chanSender) send(v *View) { c.ch <- v }
+
+func dynamic(s sender, v *View) { s.send(v) }
+
+func scalarSafe(v *View) int {
+	n := len(v.b)
+	return n
+}
+`
+
+func buildGraph(t *testing.T) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewGraph(fset, pkg, info, []*ast.File{file})
+}
+
+func isView(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "View"
+}
+
+func solve(t *testing.T, cfg EscapeConfig) *Escape {
+	t.Helper()
+	e := NewEscape(buildGraph(t), cfg, nil)
+	e.Solve()
+	return e
+}
+
+func TestSummaries(t *testing.T) {
+	e := solve(t, EscapeConfig{Source: isView})
+	sums := e.Summaries()
+
+	get := func(name string) *Summary {
+		for k, s := range sums {
+			if strings.HasSuffix(k, "."+name) {
+				return s
+			}
+		}
+		t.Fatalf("no summary for %s", name)
+		return nil
+	}
+
+	if s := get("storeGlobal"); len(s.ParamEscape) != 1 || s.ParamEscape[0] == "" {
+		t.Errorf("storeGlobal: want param 0 escape, got %+v", s)
+	}
+	if s := get("storeField"); len(s.ParamEscape) != 0 {
+		t.Errorf("storeField: param store must not be an escape, got %+v", s)
+	} else if got := s.ParamStore[1]; len(got) != 1 || got[0] != 0 {
+		t.Errorf("storeField: want param 1 stored into param 0, got %+v", s)
+	}
+	if s := get("passThrough"); len(s.ParamFlow[0]) != 1 || s.ParamFlow[0][0] != 0 {
+		t.Errorf("passThrough: want param 0 → result 0, got %+v", s)
+	}
+	// Transitive: indirectStore escapes its param through two calls.
+	if s := get("indirectStore"); s.ParamEscape[0] == "" {
+		t.Errorf("indirectStore: want transitive param escape, got %+v", s)
+	}
+	if s := get("fresh"); len(s.FreshResult) != 1 {
+		t.Errorf("fresh: want fresh result, got %+v", s)
+	}
+	// frameOf: param flows to result through the Frame() unknown-callee
+	// (same package, but Frame has a summary: recv→result via return v.b).
+	if s := get("frameOf"); len(s.ParamFlow[0]) != 1 {
+		t.Errorf("frameOf: want param flow to result, got %+v", s)
+	}
+	// Interface dispatch: dynamic resolves send to chanSender.send, whose
+	// param is released on a channel.
+	if s := get("dynamic"); s.ParamEscape[1] == "" {
+		t.Errorf("dynamic: want interface-resolved param escape, got %+v", s)
+	}
+	if s := get("scalarSafe"); !s.empty() {
+		t.Errorf("scalarSafe: scalar reads must not taint, got %+v", s)
+	}
+}
+
+func TestFindings(t *testing.T) {
+	launders := func(g *Graph, cs *CallSite) bool {
+		return cs.Static != nil && cs.Static.Name() == "launder"
+	}
+	e := solve(t, EscapeConfig{Source: isView, Launders: launders})
+
+	g := e.g
+	var got []string
+	for _, f := range e.Findings() {
+		got = append(got, g.PosString(f.Pos)+" "+f.What)
+	}
+
+	find := func(sub string) bool {
+		for _, s := range got {
+			if strings.Contains(s, sub) {
+				return true
+			}
+		}
+		return false
+	}
+	if !find("escapes via call to p.storeGlobal") {
+		t.Errorf("want leakFresh finding via storeGlobal, got %v", got)
+	}
+	if !find("sent on a channel") {
+		t.Errorf("want channel-send finding in leakFrame, got %v", got)
+	}
+	for _, s := range got {
+		if strings.Contains(s, "cleanViaLaunder") {
+			t.Errorf("laundered flow must not be a finding: %v", s)
+		}
+	}
+}
+
+func TestFactsRoundTrip(t *testing.T) {
+	e := solve(t, EscapeConfig{Source: isView})
+	blob := e.Facts()
+	dec := DecodeEscapeFacts(blob)
+	if len(dec) != len(e.Summaries()) {
+		t.Fatalf("round trip lost summaries: %d != %d", len(dec), len(e.Summaries()))
+	}
+	for k, s := range e.Summaries() {
+		if !summariesEqual(dec[k], s) {
+			t.Errorf("summary %s changed in round trip", k)
+		}
+	}
+	if DecodeEscapeFacts(nil) == nil || DecodeEscapeFacts([]byte("junk")) == nil {
+		t.Error("decode must tolerate nil/garbage")
+	}
+}

@@ -1,0 +1,851 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Node is one value in a function's def-use graph: a named variable
+// (param, local, or package-level), a field slot of one, a call result,
+// a composite literal, or the distinguished escape sink.
+type Node struct {
+	// Obj is non-nil for named values.
+	Obj types.Object
+	// Type is the node's value type (nil for the escape sink).
+	Type types.Type
+	// IsEscape marks the sink: flow into this node left the function's
+	// custody (global store, channel send, goroutine handoff).
+	IsEscape bool
+	// NoSource marks nodes that must never be intrinsic taint sources
+	// even when their type matches: field slots only carry taint that
+	// flowed in, they don't birth it.
+	NoSource bool
+	// Out is the node's base out-edge list.
+	Out []*FlowEdge
+
+	id int
+}
+
+// Edge kinds drive the two-level taint propagation in Reach. A value is
+// either the tracked alias itself (direct taint) or merely a container
+// holding one (contained taint). Containers escaping is still an escape,
+// but reading a different field out of a container must not taint.
+const (
+	// EdgeNormal propagates taint at its current level.
+	EdgeNormal = iota
+	// EdgeContain ((x,f) slot → x) demotes direct taint to contained:
+	// x keeps the tracked value alive but is not itself the alias.
+	EdgeContain
+	// EdgeFieldRead (x → (x,f) slot) propagates only direct taint: a
+	// field of a view-alias aliases too, but a field of a mere container
+	// is clean — the planted value lives in its own slot node.
+	EdgeFieldRead
+)
+
+// FlowEdge is one flow step, annotated for reporting: where it happens
+// and what it means in prose.
+type FlowEdge struct {
+	From, To *Node
+	// Kind is EdgeNormal, EdgeContain, or EdgeFieldRead.
+	Kind int
+	// Pos is where this flow step occurs.
+	Pos token.Pos
+	// What describes the step ("sent on a channel", "assigned", ...).
+	What string
+	// Stmt is the enclosing statement, for directive lookups.
+	Stmt ast.Node
+}
+
+// CallSite is one function/method call whose interprocedural effect the
+// summary engine resolves later. Args uses combined indexing: the
+// receiver (when the call is a method call) is index 0, declared
+// arguments follow — matching how summaries index callee parameters.
+type CallSite struct {
+	Call *ast.CallExpr
+	// Stmt is the enclosing statement.
+	Stmt ast.Node
+	// Args holds the receiver (if any) then each argument's node; nil
+	// entries are untracked (scalar) values.
+	Args []*Node
+	// Results holds one node per call result; nil entries untracked.
+	Results []*Node
+	// Static is the statically resolved callee, when there is one.
+	Static *types.Func
+	// Iface is the interface method for dynamic calls, when known.
+	Iface *types.Func
+}
+
+// Flow is the def-use graph of one function body.
+type Flow struct {
+	Fn    *Func
+	Graph *Graph
+	// Escape is the sink node.
+	Escape *Node
+	// Params holds combined receiver+parameter nodes (nil = untracked).
+	Params []*Node
+	// Returns holds one node per declared result.
+	Returns []*Node
+	// Calls lists every unresolved call site in source order.
+	Calls []*CallSite
+	// Edges is the base edge list in creation order.
+	Edges []*FlowEdge
+	// Nodes lists all nodes in creation order.
+	Nodes []*Node
+
+	objNodes   map[types.Object]*Node
+	fieldNodes map[fieldKey]*Node
+	curStmt    ast.Node
+}
+
+// fieldKey identifies one level of field sensitivity: the slot x.f of a
+// local or parameter x. Deeper selections (x.f.g) collapse into the
+// first slot. Without this split, planting a tracked value in one field
+// of a struct would taint every value later read out of any of its
+// fields — fatal on method receivers.
+type fieldKey struct {
+	base types.Object
+	name string
+}
+
+// FlowOf builds the def-use graph for fn.
+func (g *Graph) FlowOf(fn *Func) *Flow {
+	f := &Flow{Fn: fn, Graph: g,
+		objNodes:   make(map[types.Object]*Node),
+		fieldNodes: make(map[fieldKey]*Node),
+	}
+	f.Escape = f.newNode(nil, nil)
+	f.Escape.IsEscape = true
+
+	sig := fn.Obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		f.Params = append(f.Params, f.objParam(recv))
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		f.Params = append(f.Params, f.objParam(sig.Params().At(i)))
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		var n *Node
+		if t := sig.Results().At(i).Type(); CanAlias(t) {
+			n = f.newNode(nil, t)
+		}
+		f.Returns = append(f.Returns, n)
+	}
+	// Named results feed their return slots so naked returns and
+	// assignments to result vars flow correctly.
+	if res := fn.Decl.Type.Results; res != nil {
+		i := 0
+		for _, field := range res.List {
+			if len(field.Names) == 0 {
+				i++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := g.Info.Defs[name]; obj != nil && f.Returns[i] != nil {
+					if n := f.objNode(obj); n != nil {
+						f.edge(n, f.Returns[i], name.Pos(), "returned", fn.Decl)
+					}
+				}
+				i++
+			}
+		}
+	}
+	f.walkStmt(fn.Decl.Body)
+	return f
+}
+
+func (f *Flow) newNode(obj types.Object, t types.Type) *Node {
+	n := &Node{Obj: obj, Type: t, id: len(f.Nodes)}
+	f.Nodes = append(f.Nodes, n)
+	return n
+}
+
+// objParam returns the node for a (receiver) parameter, or nil when the
+// parameter's type cannot carry an alias.
+func (f *Flow) objParam(v *types.Var) *Node {
+	if !CanAlias(v.Type()) {
+		return nil
+	}
+	return f.objNode(v)
+}
+
+func (f *Flow) objNode(obj types.Object) *Node {
+	if obj == nil || !CanAlias(obj.Type()) {
+		return nil
+	}
+	if n, ok := f.objNodes[obj]; ok {
+		return n
+	}
+	n := f.newNode(obj, obj.Type())
+	f.objNodes[obj] = n
+	return n
+}
+
+// ObjNode returns the existing node for obj, or nil.
+func (f *Flow) ObjNode(obj types.Object) *Node { return f.objNodes[obj] }
+
+// fieldNode returns the slot node for base.name. Taint in a slot keeps
+// its container alive (slot → container edge), but taint in the
+// container does not leak back out through its other slots.
+func (f *Flow) fieldNode(base *types.Var, name string, t types.Type) *Node {
+	key := fieldKey{base: base, name: name}
+	if n, ok := f.fieldNodes[key]; ok {
+		return n
+	}
+	n := f.newNode(nil, t)
+	n.NoSource = true
+	f.fieldNodes[key] = n
+	if parent := f.objNode(base); parent != nil {
+		f.kindEdge(n, parent, EdgeContain, token.NoPos, "kept alive by "+base.Name(), nil)
+		f.kindEdge(parent, n, EdgeFieldRead, token.NoPos, "field "+name+" of "+base.Name(), nil)
+	}
+	return n
+}
+
+// objOf resolves an identifier's object (use or def).
+func (f *Flow) objOf(id *ast.Ident) types.Object {
+	if obj := f.Graph.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return f.Graph.Info.Defs[id]
+}
+
+// selBase resolves a field selection with one level of sensitivity: a
+// read of x.f (x a local or parameter) lands on the (x, f) slot node;
+// anything else falls back to the base expression's node.
+func (f *Flow) selBase(x *ast.SelectorExpr) *Node {
+	if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+		if v, ok := f.objOf(id).(*types.Var); ok && !isPkgLevel(v) {
+			return f.fieldNode(v, x.Sel.Name, f.Graph.Info.TypeOf(x))
+		}
+	}
+	return f.expr(x.X)
+}
+
+func (f *Flow) edge(from, to *Node, pos token.Pos, what string, stmt ast.Node) {
+	f.kindEdge(from, to, EdgeNormal, pos, what, stmt)
+}
+
+func (f *Flow) kindEdge(from, to *Node, kind int, pos token.Pos, what string, stmt ast.Node) {
+	if from == nil || to == nil || from == to {
+		return
+	}
+	e := &FlowEdge{From: from, To: to, Kind: kind, Pos: pos, What: what, Stmt: stmt}
+	from.Out = append(from.Out, e)
+	f.Edges = append(f.Edges, e)
+}
+
+// isPkgLevel reports whether obj is a package-level variable (of any
+// package): stores into it leave function custody.
+func isPkgLevel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+func (f *Flow) tracked(e ast.Expr) bool {
+	t := f.Graph.Info.TypeOf(e)
+	return t != nil && CanAlias(t)
+}
+
+// ---- statements ----
+
+func (f *Flow) walkStmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	prev := f.curStmt
+	f.curStmt = s
+	defer func() { f.curStmt = prev }()
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			f.walkStmt(t)
+		}
+	case *ast.IfStmt:
+		f.walkStmt(s.Init)
+		f.expr(s.Cond)
+		f.walkStmt(s.Body)
+		f.walkStmt(s.Else)
+	case *ast.ForStmt:
+		f.walkStmt(s.Init)
+		f.expr(s.Cond)
+		f.walkStmt(s.Post)
+		f.walkStmt(s.Body)
+	case *ast.RangeStmt:
+		x := f.expr(s.X)
+		for _, kv := range []ast.Expr{s.Key, s.Value} {
+			if kv == nil {
+				continue
+			}
+			if id, ok := kv.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			f.assignTo(kv, x, kv.Pos(), "bound by range")
+		}
+		f.walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		f.walkStmt(s.Init)
+		f.expr(s.Tag)
+		f.walkStmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		f.walkStmt(s.Init)
+		var xExpr ast.Expr
+		switch a := s.Assign.(type) {
+		case *ast.ExprStmt:
+			xExpr = a.X.(*ast.TypeAssertExpr).X
+		case *ast.AssignStmt:
+			xExpr = a.Rhs[0].(*ast.TypeAssertExpr).X
+		}
+		x := f.expr(xExpr)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			if obj := f.Graph.Info.Implicits[cc]; obj != nil && x != nil {
+				if n := f.objNode(obj); n != nil {
+					f.edge(x, n, cc.Pos(), "type-switched", s)
+				}
+			}
+			for _, t := range cc.Body {
+				f.walkStmt(t)
+			}
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			f.expr(e)
+		}
+		for _, t := range s.Body {
+			f.walkStmt(t)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			f.walkStmt(cc.Comm)
+			for _, t := range cc.Body {
+				f.walkStmt(t)
+			}
+		}
+	case *ast.AssignStmt:
+		f.assign(s)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			f.declSpec(vs)
+		}
+	case *ast.ExprStmt:
+		f.expr(s.X)
+	case *ast.SendStmt:
+		v := f.expr(s.Value)
+		ch := f.expr(s.Chan)
+		if v != nil {
+			f.edge(v, f.Escape, s.Arrow, "sent on a channel", s)
+			if ch != nil {
+				f.edge(v, ch, s.Arrow, "sent into a channel value", s)
+			}
+		}
+	case *ast.ReturnStmt:
+		f.returnStmt(s)
+	case *ast.GoStmt:
+		f.goCall(s.Call, s)
+	case *ast.DeferStmt:
+		f.callResults(s.Call)
+	case *ast.LabeledStmt:
+		f.walkStmt(s.Stmt)
+	case *ast.IncDecStmt:
+		f.expr(s.X)
+	}
+}
+
+func (f *Flow) declSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			rs := f.callResults(call)
+			for i, name := range vs.Names {
+				var r *Node
+				if i < len(rs) {
+					r = rs[i]
+				}
+				f.assignTo(name, r, name.Pos(), "assigned")
+			}
+			return
+		}
+	}
+	for i, name := range vs.Names {
+		var r *Node
+		if i < len(vs.Values) {
+			r = f.expr(vs.Values[i])
+		}
+		f.assignTo(name, r, name.Pos(), "assigned")
+	}
+}
+
+func (f *Flow) assign(s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Tuple: call, map read, type assert, or channel receive.
+		var results []*Node
+		switch r := ast.Unparen(s.Rhs[0]).(type) {
+		case *ast.CallExpr:
+			results = f.callResults(r)
+		default:
+			// v, ok := m[k] / x.(T) / <-ch: value aliases the container.
+			results = []*Node{f.expr(s.Rhs[0])}
+		}
+		for i, lhs := range s.Lhs {
+			var r *Node
+			if i < len(results) {
+				r = results[i]
+			}
+			f.assignTo(lhs, r, s.TokPos, "assigned")
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		r := f.expr(s.Rhs[i])
+		f.assignTo(lhs, r, s.TokPos, "assigned")
+	}
+}
+
+// assignTo routes a value into an lvalue: a local gets a direct edge, a
+// package-level variable is an escape, and a store through a
+// selector/index/pointer flows into the rooted base object
+// (field-insensitively).
+func (f *Flow) assignTo(lhs ast.Expr, rhs *Node, pos token.Pos, what string) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := f.Graph.Info.Defs[id]
+		if obj == nil {
+			obj = f.Graph.Info.Uses[id]
+		}
+		if obj == nil || rhs == nil {
+			return
+		}
+		if isPkgLevel(obj) {
+			f.edge(rhs, f.Escape, pos, "stored in package-level variable "+obj.Name(), f.curStmt)
+			return
+		}
+		if n := f.objNode(obj); n != nil {
+			f.edge(rhs, n, pos, what, f.curStmt)
+		}
+		return
+	}
+	root, desc := f.storeRoot(lhs)
+	if rhs == nil || root == nil {
+		return
+	}
+	f.edge(rhs, root, pos, desc, f.curStmt)
+}
+
+// storeRoot resolves the base object a store through lhs lands in. A
+// package-level root returns the escape sink.
+func (f *Flow) storeRoot(lhs ast.Expr) (*Node, string) {
+	for {
+		switch x := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.SelectorExpr:
+			// Qualified identifier pkg.Var?
+			if obj := f.qualifiedVar(x); obj != nil {
+				return f.Escape, "stored in package-level variable " + obj.Name()
+			}
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if v, ok := f.objOf(id).(*types.Var); ok {
+					if isPkgLevel(v) {
+						return f.Escape, "stored through package-level variable " + v.Name()
+					}
+					return f.fieldNode(v, x.Sel.Name, f.Graph.Info.TypeOf(x)),
+						"stored into field " + x.Sel.Name + " of " + v.Name()
+				}
+			}
+			lhs = x.X
+		case *ast.IndexExpr:
+			f.expr(x.Index)
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.Ident:
+			obj := f.Graph.Info.Uses[x]
+			if obj == nil {
+				obj = f.Graph.Info.Defs[x]
+			}
+			if obj == nil {
+				return nil, ""
+			}
+			if isPkgLevel(obj) {
+				return f.Escape, "stored through package-level variable " + obj.Name()
+			}
+			return f.objNode(obj), "stored into " + obj.Name()
+		default:
+			return f.expr(lhs), "stored through an expression"
+		}
+	}
+}
+
+// qualifiedVar returns the package-level variable a pkg.Name selector
+// denotes, or nil when sel is a field/method selection.
+func (f *Flow) qualifiedVar(sel *ast.SelectorExpr) types.Object {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if _, isPkg := f.Graph.Info.Uses[id].(*types.PkgName); !isPkg {
+		return nil
+	}
+	// Return an untyped nil when Sel is not a variable (func, const,
+	// type): a typed nil would compare non-nil at call sites.
+	obj, ok := f.Graph.Info.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return nil
+	}
+	return obj
+}
+
+func (f *Flow) returnStmt(s *ast.ReturnStmt) {
+	if len(s.Results) == 1 && len(f.Returns) > 1 {
+		if call, ok := ast.Unparen(s.Results[0]).(*ast.CallExpr); ok {
+			rs := f.callResults(call)
+			for i, r := range rs {
+				if i < len(f.Returns) && r != nil && f.Returns[i] != nil {
+					f.edge(r, f.Returns[i], s.Pos(), "returned", s)
+				}
+			}
+			return
+		}
+	}
+	for i, res := range s.Results {
+		n := f.expr(res)
+		if i < len(f.Returns) && n != nil && f.Returns[i] != nil {
+			f.edge(n, f.Returns[i], s.Pos(), "returned", s)
+		}
+	}
+}
+
+// goCall handles `go f(args)`: handing a tracked value to a goroutine
+// extends its lifetime beyond the frame, which is an escape — except for
+// a direct func-literal call, whose body we walk with args bound to
+// parameters.
+func (f *Flow) goCall(call *ast.CallExpr, stmt ast.Stmt) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		f.funcLitCall(lit, call)
+		return
+	}
+	f.callResults(call)
+	// The call site just registered carries the evaluated arg nodes.
+	if len(f.Calls) > 0 {
+		if last := f.Calls[len(f.Calls)-1]; last.Call == call {
+			for _, a := range last.Args {
+				if a != nil {
+					f.edge(a, f.Escape, call.Lparen, "passed to a goroutine", stmt)
+				}
+			}
+		}
+	}
+}
+
+// funcLitCall walks a directly invoked func literal, binding argument
+// flow into the literal's parameters.
+func (f *Flow) funcLitCall(lit *ast.FuncLit, call *ast.CallExpr) {
+	var params []types.Object
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				params = append(params, f.Graph.Info.Defs[name])
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		a := f.expr(arg)
+		if a == nil || i >= len(params) || params[i] == nil {
+			continue
+		}
+		if p := f.objNode(params[i]); p != nil {
+			f.edge(a, p, arg.Pos(), "passed to a func literal", f.curStmt)
+		}
+	}
+	f.walkStmt(lit.Body)
+}
+
+// ---- expressions ----
+
+// expr evaluates e for flow purposes: registers nested calls and returns
+// the node carrying e's value, or nil when e cannot carry an alias.
+func (f *Flow) expr(e ast.Expr) *Node {
+	if e == nil {
+		return nil
+	}
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := f.Graph.Info.Uses[x]
+		if obj == nil {
+			obj = f.Graph.Info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return nil
+		}
+		return f.objNode(v)
+	case *ast.SelectorExpr:
+		if obj := f.qualifiedVar(x); obj != nil {
+			// Reading a package-level variable: its node carries taint if
+			// the variable's type is a source type.
+			return f.objNode(obj)
+		}
+		base := f.selBase(x)
+		if !f.tracked(x) {
+			return nil
+		}
+		return base
+	case *ast.IndexExpr:
+		f.expr(x.Index)
+		base := f.expr(x.X)
+		if !f.tracked(x) {
+			return nil
+		}
+		return base
+	case *ast.SliceExpr:
+		f.expr(x.Low)
+		f.expr(x.High)
+		f.expr(x.Max)
+		return f.expr(x.X)
+	case *ast.StarExpr:
+		base := f.expr(x.X)
+		if !f.tracked(x) {
+			return nil
+		}
+		return base
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.AND:
+			return f.expr(x.X)
+		case token.ARROW:
+			base := f.expr(x.X)
+			if !f.tracked(x) {
+				return nil
+			}
+			return base
+		default:
+			f.expr(x.X)
+			return nil
+		}
+	case *ast.CallExpr:
+		rs := f.callResults(x)
+		if len(rs) > 0 {
+			return rs[0]
+		}
+		return nil
+	case *ast.CompositeLit:
+		return f.composite(x)
+	case *ast.FuncLit:
+		f.walkStmt(x.Body)
+		return nil
+	case *ast.TypeAssertExpr:
+		base := f.expr(x.X)
+		if x.Type == nil || !f.tracked(x) {
+			return base
+		}
+		return base
+	case *ast.BinaryExpr:
+		f.expr(x.X)
+		f.expr(x.Y)
+		return nil
+	}
+	return nil
+}
+
+func (f *Flow) composite(lit *ast.CompositeLit) *Node {
+	t := f.Graph.Info.TypeOf(lit)
+	var comp *Node
+	if t != nil && CanAlias(t) {
+		comp = f.newNode(nil, t)
+	}
+	for _, elt := range lit.Elts {
+		v := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			f.expr(kv.Key)
+			v = kv.Value
+		}
+		n := f.expr(v)
+		if n != nil && comp != nil {
+			f.edge(n, comp, v.Pos(), "placed in a composite literal", f.curStmt)
+		}
+	}
+	return comp
+}
+
+// callResults evaluates a call and returns one node per result.
+// Conversions pass their operand through; builtins get precise
+// alias-aware handling; real calls become CallSites whose
+// interprocedural edges the summary engine adds.
+func (f *Flow) callResults(call *ast.CallExpr) []*Node {
+	// Conversion T(x): aliasing passes through ([]byte(s), etc).
+	if tv, ok := f.Graph.Info.Types[call.Fun]; ok && tv.IsType() {
+		n := f.expr(call.Args[0])
+		if !f.tracked(call) {
+			return []*Node{nil}
+		}
+		return []*Node{n}
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := f.Graph.Info.Uses[id].(*types.Builtin); ok {
+			return f.builtin(b.Name(), call)
+		}
+	}
+	// Direct func-literal call.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		f.funcLitCall(lit, call)
+		return nil
+	}
+
+	cs := &CallSite{Call: call, Stmt: f.curStmt}
+	cs.Static = f.Graph.StaticCallee(call)
+	cs.Iface = f.Graph.InterfaceMethod(call)
+	// Receiver, when the call is a method call, is combined arg 0.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selection, ok := f.Graph.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			cs.Args = append(cs.Args, f.expr(sel.X))
+		}
+	}
+	for _, a := range call.Args {
+		cs.Args = append(cs.Args, f.expr(a))
+	}
+	if t := f.Graph.Info.TypeOf(call); t != nil {
+		if tup, ok := t.(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				var n *Node
+				if CanAlias(tup.At(i).Type()) {
+					n = f.newNode(nil, tup.At(i).Type())
+				}
+				cs.Results = append(cs.Results, n)
+			}
+		} else if CanAlias(t) {
+			cs.Results = append(cs.Results, f.newNode(nil, t))
+		} else {
+			cs.Results = append(cs.Results, nil)
+		}
+	}
+	f.Calls = append(f.Calls, cs)
+	return cs.Results
+}
+
+func (f *Flow) builtin(name string, call *ast.CallExpr) []*Node {
+	switch name {
+	case "append":
+		dst := f.expr(call.Args[0])
+		var res *Node
+		if f.tracked(call) {
+			res = f.newNode(nil, f.Graph.Info.TypeOf(call))
+		}
+		if dst != nil && res != nil {
+			f.edge(dst, res, call.Lparen, "appended onto", f.curStmt)
+		}
+		// Appending copies elements: only pointer-like elements alias.
+		elemAliases := false
+		if t, ok := f.Graph.Info.TypeOf(call).Underlying().(*types.Slice); ok {
+			elemAliases = CanAlias(t.Elem())
+		}
+		for _, a := range call.Args[1:] {
+			n := f.expr(a)
+			if n != nil && res != nil && elemAliases {
+				f.edge(n, res, a.Pos(), "appended into a slice", f.curStmt)
+			}
+		}
+		return []*Node{res}
+	case "copy":
+		dst := f.expr(call.Args[0])
+		src := f.expr(call.Args[1])
+		// copy moves element values; only pointer-like elements alias.
+		if t, ok := f.Graph.Info.TypeOf(call.Args[0]).Underlying().(*types.Slice); ok && CanAlias(t.Elem()) {
+			if src != nil && dst != nil {
+				f.edge(src, dst, call.Lparen, "copied into", f.curStmt)
+			}
+		}
+		return []*Node{nil}
+	case "make", "new":
+		for _, a := range call.Args[1:] {
+			f.expr(a)
+		}
+		if f.tracked(call) {
+			return []*Node{f.newNode(nil, f.Graph.Info.TypeOf(call))}
+		}
+		return []*Node{nil}
+	case "panic":
+		if n := f.expr(call.Args[0]); n != nil {
+			f.edge(n, f.Escape, call.Lparen, "passed to panic", f.curStmt)
+		}
+		return nil
+	default:
+		// len, cap, delete, close, clear, min, max, print, println, recover.
+		for _, a := range call.Args {
+			f.expr(a)
+		}
+		return []*Node{nil}
+	}
+}
+
+// ---- reachability ----
+
+// Taint levels returned by Reach.
+const (
+	// TaintContained: the node holds a tracked value in one of its slots.
+	TaintContained = 1
+	// TaintDirect: the node IS (an alias of) the tracked value.
+	TaintDirect = 2
+)
+
+// Reach computes each node's taint level from srcs over the base edges
+// plus extra (per-from-node) interprocedural edges. Direct taint crosses
+// every edge; contained taint stops at field reads.
+func (f *Flow) Reach(srcs []*Node, extra map[*Node][]*FlowEdge) map[*Node]int {
+	level := make(map[*Node]int)
+	var stack []*Node
+	push := func(n *Node, l int) {
+		if n == nil || l <= level[n] {
+			return
+		}
+		level[n] = l
+		stack = append(stack, n)
+	}
+	for _, s := range srcs {
+		push(s, TaintDirect)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		l := level[n]
+		step := func(e *FlowEdge) {
+			switch e.Kind {
+			case EdgeContain:
+				push(e.To, TaintContained)
+			case EdgeFieldRead:
+				if l == TaintDirect {
+					push(e.To, TaintDirect)
+				}
+			default:
+				push(e.To, l)
+			}
+		}
+		for _, e := range n.Out {
+			step(e)
+		}
+		for _, e := range extra[n] {
+			step(e)
+		}
+	}
+	return level
+}

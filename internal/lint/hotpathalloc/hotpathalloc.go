@@ -46,7 +46,7 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil || !analysis.FuncHasDirective(fn, "hotpath") {
 				continue
 			}
-			c := &checker{pass: pass, file: file, fn: fn, resets: findResets(fn.Body)}
+			c := &checker{pass: pass, file: file, fn: fn, resets: findResets(pass, fn.Body)}
 			c.stmts(fn.Body.List)
 		}
 	}
@@ -54,25 +54,56 @@ func run(pass *analysis.Pass) error {
 }
 
 // findResets collects the rendered form of every lvalue the function
-// resets with `x = x[:0]` — the idiomatic amortized-reuse pattern that
-// makes a later append(x, ...) allocation-free in steady state.
-func findResets(body *ast.BlockStmt) map[string]bool {
+// gives amortized capacity, making a later append(x, ...) allocation-free
+// in steady state:
+//
+//   - x = x[:0] — the idiomatic reuse reset;
+//   - x := make([]T, len, cap) — an explicit capacity preallocation (the
+//     make itself is still reported; a setup statement carries its own
+//     //cyclolint:coldpath justification);
+//   - x = slices.Grow(x, n) — a guaranteed-capacity reslice.
+func findResets(pass *analysis.Pass, body *ast.BlockStmt) map[string]bool {
 	resets := make(map[string]bool)
+	record := func(lhs, rhs ast.Expr) {
+		switch x := ast.Unparen(rhs).(type) {
+		case *ast.SliceExpr:
+			if x.High == nil || x.Low != nil {
+				return
+			}
+			lit, ok := x.High.(*ast.BasicLit)
+			if !ok || lit.Value != "0" {
+				return
+			}
+			if types.ExprString(lhs) == types.ExprString(x.X) {
+				resets[types.ExprString(x.X)] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" && len(x.Args) == 3 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					resets[types.ExprString(lhs)] = true
+				}
+				return
+			}
+			if pkg, name := calleePkgFunc(pass, x); pkg == "slices" && name == "Grow" &&
+				len(x.Args) == 2 && types.ExprString(x.Args[0]) == types.ExprString(lhs) {
+				resets[types.ExprString(lhs)] = true
+			}
+		}
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
-			return true
-		}
-		sl, ok := as.Rhs[0].(*ast.SliceExpr)
-		if !ok || sl.High == nil || sl.Low != nil {
-			return true
-		}
-		lit, ok := sl.High.(*ast.BasicLit)
-		if !ok || lit.Value != "0" {
-			return true
-		}
-		if types.ExprString(as.Lhs[0]) == types.ExprString(sl.X) {
-			resets[types.ExprString(sl.X)] = true
+		switch as := n.(type) {
+		case *ast.AssignStmt:
+			if len(as.Lhs) == len(as.Rhs) {
+				for i := range as.Lhs {
+					record(as.Lhs[i], as.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(as.Names) == len(as.Values) {
+				for i := range as.Names {
+					record(as.Names[i], as.Values[i])
+				}
+			}
 		}
 		return true
 	})

@@ -5,6 +5,7 @@ package hotpathalloc
 
 import (
 	"fmt"
+	"slices"
 	"time"
 )
 
@@ -38,6 +39,40 @@ func alloc() []int {
 //cyclolint:hotpath
 func grow(dst []int, v int) []int {
 	return append(dst, v) // want `append may grow`
+}
+
+// preallocated shows appends amortized by a same-function 3-arg make:
+// the setup allocation is justified, the steady-state appends are free.
+//
+//cyclolint:hotpath
+func preallocated(vs []int) []int {
+	//cyclolint:coldpath one-time setup; sized for the whole batch
+	acc := make([]int, 0, len(vs))
+	for _, v := range vs {
+		acc = append(acc, v)
+	}
+	return acc
+}
+
+// grown shows appends amortized by slices.Grow.
+//
+//cyclolint:hotpath
+func grown(dst []int, vs []int) []int {
+	dst = slices.Grow(dst, len(vs))
+	for _, v := range vs {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// twoArgMake gets no capacity credit: make([]T, n) has no headroom, so
+// the append still reallocates.
+//
+//cyclolint:hotpath
+func twoArgMake(v int) []int {
+	//cyclolint:coldpath setup
+	acc := make([]int, 1)
+	return append(acc, v) // want `append may grow`
 }
 
 //cyclolint:hotpath

@@ -2,6 +2,8 @@
 // enforces one repo invariant that tests cannot economically cover:
 //
 //	viewescape   — relation.View aliases must not outlive the buffer credit
+//	bufown       — registered-buffer credits released on every path
+//	lockorder    — one global lock-acquisition order, no cycles
 //	hotpathalloc — //cyclolint:hotpath functions stay allocation-free
 //	spanpair     — trace Begin/End pairing on every return path
 //	unsafeonly   — unsafe confined to build-tagged endian files
@@ -13,7 +15,9 @@ package lint
 
 import (
 	"cyclojoin/internal/lint/analysis"
+	"cyclojoin/internal/lint/bufown"
 	"cyclojoin/internal/lint/hotpathalloc"
+	"cyclojoin/internal/lint/lockorder"
 	"cyclojoin/internal/lint/metricname"
 	"cyclojoin/internal/lint/spanpair"
 	"cyclojoin/internal/lint/unsafeonly"
@@ -24,6 +28,8 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		viewescape.Analyzer,
+		bufown.Analyzer,
+		lockorder.Analyzer,
 		hotpathalloc.Analyzer,
 		spanpair.Analyzer,
 		unsafeonly.Analyzer,

@@ -13,12 +13,25 @@
 // cyclojoin/... (and the stdlib) resolve through the same export-data
 // importer the drivers use, so testdata can exercise analyzers against
 // the genuine relation.View, trace.Shard and metrics.Registry types.
+//
+// Two interprocedural features mirror the real drivers:
+//
+//   - Multi-package fixtures: a testdata package may import another one
+//     as "cyclolinttest/<pkg>"; the import resolves to the sibling
+//     testdata/src/<pkg> directory, type-checked from source. Run
+//     analyzes its packages in the listed order and threads analyzer
+//     facts between them, so list dependencies first and summaries cross
+//     the package boundary exactly as vetx facts do in go vet mode.
+//   - Suggested-fix goldens: RunFix applies every reported fix and
+//     compares each rewritten file byte-exactly against its
+//     <name>.go.golden sibling.
 package linttest
 
 import (
 	"bytes"
 	"fmt"
 	"go/token"
+	"go/types"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -32,15 +45,153 @@ import (
 	"cyclojoin/internal/lint/load"
 )
 
+// testPathPrefix is the synthetic import-path namespace for testdata
+// packages.
+const testPathPrefix = "cyclolinttest/"
+
 // Run analyzes each testdata/src/<pkg> directory (relative to the
-// calling test's working directory) as one package and checks its `want`
-// expectations against a.
+// calling test's working directory) as one package, in the listed order
+// with facts threaded between packages, and checks `want` expectations.
 func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
-	exports := moduleExports(t)
+	h := newHarness(t)
 	for _, pkg := range pkgs {
-		runPackage(t, a, exports, pkg)
+		diags := h.analyze(t, a, pkg)
+		checkExpectations(t, h.fset, h.loaded[testPathPrefix+pkg], pkg, diags)
 	}
+}
+
+// RunFix analyzes each package, applies every suggested fix, and
+// compares each rewritten file byte-exactly against <file>.golden. Files
+// without fixes must have no golden.
+func RunFix(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	h := newHarness(t)
+	for _, pkg := range pkgs {
+		diags := h.analyze(t, a, pkg)
+		loaded := h.loaded[testPathPrefix+pkg]
+
+		src := make(map[string][]byte)
+		for _, f := range loaded.Files {
+			name := h.fset.Position(f.FileStart).Filename
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("linttest: %v", err)
+			}
+			src[name] = data
+		}
+		fixed, err := analysis.ApplyFixes(h.fset, diags, src)
+		if err != nil {
+			t.Fatalf("linttest: applying %s fixes to %s: %v", a.Name, pkg, err)
+		}
+		for name, after := range fixed {
+			golden := name + ".golden"
+			changed := !bytes.Equal(after, src[name])
+			want, err := os.ReadFile(golden)
+			if os.IsNotExist(err) {
+				if changed {
+					t.Errorf("linttest: %s: fixes change the file but %s does not exist; got:\n%s", name, golden, after)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("linttest: %v", err)
+			}
+			if !bytes.Equal(after, want) {
+				t.Errorf("linttest: %s: fixed output differs from %s\n--- got ---\n%s\n--- want ---\n%s", name, golden, after, want)
+			}
+		}
+	}
+}
+
+// harness shares one FileSet, importer, and fact store across the
+// packages of a Run, so cross-package imports and facts line up.
+type harness struct {
+	fset    *token.FileSet
+	base    types.Importer
+	loaded  map[string]*load.Package // by full import path
+	facts   map[string][]byte        // by full import path
+	srcRoot string
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	fset := token.NewFileSet()
+	h := &harness{
+		fset:    fset,
+		loaded:  make(map[string]*load.Package),
+		facts:   make(map[string][]byte),
+		srcRoot: filepath.Join("testdata", "src"),
+	}
+	h.base = load.Importer(fset, nil, moduleExports(t))
+	return h
+}
+
+// Import resolves testdata-internal imports from source and everything
+// else through the module's export data. This makes harness a
+// types.Importer usable for chained testdata packages.
+func (h *harness) Import(path string) (*types.Package, error) {
+	if !strings.HasPrefix(path, testPathPrefix) {
+		return h.base.Import(path)
+	}
+	p, err := h.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+func (h *harness) load(path string) (*load.Package, error) {
+	if p, ok := h.loaded[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(h.srcRoot, filepath.FromSlash(strings.TrimPrefix(path, testPathPrefix)))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("linttest: no Go files in %s", dir)
+	}
+	p, err := load.CheckFiles(h.fset, h, path, filenames)
+	if err != nil {
+		return nil, err
+	}
+	h.loaded[path] = p
+	return p, nil
+}
+
+// analyze runs a over one testdata package with the shared fact store.
+func (h *harness) analyze(t *testing.T, a *analysis.Analyzer, pkg string) []analysis.Diagnostic {
+	t.Helper()
+	path := testPathPrefix + pkg
+	loaded, err := h.load(path)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      h.fset,
+		Files:     loaded.Files,
+		Pkg:       loaded.Types,
+		TypesInfo: loaded.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFacts: func(p string) []byte { return h.facts[p] },
+		ExportFacts: func(data []byte) {
+			h.facts[path] = data
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: %s on %s: %v", a.Name, pkg, err)
+	}
+	return diags
 }
 
 // moduleExports indexes export data for every module package and its
@@ -66,43 +217,6 @@ func moduleRoot(t *testing.T) string {
 		t.Fatalf("linttest: go list -m: %v\n%s", err, stderr.String())
 	}
 	return strings.TrimSpace(string(out))
-}
-
-func runPackage(t *testing.T, a *analysis.Analyzer, exports map[string]string, pkg string) {
-	t.Helper()
-	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkg))
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-	}
-	var filenames []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			filenames = append(filenames, filepath.Join(dir, e.Name()))
-		}
-	}
-	if len(filenames) == 0 {
-		t.Fatalf("linttest: no Go files in %s", dir)
-	}
-	fset := token.NewFileSet()
-	imp := load.Importer(fset, nil, exports)
-	loaded, err := load.CheckFiles(fset, imp, "cyclolinttest/"+pkg, filenames)
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-	}
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     loaded.Files,
-		Pkg:       loaded.Types,
-		TypesInfo: loaded.TypesInfo,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("linttest: %s on %s: %v", a.Name, pkg, err)
-	}
-	checkExpectations(t, fset, loaded, pkg, diags)
 }
 
 // expectation is one `want` regexp anchored to a file line.

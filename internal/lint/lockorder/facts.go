@@ -1,0 +1,78 @@
+package lockorder
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Edge records one observed acquisition order: To was locked while From
+// was held. Positions are pre-rendered so they survive the fact boundary
+// without a shared FileSet.
+type Edge struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	FromPos string `json:"from_pos"`
+	ToPos   string `json:"to_pos"`
+}
+
+// LockFacts is the per-package fact blob: every function's transitively
+// acquired lock classes (for call-site folding) and every acquisition
+// edge seen so far, merged transitively so any importer can close a
+// cycle against the whole dependency cone.
+type LockFacts struct {
+	Acquires map[string][]string `json:"acquires,omitempty"`
+	Edges    []Edge              `json:"edges,omitempty"`
+}
+
+// EncodeLockFacts serializes facts deterministically.
+func EncodeLockFacts(acquires map[string][]string, edges []Edge) []byte {
+	f := &LockFacts{Acquires: make(map[string][]string)}
+	for k, v := range acquires {
+		if len(v) == 0 {
+			continue
+		}
+		vv := append([]string(nil), v...)
+		sort.Strings(vv)
+		f.Acquires[k] = vv
+	}
+	seen := make(map[Edge]bool)
+	for _, e := range edges {
+		if !seen[e] {
+			seen[e] = true
+			f.Edges = append(f.Edges, e)
+		}
+	}
+	sort.Slice(f.Edges, func(i, j int) bool {
+		a, b := f.Edges[i], f.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.FromPos != b.FromPos {
+			return a.FromPos < b.FromPos
+		}
+		return a.ToPos < b.ToPos
+	})
+	data, err := json.Marshal(f)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// DecodeLockFacts parses a fact blob, tolerating nil/garbage.
+func DecodeLockFacts(data []byte) *LockFacts {
+	f := &LockFacts{Acquires: make(map[string][]string)}
+	if len(data) == 0 {
+		return f
+	}
+	if err := json.Unmarshal(data, f); err != nil {
+		return &LockFacts{Acquires: make(map[string][]string)}
+	}
+	if f.Acquires == nil {
+		f.Acquires = make(map[string][]string)
+	}
+	return f
+}

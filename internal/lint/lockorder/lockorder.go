@@ -1,0 +1,396 @@
+// Package lockorder builds the program's whole lock-acquisition-order
+// graph and reports cycles as potential deadlocks.
+//
+// Every sync.Mutex / sync.RWMutex the repo owns is assigned a class:
+// "pkgpath.Type.field" for a mutex struct field, "pkgpath.var" for a
+// package-level mutex. Within each function the analyzer walks statements
+// in source order keeping a held stack: Lock/RLock pushes, Unlock/RUnlock
+// pops, a deferred unlock keeps the lock held to the end of the function
+// (which is exactly the window later acquisitions order against). Each
+// acquisition made while another class is held records a directed edge
+// held → acquired. Calls fold in the callee's transitively-acquired
+// classes — computed to a fixpoint in-package and imported across package
+// boundaries as facts, so an inversion split between two packages is
+// still a cycle to the importer.
+//
+// A cycle means two executions can each hold one lock while waiting for
+// the other: a deadlock that strikes only under contention, which is why
+// tests rarely catch it. The report cites both acquisition sites of the
+// local edge and the remote path that closes the cycle. A deliberate,
+// externally-serialized inversion is annotated at the statement:
+//
+//	//cyclolint:locksafe <justification>
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cyclojoin/internal/lint/analysis"
+	"cyclojoin/internal/lint/dataflow"
+)
+
+// Analyzer reports lock-acquisition-order cycles.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "all mutexes must be acquired in one global order; a cycle in the acquisition graph is a potential deadlock",
+	Version:   "1",
+	UsesFacts: true,
+	Run:       run,
+}
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true}
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// localEdge is an Edge still tied to this package's positions and syntax,
+// so it can be reported on and directive-checked.
+type localEdge struct {
+	Edge
+	toPos token.Pos
+	node  ast.Node
+	file  *ast.File
+}
+
+func run(pass *analysis.Pass) error {
+	g := dataflow.NewGraph(pass.Fset, pass.Pkg, pass.TypesInfo, pass.Files)
+
+	acquires := make(map[string][]string)
+	var imported []Edge
+	for _, imp := range pass.Pkg.Imports() {
+		f := DecodeLockFacts(pass.ImportedFacts(imp.Path()))
+		for k, v := range f.Acquires {
+			acquires[k] = v
+		}
+		imported = append(imported, f.Edges...)
+	}
+
+	solveAcquires(pass, g, acquires)
+	local := collectEdges(pass, g, acquires)
+
+	rendered := make([]Edge, 0, len(local))
+	for _, e := range local {
+		rendered = append(rendered, e.Edge)
+	}
+	pass.Export(EncodeLockFacts(acquires, append(rendered, imported...)))
+
+	reportCycles(pass, local, imported)
+	return nil
+}
+
+// ---- lock classification ----
+
+// mutexClass names the lock behind a Lock/Unlock selector base, or ""
+// when it is a local (untrackable) mutex.
+func mutexClass(pass *analysis.Pass, base ast.Expr) string {
+	switch x := ast.Unparen(base).(type) {
+	case *ast.SelectorExpr:
+		if fsel, ok := pass.TypesInfo.Selections[x]; ok {
+			// A mutex field: class is the owning type plus field name.
+			t := fsel.Recv()
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name
+			}
+			return ""
+		}
+		// pkg.Var: a package-level mutex referenced across packages.
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return v.Pkg().Path() + "." + v.Name()
+				}
+			}
+		}
+		return ""
+	case *ast.Ident:
+		// A package-level mutex in its own package; locals are skipped.
+		v, ok := objOf(pass, x).(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return ""
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// lockCall classifies call as a lock acquisition (kind 1) or release
+// (kind 2) of a trackable mutex class.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr) (string, int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	kind := 0
+	switch {
+	case lockMethods[sel.Sel.Name]:
+		kind = 1
+	case unlockMethods[sel.Sel.Name]:
+		kind = 2
+	default:
+		return "", 0
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", 0
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	if !analysis.IsNamed(recv, "sync", "Mutex") && !analysis.IsNamed(recv, "sync", "RWMutex") {
+		return "", 0
+	}
+	cls := mutexClass(pass, sel.X)
+	if cls == "" {
+		return "", 0
+	}
+	return cls, kind
+}
+
+// ---- summaries: which classes a function transitively acquires ----
+
+func solveAcquires(pass *analysis.Pass, g *dataflow.Graph, acquires map[string][]string) {
+	fns := g.All()
+	const maxRounds = 8
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, fn := range fns {
+			if fn.Decl.Body == nil {
+				continue
+			}
+			set := make(map[string]bool)
+			ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if cls, kind := lockCall(pass, call); kind == 1 {
+					set[cls] = true
+					return true
+				}
+				if callee := g.StaticCallee(call); callee != nil {
+					for _, a := range acquires[callee.FullName()] {
+						set[a] = true
+					}
+				}
+				return true
+			})
+			cur := make([]string, 0, len(set))
+			for c := range set {
+				cur = append(cur, c)
+			}
+			sort.Strings(cur)
+			if !stringsEqual(acquires[fn.Key()], cur) {
+				acquires[fn.Key()] = cur
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func stringsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- edge collection: the source-order held-stack walk ----
+
+type heldLock struct {
+	class string
+	pos   token.Pos
+}
+
+func collectEdges(pass *analysis.Pass, g *dataflow.Graph, acquires map[string][]string) []localEdge {
+	var edges []localEdge
+	for _, fn := range g.All() {
+		if fn.Decl.Body == nil {
+			continue
+		}
+		file := pass.File(fn.Decl.Pos())
+		w := &walker{pass: pass, g: g, acquires: acquires, file: file, edges: &edges}
+		w.walk(fn.Decl.Body, nil)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].toPos < edges[j].toPos })
+	return edges
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	g        *dataflow.Graph
+	acquires map[string][]string
+	file     *ast.File
+	edges    *[]localEdge
+}
+
+// walk traverses body in source order maintaining held. A FuncLit is a
+// separate execution context (usually a goroutine) and starts empty; a
+// deferred unlock is ignored, which keeps the lock held for the rest of
+// the walk — exactly the window later acquisitions order against.
+func (w *walker) walk(body ast.Node, held []heldLock) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.walk(x.Body, nil)
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if cls, kind := lockCall(w.pass, x); kind != 0 {
+				switch kind {
+				case 1:
+					w.addEdges(held, cls, x)
+					held = append(held, heldLock{class: cls, pos: x.Pos()})
+				case 2:
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i].class == cls {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if callee := w.g.StaticCallee(x); callee != nil {
+				for _, a := range w.acquires[callee.FullName()] {
+					w.addEdges(held, a, x)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) addEdges(held []heldLock, to string, at ast.Node) {
+	for _, h := range held {
+		if h.class == to {
+			continue
+		}
+		*w.edges = append(*w.edges, localEdge{
+			Edge: Edge{
+				From:    h.class,
+				To:      to,
+				FromPos: w.pass.Fset.Position(h.pos).String(),
+				ToPos:   w.pass.Fset.Position(at.Pos()).String(),
+			},
+			toPos: at.Pos(),
+			node:  at,
+			file:  w.file,
+		})
+	}
+}
+
+// ---- cycle detection ----
+
+func reportCycles(pass *analysis.Pass, local []localEdge, imported []Edge) {
+	adj := make(map[string][]Edge)
+	add := func(e Edge) { adj[e.From] = append(adj[e.From], e) }
+	seen := make(map[Edge]bool)
+	for _, e := range local {
+		if !seen[e.Edge] {
+			seen[e.Edge] = true
+			add(e.Edge)
+		}
+	}
+	for _, e := range imported {
+		if !seen[e] {
+			seen[e] = true
+			add(e)
+		}
+	}
+	reported := make(map[string]bool)
+	for _, e := range local {
+		path := findPath(adj, e.To, e.From)
+		if path == nil {
+			continue
+		}
+		key := cycleKey(e.Edge, path)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		if e.file != nil && pass.HasDirective(e.file, e.node, "locksafe") {
+			continue
+		}
+		var back []string
+		for _, p := range path {
+			back = append(back, p.To+" (at "+p.ToPos+", holding "+p.From+" acquired at "+p.FromPos+")")
+		}
+		pass.Reportf(e.toPos,
+			"lock acquisition order cycle: %s is acquired here while holding %s (acquired at %s), but elsewhere the order is reversed via %s; a potential deadlock — pick one global order, or annotate //cyclolint:locksafe with the serialization argument",
+			e.To, e.From, e.FromPos, strings.Join(back, " -> "))
+	}
+}
+
+// findPath BFSes from src to dst over adj, returning the edge path.
+func findPath(adj map[string][]Edge, src, dst string) []Edge {
+	type step struct {
+		class string
+		via   *step
+		edge  Edge
+	}
+	visited := map[string]bool{src: true}
+	queue := []*step{{class: src}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur.class] {
+			if visited[e.To] {
+				continue
+			}
+			next := &step{class: e.To, via: cur, edge: e}
+			if e.To == dst {
+				var path []Edge
+				for s := next; s.via != nil; s = s.via {
+					path = append(path, s.edge)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			visited[e.To] = true
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// cycleKey canonicalizes a cycle by its participating classes.
+func cycleKey(e Edge, path []Edge) string {
+	set := map[string]bool{e.From: true, e.To: true}
+	for _, p := range path {
+		set[p.From] = true
+		set[p.To] = true
+	}
+	classes := make([]string, 0, len(set))
+	for c := range set {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	return strings.Join(classes, "|")
+}

@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/linttest"
+	"cyclojoin/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "lockorder")
+}
+
+func TestLockOrderCallFolding(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "lockfold")
+}
+
+func TestLockOrderCrossPackage(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "lockdep/dep", "lockdep/use")
+}

@@ -1,0 +1,18 @@
+package dep
+
+import "sync"
+
+// Global serializes registry mutations.
+var Global sync.Mutex
+
+// Guard protects one registry entry.
+type Guard struct{ Mu sync.Mutex }
+
+// LockBoth takes the registry lock, then the entry lock: the canonical
+// order every caller must follow.
+func LockBoth(g *Guard) {
+	Global.Lock()
+	g.Mu.Lock()
+	g.Mu.Unlock()
+	Global.Unlock()
+}

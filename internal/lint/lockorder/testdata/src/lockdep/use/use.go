@@ -1,0 +1,13 @@
+package use
+
+import "cyclolinttest/lockdep/dep"
+
+// inverted takes the entry lock before the registry lock — the reverse of
+// dep.LockBoth's order. The closing edge lives in another package and
+// arrives as a fact.
+func inverted(g *dep.Guard) {
+	g.Mu.Lock()
+	dep.Global.Lock() // want `lock acquisition order cycle`
+	dep.Global.Unlock()
+	g.Mu.Unlock()
+}

@@ -1,0 +1,47 @@
+package lockfold
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+
+// helperC's acquisition is only visible to callers through its summary.
+func helperC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// viaHelper records A→C at the call site by folding helperC's summary.
+func viaHelper(a *A, c *C) {
+	a.mu.Lock()
+	helperC(c) // want `lock acquisition order cycle`
+	a.mu.Unlock()
+}
+
+// inverted closes the cycle C→A.
+func inverted(a *A, c *C) {
+	c.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// sanctioned documents a deliberate inversion.
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+
+func lockDE(d *D, e *E) {
+	d.mu.Lock()
+	//cyclolint:locksafe boot-time only; serialized by the init barrier
+	e.mu.Lock()
+	e.mu.Unlock()
+	d.mu.Unlock()
+}
+
+func lockED(d *D, e *E) {
+	e.mu.Lock()
+	//cyclolint:locksafe boot-time only; serialized by the init barrier
+	d.mu.Lock()
+	d.mu.Unlock()
+	e.mu.Unlock()
+}

@@ -1,0 +1,48 @@
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+
+// lockAB establishes A before B.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock acquisition order cycle`
+	b.mu.Unlock()
+}
+
+// lockBA inverts it: with lockAB this closes a cycle, reported once at
+// the earliest edge.
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// consistent keeps one global order; no report.
+func consistent(a *A, c *C) {
+	a.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func consistentAgain(a *A, c *C) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// unlockedFirst releases A before taking B on the second round, so no
+// A→B edge arises here.
+func unlockedFirst(a *A, b *B) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,22 @@
+// Package dep is the downstream half of the cross-package viewescape
+// fixture: its summaries must reach importers through exported facts.
+package dep
+
+import "cyclojoin/internal/relation"
+
+var parked *relation.View
+
+// Park escapes its parameter into a package-level variable. The finding
+// belongs to the caller that owns the view.
+func Park(v *relation.View) { parked = v }
+
+// Identity summarizes as param 0 → result 0.
+func Identity(v *relation.View) *relation.View { return v }
+
+// Fresh births and returns a view: FreshResult in the summary, so
+// callers must treat the result as tainted.
+func Fresh(frame []byte) *relation.View {
+	v := new(relation.View)
+	_ = v.Bind(frame, "dep")
+	return v
+}

@@ -1,0 +1,24 @@
+// Package use exercises viewescape summaries across a package boundary:
+// dep's facts tell this pass that Fresh births a view, Identity passes
+// it through, and Park escapes it.
+package use
+
+import "cyclolinttest/viewdep/dep"
+
+func leak(frame []byte) {
+	v := dep.Fresh(frame)
+	dep.Park(v) // want `escapes via call to cyclolinttest/viewdep/dep.Park`
+}
+
+func leakThroughIdentity(frame []byte) {
+	dep.Park(dep.Identity(dep.Fresh(frame))) // want `escapes via call to cyclolinttest/viewdep/dep.Park`
+}
+
+func ok(frame []byte) int {
+	v := dep.Fresh(frame)
+	w := dep.Identity(v)
+	if w == nil {
+		return 0
+	}
+	return 1
+}

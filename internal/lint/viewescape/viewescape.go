@@ -1,24 +1,27 @@
 // Package viewescape enforces the zero-copy buffer-ownership contract
-// around relation.View.
+// around relation.View, interprocedurally.
 //
 // A View binds a decoded fragment directly over a registered receive
 // buffer: its Frag() and Frame() results alias memory the transport will
 // reuse the moment the buffer's credit is released. A view-derived value
-// is therefore only valid on the stack of the pipeline stage holding the
-// credit; storing it in a struct field, a map, a global, sending it on a
-// channel, or returning it lets the alias outlive the credit and read
-// recycled bytes — the exact silent-corruption mode RDMA-style
-// transports die from. Materialize() is the single sanctioned way to
-// take ownership: its result deep-copies the data and may go anywhere.
+// is therefore only valid while the pipeline stage holding the credit is
+// on the stack. Materialize() is the single sanctioned way to take
+// ownership: its result deep-copies the data and may go anywhere.
 //
-// Within a function the analyzer taints: every expression whose static
-// type is relation.View or *relation.View, the results of the aliasing
-// accessors Frag() and Frame(), subslices of tainted slices, composite
-// literals containing a tainted value, and locals assigned from any of
-// those. It reports when a tainted value is assigned to a field, map,
-// index or global, sent on a channel, or returned. Passing a tainted
-// value as an ordinary call argument is allowed — the callee runs under
-// the caller's credit.
+// Version 2 runs on the internal/lint/dataflow IR. Every function gets a
+// def-use flow graph; bottom-up summaries record, per parameter, whether
+// the callee escapes it (global store, channel send, goroutine handoff),
+// flows it to a result, or stores it into another parameter. Summaries
+// cross package boundaries as facts, and dynamic interface-method calls
+// resolve to the union of concrete methods with a matching name and
+// signature. A diagnostic fires in the function where the view is born
+// (bound, read from a map/global, or returned fresh by a callee), at the
+// statement where the alias ultimately leaves frame custody — whether
+// directly or inside a callee chain. Returning a view to the caller or
+// parking it in a caller-owned struct is no longer reported at the
+// return/store itself: those flows are summarized and charged to the
+// call site that lets them escape, which removes v1's false positives on
+// plumbing helpers.
 //
 // Deliberate ownership handoffs (the ring's inflight queue, where the
 // credit travels with the view) are annotated at the statement:
@@ -27,195 +30,75 @@
 package viewescape
 
 import (
-	"go/ast"
-	"go/token"
 	"go/types"
 
 	"cyclojoin/internal/lint/analysis"
+	"cyclojoin/internal/lint/dataflow"
 )
 
-// relationPkg declares View; the implementation itself is exempt.
+// relationPkg declares View; the implementation is summarized but not
+// reported on.
 const relationPkg = "cyclojoin/internal/relation"
 
 // Analyzer flags relation.View aliases escaping their credit scope.
 var Analyzer = &analysis.Analyzer{
-	Name: "viewescape",
-	Doc:  "a relation.View (or Frag/Frame alias of one) must not be stored, sent, or returned without Materialize()",
-	Run:  run,
+	Name:      "viewescape",
+	Doc:       "a relation.View alias (or anything it flows into, across calls) must not outlive the buffer credit without Materialize()",
+	Version:   "2",
+	UsesFacts: true,
+	Run:       run,
 }
 
 func run(pass *analysis.Pass) error {
+	g := dataflow.NewGraph(pass.Fset, pass.Pkg, pass.TypesInfo, pass.Files)
+	imported := make(map[string]*dataflow.Summary)
+	for _, imp := range pass.Pkg.Imports() {
+		for k, s := range dataflow.DecodeEscapeFacts(pass.ImportedFacts(imp.Path())) {
+			imported[k] = s
+		}
+	}
+	eng := dataflow.NewEscape(g, dataflow.EscapeConfig{
+		Source:   isViewType,
+		Launders: launders,
+	}, imported)
+	eng.Solve()
+	pass.Export(eng.Facts())
+
 	if pass.Pkg.Path() == relationPkg {
+		// The implementation aliases itself freely; its real summaries
+		// (what Bind stores, what Frame returns) still reach importers,
+		// which is what keeps e.g. Bind's error result untainted.
 		return nil
 	}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			checkFunc(pass, file, fn)
+	for _, f := range eng.Findings() {
+		file := pass.File(f.Pos)
+		if file != nil && f.Stmt != nil && pass.HasDirective(file, f.Stmt, "viewsafe") {
+			continue
 		}
+		pass.Reportf(f.Pos,
+			"relation.View alias %s: it aliases registered receive memory and must not outlive the buffer credit; Materialize() first, or annotate //cyclolint:viewsafe with the ownership argument", f.What)
 	}
 	return nil
 }
 
-// checker carries one function's taint state.
-type checker struct {
-	pass    *analysis.Pass
-	file    *ast.File
-	tainted map[types.Object]bool
-}
-
-func checkFunc(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl) {
-	c := &checker{pass: pass, file: file, tainted: make(map[types.Object]bool)}
-	// Propagate taint through local assignments to a fixed point; bodies
-	// are small and taint only grows, so this converges quickly.
-	for {
-		before := len(c.tainted)
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			as, ok := n.(*ast.AssignStmt)
-			if !ok || len(as.Lhs) != len(as.Rhs) {
-				return true
-			}
-			for i, lhs := range as.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok {
-					continue
-				}
-				obj := c.pass.TypesInfo.Defs[id]
-				if obj == nil {
-					obj = c.pass.TypesInfo.Uses[id]
-				}
-				if obj == nil || isGlobal(obj) {
-					continue
-				}
-				if c.taintedExpr(as.Rhs[i]) {
-					c.tainted[obj] = true
-				}
-			}
-			return true
-		})
-		if len(c.tainted) == before {
-			break
-		}
+// launders recognizes View.Materialize: its result is a deep copy, so no
+// taint crosses the call.
+func launders(g *dataflow.Graph, cs *dataflow.CallSite) bool {
+	fn := cs.Static
+	if fn == nil {
+		fn = cs.Iface
 	}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.AssignStmt:
-			c.checkAssign(s)
-		case *ast.SendStmt:
-			if c.taintedExpr(s.Value) && !c.sanctioned(s) {
-				c.report(s.Pos(), "sent on a channel")
-			}
-		case *ast.ReturnStmt:
-			for _, res := range s.Results {
-				if c.taintedExpr(res) && !c.sanctioned(s) {
-					c.report(res.Pos(), "returned")
-				}
-			}
-		}
-		return true
-	})
-}
-
-// checkAssign flags tainted values stored where they outlive the frame:
-// struct fields, map/slice elements, dereferenced pointers, globals.
-func (c *checker) checkAssign(as *ast.AssignStmt) {
-	if len(as.Lhs) != len(as.Rhs) {
-		return
-	}
-	for i, lhs := range as.Lhs {
-		if !c.taintedExpr(as.Rhs[i]) {
-			continue
-		}
-		var what string
-		switch l := lhs.(type) {
-		case *ast.SelectorExpr:
-			what = "stored in a struct field"
-		case *ast.IndexExpr:
-			what = "stored in a map or slice element"
-		case *ast.StarExpr:
-			what = "stored through a pointer"
-		case *ast.Ident:
-			obj := c.pass.TypesInfo.Defs[l]
-			if obj == nil {
-				obj = c.pass.TypesInfo.Uses[l]
-			}
-			if obj != nil && isGlobal(obj) {
-				what = "stored in a package-level variable"
-			}
-		}
-		if what != "" && !c.sanctioned(as) {
-			c.report(as.Pos(), what)
-		}
-	}
-}
-
-// sanctioned reports whether the statement carries //cyclolint:viewsafe.
-func (c *checker) sanctioned(stmt ast.Node) bool {
-	return c.pass.HasDirective(c.file, stmt, "viewsafe")
-}
-
-func (c *checker) report(pos token.Pos, how string) {
-	c.pass.Reportf(pos,
-		"relation.View alias %s: it aliases registered receive memory and must not outlive the buffer credit; Materialize() first, or annotate //cyclolint:viewsafe with the ownership argument", how)
-}
-
-// taintedExpr reports whether e may alias a bound view's storage.
-func (c *checker) taintedExpr(e ast.Expr) bool {
-	switch x := e.(type) {
-	case *ast.Ident:
-		obj := c.pass.TypesInfo.Uses[x]
-		if obj == nil {
-			obj = c.pass.TypesInfo.Defs[x]
-		}
-		if obj != nil && c.tainted[obj] {
-			return true
-		}
-	case *ast.ParenExpr:
-		return c.taintedExpr(x.X)
-	case *ast.StarExpr:
-		return c.taintedExpr(x.X)
-	case *ast.UnaryExpr:
-		return c.taintedExpr(x.X)
-	case *ast.SliceExpr:
-		return c.taintedExpr(x.X)
-	case *ast.CallExpr:
-		if c.aliasingCall(x) {
-			return true
-		}
-		return false
-	case *ast.CompositeLit:
-		for _, elt := range x.Elts {
-			v := elt
-			if kv, ok := elt.(*ast.KeyValueExpr); ok {
-				v = kv.Value
-			}
-			if c.taintedExpr(v) {
-				return true
-			}
-		}
-	}
-	return c.isViewType(e)
-}
-
-// aliasingCall recognizes the accessors whose results alias the view's
-// frame. Materialize deliberately is not among them.
-func (c *checker) aliasingCall(call *ast.CallExpr) bool {
-	return c.pass.IsMethodOn(call, relationPkg, "View", "Frag") ||
-		c.pass.IsMethodOn(call, relationPkg, "View", "Frame")
-}
-
-// isViewType reports whether e's static type is View or *View.
-func (c *checker) isViewType(e ast.Expr) bool {
-	tv, ok := c.pass.TypesInfo.Types[e]
-	if !ok || tv.Type == nil {
+	if fn == nil || fn.Name() != "Materialize" {
 		return false
 	}
-	return analysis.IsNamed(tv.Type, relationPkg, "View")
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return dataflow.IsNamedType(sig.Recv().Type(), relationPkg, "View")
 }
 
-func isGlobal(obj types.Object) bool {
-	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+// isViewType reports whether t is relation.View or *relation.View.
+func isViewType(t types.Type) bool {
+	return dataflow.IsNamedType(t, relationPkg, "View")
 }

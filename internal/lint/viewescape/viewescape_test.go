@@ -10,3 +10,9 @@ import (
 func TestViewEscape(t *testing.T) {
 	linttest.Run(t, viewescape.Analyzer, "viewescape")
 }
+
+// TestViewEscapeCrossPackage threads dep's facts into use's pass, the
+// same way vetx facts flow in go vet mode.
+func TestViewEscapeCrossPackage(t *testing.T) {
+	linttest.Run(t, viewescape.Analyzer, "viewdep/dep", "viewdep/use")
+}

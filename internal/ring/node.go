@@ -230,14 +230,20 @@ func (n *node) start() error {
 		n.stats.RegisteredBytes = n.dev.Stats().BytesPinned
 		n.mu.Unlock()
 	}
+	// The three entities below share custody of the pooled views planted
+	// in n.views: each send of a view down the pipeline carries the
+	// buffer credit with it, which is the ring's sanctioned handoff.
 	n.procWG.Add(1)
 	go func() {
 		defer n.procWG.Done()
+		//cyclolint:viewsafe pooled views travel the pipeline with their buffer credit
 		n.procLoop()
 	}()
+	//cyclolint:viewsafe pooled views travel the pipeline with their buffer credit
 	if err := n.beginRecv(n.in); err != nil {
 		return err
 	}
+	//cyclolint:viewsafe pooled views travel the pipeline with their buffer credit
 	return n.beginSend(n.out)
 }
 
@@ -526,6 +532,10 @@ func (n *node) procLoop() {
 				index, hops := frag.Index, frag.Hops
 				sz, ok := n.stageForward(inf.view, frag, buf)
 				if !ok {
+					// The node is stopping, but the pool must stay whole:
+					// ReplaceNode restarts entities against these buffers,
+					// and a dropped credit would shrink the send pool.
+					n.freeSend <- buf
 					n.fjoin.End(spd)
 					return
 				}
@@ -572,6 +582,9 @@ func (n *node) encodeOutbound(frag *relation.Fragment) (outbound, bool) {
 	}
 	sz, ok := n.stageEncode(frag, buf)
 	if !ok {
+		// Return the credit even though the node is stopping: the send
+		// pool is registered once and must survive node replacement.
+		n.freeSend <- buf
 		return outbound{}, false
 	}
 	return outbound{index: frag.Index, hops: frag.Hops, staged: buf, sz: sz}, true
