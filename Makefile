@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint cyclolint lint-sarif test race bench-metrics bench-ring bench-trace smoke-trace
+.PHONY: check build vet lint cyclolint lint-sarif test race chaos chaos-fuzz bench-metrics bench-ring bench-trace smoke-trace
 
-check: build vet lint race
+check: build vet lint race chaos
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,21 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos is the fault-injection e2e tier: the seeded cyclobench scenario
+# suite (drop, flap, corrupt doorbell, jitter+reorder, slow node,
+# partition) against live mem and tcp rings, race-enabled. The unit- and
+# package-level chaos tests (TestChaos* in ring, core, chaoslink) already
+# run under `race`; this drives the same machinery through the CLI the CI
+# fuzz job uses, with a pinned seed so the gate is deterministic.
+chaos:
+	$(GO) run -race ./cmd/cyclobench -chaos -seed 1
+
+# chaos-fuzz explores a fresh schedule per run (seed derived from the
+# clock). The full output — including the reproduce line and the failing
+# schedule, if any — lands in chaos_fuzz.txt for CI to upload.
+chaos-fuzz:
+	$(GO) run -race ./cmd/cyclobench -chaos -seed 0 > chaos_fuzz.txt 2>&1; st=$$?; cat chaos_fuzz.txt; exit $$st
 
 # Proves the instrumentation budget: one hot-path event must cost < 10 ns.
 bench-metrics:

@@ -7,6 +7,7 @@
 //	cyclobench                  # run every experiment
 //	cyclobench -run fig7        # one experiment (fig3 fig5 fig7..fig12 table1)
 //	cyclobench -list            # list experiment ids
+//	cyclobench -chaos -seed 7   # seeded fault-injection suite on live rings
 //	cyclobench -metrics         # append the runtime-metrics table per experiment
 //	cyclobench -trace           # append the flight-recorder phase-share table
 //
@@ -39,10 +40,16 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	showMetrics := flag.Bool("metrics", false, "print the process runtime-metrics table after each experiment")
 	showTrace := flag.Bool("trace", false, "enable the flight recorder and print its per-phase share table after each experiment")
+	chaos := flag.Bool("chaos", false, "run the seeded fault-injection scenarios against live rings instead of experiments")
+	seed := flag.Uint64("seed", 1, "schedule seed for -chaos (0 derives one from the clock)")
 	flag.Parse()
 
 	if *showTrace {
 		trace.Flight().Enable(trace.DefaultShardCap)
+	}
+
+	if *chaos {
+		return runChaos(os.Stdout, *seed)
 	}
 
 	if *list {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cyclojoin/internal/join"
+	"cyclojoin/internal/join/hashjoin"
+	"cyclojoin/internal/rdma/chaoslink"
+	"cyclojoin/internal/ring"
+	"cyclojoin/internal/testutil"
+	"cyclojoin/internal/workload"
+)
+
+// TestChaosJoinRecovers is the cluster-level recovery story: a link drops
+// a frame mid-revolution, ring recovery re-dials it and re-routes the
+// retained frame, and the distributed join still produces the exact
+// result — the fault is invisible above the ring API.
+func TestChaosJoinRecovers(t *testing.T) {
+	transports := []struct {
+		name  string
+		links func() ring.LinkFactory
+	}{
+		{"mem", ring.MemLinks},
+		{"tcp", ring.TCPLinks},
+	}
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			testutil.CheckNoLeaks(t)
+			plan := &chaoslink.Plan{PerLink: map[chaoslink.Link]*chaoslink.Scenario{
+				{From: 0, To: 1}: {FailFrame: 2},
+			}}
+			c, err := NewCluster(Config{
+				Nodes:     3,
+				Algorithm: hashjoin.Join{},
+				Predicate: join.Equi{},
+				Links:     ring.LinkFactory(plan.Wrap(tr.links())),
+				Ring: ring.Config{
+					Recovery: ring.Recovery{MaxRetries: 3, Backoff: time.Millisecond},
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				_ = c.Close()
+			}()
+			r := workload.Sequential("R", 600, 4)
+			s := workload.Sequential("S", 600, 4)
+			res, err := c.JoinRelations(r, s, false)
+			if err != nil {
+				t.Fatalf("join under injected link failure: %v", err)
+			}
+			if res.Matches() != 600 {
+				t.Errorf("matches = %d, want 600", res.Matches())
+			}
+			if res.Partial != nil {
+				t.Errorf("recovered join reported a partial result: %+v", res.Partial)
+			}
+			if dials := plan.Dials(chaoslink.Link{From: 0, To: 1}); dials != 2 {
+				t.Errorf("faulty link dialed %d times, want 2 (original + recovery re-dial)", dials)
+			}
+		})
+	}
+}
+
+// TestChaosJoinPartialResult: when the fault is a partition and the retry
+// budget runs out, the join degrades gracefully — the caller gets a typed
+// error AND a usable partial result naming how much of the revolution
+// completed.
+func TestChaosJoinPartialResult(t *testing.T) {
+	testutil.CheckNoLeaks(t)
+	plan := &chaoslink.Plan{PerLink: map[chaoslink.Link]*chaoslink.Scenario{
+		{From: 0, To: 1}: {FailFrame: 2, RefuseRedials: true},
+	}}
+	c, err := NewCluster(Config{
+		Nodes:     3,
+		Algorithm: hashjoin.Join{},
+		Predicate: join.Equi{},
+		Links:     ring.LinkFactory(plan.Wrap(ring.MemLinks())),
+		Ring: ring.Config{
+			Recovery: ring.Recovery{MaxRetries: 2, Backoff: 100 * time.Microsecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = c.Close()
+	}()
+	r := workload.Sequential("R", 600, 4)
+	s := workload.Sequential("S", 600, 4)
+	res, err := c.JoinRelations(r, s, false)
+	if err == nil {
+		t.Fatal("join across a partition: want an error")
+	}
+	var pe *ring.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v, want a *ring.PartialError in the chain", err)
+	}
+	if !errors.Is(err, chaoslink.ErrPartitioned) {
+		t.Errorf("error chain %v does not surface the partition cause", err)
+	}
+	if res == nil {
+		t.Fatal("partial failure returned no result at all")
+	}
+	if res.Partial == nil {
+		t.Fatal("result does not carry the partial-progress report")
+	}
+	if res.Partial.Retired >= res.Partial.Total {
+		t.Errorf("partial result claims full progress: %d/%d", res.Partial.Retired, res.Partial.Total)
+	}
+	// The collectors hold whatever matched before the partition; they
+	// must be readable, and never exceed the full join.
+	if m := res.Matches(); m < 0 || m > 600 {
+		t.Errorf("partial matches = %d, want within [0, 600]", m)
+	}
+}

@@ -201,6 +201,11 @@ type Result struct {
 	// Nodes snapshots the ring counters (sync time, traffic) after the
 	// run.
 	Nodes []ring.NodeStats
+	// Partial is non-nil when the revolution ended early: link recovery
+	// was enabled but a link kept failing past its retry budget, and the
+	// ring degraded gracefully. The collectors then hold every match
+	// produced by the fragments (and hops) that did complete.
+	Partial *ring.PartialError
 }
 
 // Matches sums the match counts if the collectors are join.Counters
@@ -241,7 +246,20 @@ func (c *Cluster) Rotate() (*Result, error) {
 	}
 	start := time.Now()
 	if err := c.ring.Run(rotating); err != nil {
-		return nil, fmt.Errorf("cyclojoin: rotate: %w", err)
+		var pe *ring.PartialError
+		if !errors.As(err, &pe) {
+			return nil, fmt.Errorf("cyclojoin: rotate: %w", err)
+		}
+		// Bounded-retry exhaustion: the ring gave up on a link but kept
+		// every completed hop's work. Surface the partial result WITH the
+		// error — callers decide whether an incomplete join is usable.
+		return &Result{
+			SetupTime:  setup,
+			JoinTime:   time.Since(start),
+			Collectors: collectors,
+			Nodes:      c.ring.Stats(),
+			Partial:    pe,
+		}, fmt.Errorf("cyclojoin: rotate: %w", err)
 	}
 	return &Result{
 		SetupTime:  setup,

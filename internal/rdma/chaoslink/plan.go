@@ -1,0 +1,96 @@
+package chaoslink
+
+import (
+	"fmt"
+	"sync"
+
+	"cyclojoin/internal/rdma"
+)
+
+// Plan maps a whole ring's links to fault scenarios and tracks how often
+// each link has been dialed, so a schedule can distinguish the first
+// (faulty) link instance from the re-dial that recovery performs: a
+// transient fault heals on re-dial, a partition (RefuseRedials) does not.
+//
+// A Plan is safe for concurrent use; ring recovery re-dials links from
+// its own goroutine.
+type Plan struct {
+	// Default applies to links with no PerLink entry; nil injects nothing.
+	Default *Scenario
+	// PerLink overrides Default for specific links.
+	PerLink map[Link]*Scenario
+	// FaultDials is how many dials of a faulty link receive its scenario
+	// before the link comes up clean. 0 means 1 (fault the first dial,
+	// heal on re-dial); negative means every dial stays faulty.
+	FaultDials int
+
+	mu    sync.Mutex
+	dials map[Link]int
+}
+
+// linkFactory matches ring.LinkFactory structurally, so chaoslink wraps
+// any transport's factory without importing the ring package.
+type linkFactory func(from, to int) (src, dst rdma.QueuePair, err error)
+
+// Wrap decorates an inner link factory (ring.MemLinks, ring.TCPLinks(...))
+// so every faulted link's sending side goes through the plan's schedule.
+// Non-faulted links pass through untouched — chaoslink costs nothing on
+// links it leaves alone.
+func (p *Plan) Wrap(inner func(from, to int) (src, dst rdma.QueuePair, err error)) func(from, to int) (src, dst rdma.QueuePair, err error) {
+	return linkFactory(func(from, to int) (rdma.QueuePair, rdma.QueuePair, error) {
+		l := Link{From: from, To: to}
+		sc, dial := p.take(l)
+		if sc == nil {
+			return inner(from, to)
+		}
+		if dial > 1 && sc.RefuseRedials {
+			mRefusals.Inc()
+			return nil, nil, fmt.Errorf("chaoslink %s: dial %d: %w", l, dial, ErrPartitioned)
+		}
+		src, dst, err := inner(from, to)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Wrap(src, l, *sc), dst, nil
+	})
+}
+
+// take resolves the scenario for the next dial of l and returns it along
+// with the 1-based dial number. It returns a nil scenario when this dial
+// comes up clean.
+func (p *Plan) take(l Link) (*Scenario, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sc := p.PerLink[l]
+	if sc == nil {
+		sc = p.Default
+	}
+	if sc == nil || !sc.active() && !sc.RefuseRedials {
+		return nil, 0
+	}
+	if p.dials == nil {
+		p.dials = make(map[Link]int)
+	}
+	p.dials[l]++
+	dial := p.dials[l]
+	limit := p.FaultDials
+	if limit == 0 {
+		limit = 1
+	}
+	if limit > 0 && dial > limit && !sc.RefuseRedials {
+		return nil, 0
+	}
+	// Derive a per-dial seed so a re-dialed faulty link replays a fresh —
+	// but still deterministic — schedule.
+	derived := *sc
+	derived.Seed = sc.Seed + uint64(dial-1)*0x9e3779b97f4a7c15
+	return &derived, dial
+}
+
+// Dials reports how many times the plan has seen l dialed — tests assert
+// recovery actually re-dialed.
+func (p *Plan) Dials(l Link) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dials[l]
+}

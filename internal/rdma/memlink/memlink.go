@@ -97,9 +97,13 @@ func Pair() (a, b rdma.QueuePair) {
 
 func newLink() *link {
 	return &link{
-		sendQ:    make(chan workReq, queueDepth),
-		recvQ:    make(chan *rdma.Buffer, queueDepth),
-		cq:       make(chan rdma.Completion, rdma.CQDepth),
+		sendQ: make(chan workReq, queueDepth),
+		recvQ: make(chan *rdma.Buffer, queueDepth),
+		// The CQ out-sizes both work queues together so flush() can always
+		// deliver its WR_FLUSH_ERR completions without blocking: every
+		// posted work request must come back through the CQ even when
+		// nobody is reaping anymore.
+		cq:       make(chan rdma.Completion, 2*queueDepth+64),
 		exposed:  make(map[rdma.RemoteKey]*rdma.Buffer),
 		recvPend: make(map[*rdma.Buffer]trace.Pending),
 		done:     make(chan struct{}),
@@ -145,8 +149,11 @@ func (l *link) sendLoop() {
 			case <-l.done:
 				// Record the stall interval even on shutdown: the time spent
 				// waiting for a credit that never came is exactly what the
-				// stall analysis wants to see.
+				// stall analysis wants to see. The work request was already
+				// dequeued, so flush() cannot see it — hand its buffer back
+				// here or it would never return through the CQ.
 				l.shard.End(cs)
+				l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: rdma.ErrFlushed})
 				return
 			case <-l.peer.done:
 				l.shard.End(cs)
@@ -260,8 +267,14 @@ func (l *link) postWrite(wr workReq) error {
 	}
 }
 
-// complete delivers a completion unless the link is shutting down. The
+// complete delivers a completion unless the CQ is already closed. The
 // guard is needed because the peer's DMA goroutine also delivers here.
+//
+// Delivery must not race l.done: a frame already placed in the peer's
+// buffer whose success completion is dropped would look undelivered to the
+// sender and be re-sent by ring recovery — a duplicate. The done escape is
+// therefore a last resort taken only when the CQ is genuinely full during
+// teardown (the consumer is gone), never while there is room.
 //
 //cyclolint:hotpath
 func (l *link) complete(c rdma.Completion) {
@@ -269,6 +282,11 @@ func (l *link) complete(c rdma.Completion) {
 	defer l.cqMu.RUnlock()
 	if l.cqClosed {
 		return
+	}
+	select {
+	case l.cq <- c:
+		return
+	default:
 	}
 	select {
 	case l.cq <- c:
@@ -374,6 +392,7 @@ func (l *link) Close() error {
 	l.closeOnce.Do(func() {
 		close(l.done)
 		l.wg.Wait()
+		l.flush()
 		// Blocked deliveries (ours or the peer's) drain via l.done;
 		// taking the write lock then excludes new ones before close.
 		l.cqMu.Lock()
@@ -382,4 +401,37 @@ func (l *link) Close() error {
 		l.cqMu.Unlock()
 	})
 	return nil
+}
+
+// flush hands every still-posted work request's buffer back to the
+// application as an ErrFlushed completion (the verbs WR_FLUSH_ERR
+// discipline) before the CQ closes. Runs after the DMA goroutine has
+// exited, so the queues are quiescent; delivery is best-effort
+// non-blocking against a CQ nobody may be reaping anymore.
+func (l *link) flush() {
+	deliver := func(c rdma.Completion) {
+		select {
+		case l.cq <- c:
+		default:
+		}
+	}
+drainSends:
+	for {
+		select {
+		case wr := <-l.sendQ:
+			l.shard.End(wr.pend)
+			deliver(rdma.Completion{Op: wr.kind, Buf: wr.buf, Err: rdma.ErrFlushed})
+		default:
+			break drainSends
+		}
+	}
+	for {
+		select {
+		case b := <-l.recvQ:
+			l.dropRecvStamp(b)
+			deliver(rdma.Completion{Op: rdma.OpRecv, Buf: b, Err: rdma.ErrFlushed})
+		default:
+			return
+		}
+	}
 }

@@ -91,7 +91,10 @@ type Completion struct {
 //     (receiver-not-ready senders block rather than drop);
 //   - a send completion returns buffer ownership to the application;
 //   - after Close, posts fail with ErrClosed and the completion channel is
-//     eventually closed.
+//     eventually closed;
+//   - work requests still posted at Close are flushed: each one's buffer
+//     comes back through the completion queue with ErrFlushed before the
+//     channel closes, so a fault never strands pool buffers.
 type QueuePair interface {
 	// PostRecv hands a registered buffer to the transport for the next
 	// incoming message.
@@ -108,6 +111,14 @@ type QueuePair interface {
 
 // ErrClosed is returned by posts on a closed queue pair.
 var ErrClosed = errors.New("rdma: queue pair closed")
+
+// ErrFlushed marks completions for work requests that were still posted
+// when the queue pair shut down — the software analogue of the verbs
+// WR_FLUSH_ERR. Buffer ownership returns to the application with the
+// flush completion: a transport must hand every posted buffer back
+// through the completion queue before closing it, or the application's
+// buffer pool shrinks permanently under faults.
+var ErrFlushed = errors.New("rdma: work request flushed on queue pair shutdown")
 
 // ErrBadRemoteKey is reported when a write names an rkey the peer never
 // exposed — the software analogue of an RNIC protection fault.

@@ -1,6 +1,7 @@
 package tcplink
 
 import (
+	"encoding/binary"
 	"errors"
 	"net"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"cyclojoin/internal/rdma"
+	"cyclojoin/internal/testutil"
 )
 
 // countingConn records every Write so framing behaviour is observable.
@@ -199,5 +201,160 @@ func TestDialTimeout(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "timeout 1ns") {
 		t.Errorf("error %q does not surface the configured deadline", err)
+	}
+}
+
+// badFrameCase injects one hand-built malformed frame into the raw side
+// of the connection and describes what the link should do with it.
+type badFrameCase struct {
+	name     string
+	checksum bool
+	// frame is the raw bytes pushed at the link's read loop. closeAfter
+	// truncates the stream afterwards (a torn connection mid-payload).
+	frame      func() []byte
+	closeAfter bool
+}
+
+// TestBadFramesReturnEveryCredit is the receive-credit leak audit for the
+// read loop's error paths: whatever malformed input kills the link, every
+// posted receive buffer must come back through the completion queue —
+// either inside the fatal error completion (the consumed credit) or as
+// ErrFlushed from Close. A dropped credit here starves the ring's receive
+// pool after recovery re-dials the link.
+func TestBadFramesReturnEveryCredit(t *testing.T) {
+	goodPayload := func(kind byte, n int) []byte {
+		f := make([]byte, 5+n)
+		f[0] = kind
+		binary.BigEndian.PutUint32(f[1:5], uint32(n))
+		return f
+	}
+	cases := []badFrameCase{
+		{
+			name: "unknown frame type",
+			frame: func() []byte {
+				return goodPayload(0xee, 0)[:5]
+			},
+		},
+		{
+			name: "length over limit",
+			frame: func() []byte {
+				f := goodPayload(frameSend, 0)[:5]
+				binary.BigEndian.PutUint32(f[1:5], uint32(defaultMaxFrame+1))
+				return f
+			},
+		},
+		{
+			name:     "checksum mismatch",
+			checksum: true,
+			frame: func() []byte {
+				f := goodPayload(frameSend, 8)
+				copy(f[5:], "01234567")
+				// Trailer deliberately wrong.
+				return append(f, 0xde, 0xad, 0xbe, 0xef)
+			},
+		},
+		{
+			name: "torn mid-payload",
+			frame: func() []byte {
+				f := goodPayload(frameSend, 64)
+				return f[:5+10] // announce 64 B, deliver 10
+			},
+			closeAfter: true,
+		},
+		{
+			name: "short write header",
+			frame: func() []byte {
+				return goodPayload(frameWriteImm, 4)[:7]
+			},
+			closeAfter: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			testutil.CheckNoLeaks(t)
+			raw, side := net.Pipe()
+			l := newLink(side, tc.checksum, defaultMaxFrame)
+
+			posted := []*rdma.Buffer{register(t, 64), register(t, 64)}
+			for _, b := range posted {
+				if err := l.PostRecv(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			go func() {
+				_, _ = raw.Write(tc.frame())
+				if tc.closeAfter {
+					_ = raw.Close()
+				}
+			}()
+
+			// The fatal error completion arrives first; Close then flushes
+			// whatever the failure did not consume.
+			var got []rdma.Completion
+			deadline := time.After(5 * time.Second)
+			for sawError := false; !sawError; {
+				select {
+				case c, ok := <-l.Completions():
+					if !ok {
+						t.Fatal("CQ closed before the failure surfaced")
+					}
+					got = append(got, c)
+					sawError = c.Err != nil
+				case <-deadline:
+					t.Fatal("malformed frame never surfaced an error completion")
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for c := range l.Completions() {
+				got = append(got, c)
+			}
+			_ = raw.Close()
+
+			returned := map[*rdma.Buffer]int{}
+			for _, c := range got {
+				if c.Buf != nil {
+					returned[c.Buf]++
+				}
+			}
+			for i, b := range posted {
+				switch returned[b] {
+				case 1:
+				case 0:
+					t.Errorf("posted receive buffer %d never returned through the CQ (credit leaked)", i)
+				default:
+					t.Errorf("posted receive buffer %d returned %d times", i, returned[b])
+				}
+			}
+		})
+	}
+}
+
+// TestListenerCloseUnblocksAccept: closing the listener mid-Accept must
+// error out the pending Accept promptly instead of stranding its
+// goroutine — the ring's teardown path closes listeners with dials still
+// possibly in flight.
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	testutil.CheckNoLeaks(t)
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		accepted <- err
+	}()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-accepted:
+		if err == nil {
+			t.Fatal("Accept returned a connection after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept still blocked 5s after Close")
 	}
 }

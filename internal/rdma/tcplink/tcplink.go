@@ -85,6 +85,8 @@ var (
 	mCompletions = metrics.Default().Counter("tcplink_completions_total", "completions delivered to applications")
 	mCRCFailures = metrics.Default().Counter("tcplink_checksum_failures_total", "CRC-32C payload mismatches detected at the receiver")
 	mPostRejects = metrics.Default().Counter("tcplink_post_rejects_total", "work requests rejected by sender-side validation")
+	mFlushed     = metrics.Default().Counter("tcplink_flushed_total", "posted work requests flushed with an error completion at shutdown")
+	mFlushDrops  = metrics.Default().Counter("tcplink_flush_drops_total", "flush completions dropped because the completion queue was full at shutdown")
 	mSendDepth   = metrics.Default().Gauge("tcplink_send_queue_depth", "posted work requests not yet on the wire")
 	mFrameBytes  = metrics.Default().Histogram("tcplink_frame_bytes", "transmitted frame payload sizes",
 		metrics.ExponentialBounds(1024, 4, 10))
@@ -141,6 +143,13 @@ type link struct {
 	closeOnce sync.Once
 	done      chan struct{}
 	wg        sync.WaitGroup
+
+	// pendMu guards pendingFail: a fatal completion that found the CQ
+	// full is parked here instead of dropped — it may carry the receive
+	// buffer the failed frame consumed, and losing it would shrink the
+	// application's pool permanently. Close's flush delivers it first.
+	pendMu      sync.Mutex
+	pendingFail []rdma.Completion
 }
 
 var _ rdma.WriteQueuePair = (*link)(nil)
@@ -541,13 +550,62 @@ func (l *link) fail(c rdma.Completion) {
 		select {
 		case l.cq <- c:
 		default:
-			// CQ full during teardown; the close that follows still
-			// signals the application.
+			// CQ full during teardown. The completion may carry a
+			// consumed receive buffer, so it must not be dropped: park
+			// it for Close's flush pass instead.
+			l.pendMu.Lock()
+			l.pendingFail = append(l.pendingFail, c)
+			l.pendMu.Unlock()
 		}
 		close(l.done)
 		// Unblock the other loop's conn reads/writes.
 		_ = l.conn.Close()
 	})
+}
+
+// flush returns every still-posted work request's buffer to the
+// application as an ErrFlushed completion (the verbs WR_FLUSH_ERR
+// discipline). Called by Close after both loops have exited, so the
+// queues are quiescent. Delivery is best-effort non-blocking — the CQ is
+// as deep as the post queues combined is shallow in practice — and any
+// completion that still cannot be delivered is counted, never silently
+// lost.
+func (l *link) flush() {
+	deliver := func(c rdma.Completion) {
+		select {
+		case l.cq <- c:
+			mFlushed.Inc()
+		default:
+			mFlushDrops.Inc()
+		}
+	}
+	l.pendMu.Lock()
+	parked := l.pendingFail
+	l.pendingFail = nil
+	l.pendMu.Unlock()
+	for _, c := range parked {
+		deliver(c)
+	}
+drainSends:
+	for {
+		select {
+		case wr := <-l.sendQ:
+			mSendDepth.Dec()
+			l.shard.End(wr.pend)
+			deliver(rdma.Completion{Op: wr.kind, Buf: wr.buf, Err: rdma.ErrFlushed})
+		default:
+			break drainSends
+		}
+	}
+	for {
+		select {
+		case b := <-l.recvQ:
+			l.dropRecvStamp(b)
+			deliver(rdma.Completion{Op: rdma.OpRecv, Buf: b, Err: rdma.ErrFlushed})
+		default:
+			return
+		}
+	}
 }
 
 // PostSend implements rdma.QueuePair.
@@ -634,6 +692,7 @@ func (l *link) Close() error {
 			_ = l.conn.Close()
 		})
 		l.wg.Wait()
+		l.flush()
 		close(l.cq)
 	})
 	return nil

@@ -144,6 +144,15 @@ type node struct {
 	// while the receiver is stopped; released buffers are then parked
 	// (unpinned) for the next start.
 	repost func(*rdma.Buffer) error
+	// repostQP is the endpoint repost targets, kept so a repost failure
+	// can be attributed to the right link instance for recovery.
+	repostQP rdma.QueuePair
+
+	// inflightMu guards inflightSend: the staged frames handed to the
+	// transmitter whose delivery the transport has not yet confirmed.
+	// Link recovery re-routes exactly these (takeRetained, recovery.go).
+	inflightMu   sync.Mutex
+	inflightSend map[*rdma.Buffer]outbound
 
 	retired chan<- retirement
 	errc    chan<- error
@@ -178,24 +187,34 @@ func newNode(id int, cfg Config, proc Processor, retired chan<- retirement, errc
 	slots := cfg.slots()
 	fl := cfg.flightRecorder()
 	return &node{
-		id:       id,
-		cfg:      cfg,
-		proc:     proc,
-		tr:       cfg.tracer(),
-		dev:      rdma.OpenDevice(fmt.Sprintf("rnic-%d", id)),
-		procQ:    make(chan inflight, slots),
-		sendQ:    make(chan outbound, slots),
-		freeSend: make(chan *rdma.Buffer, slots+2),
-		views:    make(map[*rdma.Buffer]*relation.View, slots),
-		pinned:   make(map[*rdma.Buffer]bool, slots),
-		retired:  retired,
-		errc:     errc,
-		quit:     make(chan struct{}),
-		m:        newNodeMetrics(id),
-		frecv:    fl.Shard(id, "recv"),
-		fjoin:    fl.Shard(id, "join"),
-		fsend:    fl.Shard(id, "send"),
-		sendPend: make(map[*rdma.Buffer]trace.Pending),
+		id:    id,
+		cfg:   cfg,
+		proc:  proc,
+		tr:    cfg.tracer(),
+		dev:   rdma.OpenDevice(fmt.Sprintf("rnic-%d", id)),
+		procQ: make(chan inflight, slots),
+		// sendQ holds every staged buffer the pool can produce: an
+		// outbound exists only while it owns one of the slots+2 send
+		// buffers, so at this capacity the join loop's push can never
+		// block. That non-blocking push is load-bearing for liveness in
+		// write mode, where the transmitter holds its dequeued frame
+		// through an explicit credit wait: a full sendQ would block the
+		// join loop before it processes (and re-credits) the next pinned
+		// receive buffer, and with every node in that state the ring is a
+		// circular credit wait — a store-and-forward deadlock.
+		sendQ:        make(chan outbound, slots+2),
+		freeSend:     make(chan *rdma.Buffer, slots+2),
+		views:        make(map[*rdma.Buffer]*relation.View, slots),
+		pinned:       make(map[*rdma.Buffer]bool, slots),
+		retired:      retired,
+		errc:         errc,
+		quit:         make(chan struct{}),
+		m:            newNodeMetrics(id),
+		frecv:        fl.Shard(id, "recv"),
+		fjoin:        fl.Shard(id, "join"),
+		fsend:        fl.Shard(id, "send"),
+		sendPend:     make(map[*rdma.Buffer]trace.Pending),
+		inflightSend: make(map[*rdma.Buffer]outbound, slots+2),
 	}
 }
 
@@ -275,6 +294,7 @@ func (n *node) startRecv(qp rdma.QueuePair) error {
 	// not be posted — their release will repost them through the new qp.
 	n.recvMu.Lock()
 	n.repost = qp.PostRecv
+	n.repostQP = qp
 	post := make([]*rdma.Buffer, 0, len(n.recvBufs))
 	for _, b := range n.recvBufs {
 		if !n.pinned[b] {
@@ -328,6 +348,7 @@ func (n *node) releaseRecv(buf *rdma.Buffer) {
 	n.recvMu.Lock()
 	delete(n.pinned, buf)
 	repost := n.repost
+	qp := n.repostQP
 	n.recvMu.Unlock()
 	if repost == nil {
 		return
@@ -339,8 +360,8 @@ func (n *node) releaseRecv(buf *rdma.Buffer) {
 		if errors.Is(err, rdma.ErrClosed) {
 			return
 		}
-		//cyclolint:coldpath transport fault: the node is about to stop
-		n.report(fmt.Errorf("ring: node %d: repost receive: %w", n.id, err))
+		//cyclolint:coldpath transport fault: recovery or abort follows
+		n.failLink(nil, false, qp, fmt.Errorf("ring: node %d: repost receive: %w", n.id, err))
 	}
 }
 
@@ -350,8 +371,10 @@ func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
 		var ok bool
 		select {
 		case <-stop:
+			n.drainRecv(qp)
 			return
 		case <-n.quit:
+			n.drainRecv(qp)
 			return
 		case c, ok = <-qp.Completions():
 		}
@@ -359,15 +382,32 @@ func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
 			return
 		}
 		if c.Err != nil {
-			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: receive: %w", n.id, c.Err))
+			n.failLink(stop, false, qp, fmt.Errorf("ring: node %d: receive: %w", n.id, c.Err))
+			n.drainRecv(qp)
 			return
 		}
 		if c.Op != rdma.OpRecv {
 			continue
 		}
-		if !n.deliver(c.Buf, c.Buf.Bytes(), stop) {
-			return
+		n.deliver(c.Buf, c.Buf.Bytes())
+	}
+}
+
+// drainRecv consumes the inbound completion queue to channel close,
+// delivering every frame the transport already placed. Frames that
+// arrived before a fault (or a deliberate endpoint stop) must reach the
+// pipeline — dropping them here would lose them for good, since the
+// upstream sender has already been told they were delivered. The queue
+// pair is closed by the same stop/recovery path that lands here, so the
+// loop is bounded.
+func (n *node) drainRecv(qp rdma.QueuePair) {
+	for c := range qp.Completions() {
+		if c.Err != nil || c.Op != rdma.OpRecv {
+			// Flushed (undelivered) buffers are parked by the transport
+			// handing them back; the next receiver start reposts them.
+			continue
 		}
+		n.deliver(c.Buf, c.Buf.Bytes())
 	}
 }
 
@@ -376,10 +416,15 @@ func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
 // releases the buffer — after the frame is staged into a send buffer, or
 // at retirement — so a full procQ still translates into ring backpressure,
 // now without a decode-materialize cycle on the way in. Returns false when
-// the node is stopping or the frame is fatally malformed.
+// the node is quitting or the frame is fatally malformed.
+//
+// A receiver stop (node replacement, link recovery) deliberately does NOT
+// abandon the handoff: the frame was delivered and acknowledged at the
+// transport level, so it must survive the receiver restart — the join
+// entity keeps running throughout and drains procQ.
 //
 //cyclolint:hotpath
-func (n *node) deliver(buf *rdma.Buffer, frame []byte, stop chan struct{}) bool {
+func (n *node) deliver(buf *rdma.Buffer, frame []byte) bool {
 	rspan := n.frecv.Begin(trace.PhaseReceive)
 	v := n.views[buf]
 	bindStart := time.Now()
@@ -415,10 +460,9 @@ func (n *node) deliver(buf *rdma.Buffer, frame []byte, stop chan struct{}) bool 
 		n.m.procDepth.Inc()
 		n.frecv.End(rspan)
 		return true
-	case <-stop:
 	case <-n.quit:
 	}
-	// Stopping with the frame undelivered: unpin so a later receiver
+	// Quitting with the frame undelivered: unpin so a later receiver
 	// start reposts the buffer instead of leaking the credit.
 	n.recvMu.Lock()
 	delete(n.pinned, buf)
@@ -698,6 +742,10 @@ func (n *node) sendLoop(qp rdma.QueuePair, stop chan struct{}) {
 		case ob = <-n.sendQ:
 		}
 		buf, sz := ob.staged, ob.sz
+		// Track the frame as undelivered from the moment it leaves the
+		// queue: whatever fails from here on — the post below, or the
+		// completion later — leaves the entry for recovery to re-route.
+		n.trackInflight(buf, ob)
 		// The send span runs from post to completion (closed by the
 		// reaper), covering the transport's whole handling of the frame.
 		spd := n.fsend.Begin(trace.PhaseSend)
@@ -708,7 +756,7 @@ func (n *node) sendLoop(qp rdma.QueuePair, stop chan struct{}) {
 			n.pendMu.Unlock()
 		}
 		if err := qp.PostSend(buf); err != nil {
-			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: post send: %w", n.id, err))
+			n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: post send: %w", n.id, err))
 			return
 		}
 		n.mu.Lock()
@@ -722,15 +770,18 @@ func (n *node) sendLoop(qp rdma.QueuePair, stop chan struct{}) {
 	}
 }
 
-// sendReaper returns completed send buffers to the free pool.
+// sendReaper returns completed send buffers to the free pool and confirms
+// frame deliveries (untracking them from the recovery retention map).
 func (n *node) sendReaper(qp rdma.QueuePair, stop chan struct{}) {
 	for {
 		var c rdma.Completion
 		var ok bool
 		select {
 		case <-stop:
+			n.drainSendCQ(qp)
 			return
 		case <-n.quit:
+			n.drainSendCQ(qp)
 			return
 		case c, ok = <-qp.Completions():
 		}
@@ -738,17 +789,41 @@ func (n *node) sendReaper(qp rdma.QueuePair, stop chan struct{}) {
 			return
 		}
 		if c.Err != nil {
-			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: send: %w", n.id, c.Err))
+			n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: send: %w", n.id, c.Err))
+			n.drainSendCQ(qp)
 			return
 		}
 		if c.Op != rdma.OpSend {
 			continue
 		}
 		n.endSendSpan(c.Buf)
+		n.untrackInflight(c.Buf)
 		select {
 		case n.freeSend <- c.Buf:
 		case <-n.quit:
 			return
+		}
+	}
+}
+
+// drainSendCQ consumes the outbound completion queue to channel close.
+// This is what makes the recovery snapshot exact: success completions
+// queued behind a failure (or still unread when a stop lands) are
+// confirmed deliveries whose frames must NOT be re-sent, and error/flush
+// completions leave their frames tracked for re-routing. The queue pair
+// is closed by the same stop/recovery path that lands here, so the loop
+// is bounded; freeSend never blocks (its capacity is the pool size).
+func (n *node) drainSendCQ(qp rdma.QueuePair) {
+	for c := range qp.Completions() {
+		if c.Err != nil {
+			n.endSendSpan(c.Buf)
+			continue
+		}
+		switch c.Op {
+		case rdma.OpSend, rdma.OpWrite:
+			n.endSendSpan(c.Buf)
+			n.untrackInflight(c.Buf)
+			n.freeSend <- c.Buf
 		}
 	}
 }
@@ -817,18 +892,6 @@ func (n *node) report(err error) {
 	default:
 		// Another error is already pending; the first one wins.
 	}
-}
-
-// reportUnlessStopping suppresses errors caused by a deliberate local
-// receiver/transmitter restart (node replacement closes queue pairs, which
-// surfaces as completion errors on the closing side).
-func (n *node) reportUnlessStopping(stop chan struct{}, err error) {
-	select {
-	case <-stop:
-		return
-	default:
-	}
-	n.report(err)
 }
 
 func (n *node) snapshot() NodeStats {

@@ -21,6 +21,7 @@
 package ring
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -129,6 +130,12 @@ type Config struct {
 	// the ring is unusable; Close abandons goroutines that refuse to
 	// stop.
 	StallTimeout time.Duration
+	// Recovery enables revolution-level link retry/resume: on a transport
+	// fault, Run re-dials the failed link through the same factory and
+	// re-routes the sender's retained frames instead of aborting (see
+	// recovery.go). The zero value keeps the historical fail-fast
+	// behavior. Recovery needs Nodes > 1.
+	Recovery Recovery
 }
 
 // tracer returns the effective tracer.
@@ -210,6 +217,12 @@ type Ring struct {
 
 	retired chan retirement
 	errc    chan error
+	// quit is closed by Close, unblocking a Run in progress (and any
+	// recovery backoff sleep) so a mid-revolution shutdown returns
+	// ErrClosed instead of wedging.
+	quit chan struct{}
+	// frelink records PhaseRelink recovery spans on its own track.
+	frelink *trace.Shard
 
 	mu     sync.Mutex
 	closed bool
@@ -232,6 +245,8 @@ func New(cfg Config, links LinkFactory, procs []Processor) (*Ring, error) {
 		links:   links,
 		retired: make(chan retirement, 64),
 		errc:    make(chan error, cfg.Nodes*4),
+		quit:    make(chan struct{}),
+		frelink: cfg.flightRecorder().Shard(trace.NodeTransport, "ring/recovery"),
 		nodes:   make([]*node, cfg.Nodes),
 	}
 	for i := range r.nodes {
@@ -314,23 +329,68 @@ func (r *Ring) Run(perNode [][]*relation.Fragment) error {
 		defer timer.Stop()
 		stall = timer.C
 	}
+	resetStall := func() {
+		if timer == nil {
+			return
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(r.cfg.StallTimeout)
+	}
+	// retries tracks consecutive recovery attempts per link (keyed by the
+	// sending node); a retirement anywhere means the ring is making
+	// progress and resets the failing link's budget.
+	var retries map[int]*linkRetry
 	done := 0
 	for done < total {
 		select {
 		case <-r.retired:
 			done++
-			if timer != nil {
-				if !timer.Stop() {
-					select {
-					case <-timer.C:
-					default:
-					}
-				}
-				timer.Reset(r.cfg.StallTimeout)
-			}
+			resetStall()
+		case <-r.quit:
+			return ErrClosed
 		case err := <-r.errc:
-			_ = r.Close()
-			return fmt.Errorf("ring: run aborted: %w", err)
+			var lf *linkFailure
+			if !errors.As(err, &lf) || !r.recoverable() {
+				_ = r.Close()
+				return fmt.Errorf("ring: run aborted: %w", err)
+			}
+			if r.stale(lf) {
+				// An echo of an already-recovered failure (the second
+				// endpoint reporting, or a queued duplicate).
+				continue
+			}
+			mLinkFailures.Inc()
+			if retries == nil {
+				retries = make(map[int]*linkRetry)
+			}
+			st := retries[lf.le.From]
+			if st == nil {
+				st = &linkRetry{}
+				retries[lf.le.From] = st
+			}
+			if done > st.lastDone {
+				st.attempts = 0
+			}
+			st.lastDone = done
+			st.attempts++
+			if st.attempts > r.cfg.Recovery.MaxRetries {
+				mPartials.Inc()
+				_ = r.Close()
+				return &PartialError{Retired: done, Total: total, Last: lf.le}
+			}
+			if rerr := r.recoverLink(lf.le.From, lf.le.To, st); rerr != nil {
+				mPartials.Inc()
+				_ = r.Close()
+				return &PartialError{Retired: done, Total: total, Last: rerr}
+			}
+			// The outage consumed watchdog time through no fault of the
+			// surviving pipeline; give the recovered ring a fresh window.
+			resetStall()
 		case <-stall:
 			// Unblock injectors and loops without waiting for them —
 			// a stuck join entity cannot be interrupted.
@@ -426,6 +486,7 @@ func (r *Ring) Close() error {
 		return nil
 	}
 	r.closed = true
+	close(r.quit)
 	r.closeNodes()
 	return nil
 }

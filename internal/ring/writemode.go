@@ -6,9 +6,15 @@ import (
 	"fmt"
 	"time"
 
+	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/rdma"
 	"cyclojoin/internal/trace"
 )
+
+// mDoorbellRejects counts write-with-immediate doorbells rejected because
+// the immediate announced a length the exposed buffer cannot hold — a
+// corrupt doorbell, the write-mode analogue of a framing error.
+var mDoorbellRejects = metrics.Default().Counter("ring_doorbell_rejects_total", "write doorbells rejected for an impossible announced length")
 
 // One-sided transport mode: instead of send/recv, the transmitter places
 // each fragment directly into a registered buffer the downstream neighbor
@@ -122,8 +128,10 @@ func (n *node) recvLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, freeCr
 		var ok bool
 		select {
 		case <-stop:
+			n.drainRecvWrites(qp)
 			return
 		case <-n.quit:
+			n.drainRecvWrites(qp)
 			return
 		case c, ok = <-qp.Completions():
 		}
@@ -139,7 +147,8 @@ func (n *node) recvLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, freeCr
 				// buffer from scratch.
 				continue
 			}
-			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: write-mode receive: %w", n.id, c.Err))
+			n.failLink(stop, false, qp, fmt.Errorf("ring: node %d: write-mode receive: %w", n.id, c.Err))
+			n.drainRecvWrites(qp)
 			return
 		}
 		switch c.Op {
@@ -154,15 +163,50 @@ func (n *node) recvLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, freeCr
 			// Doorbell: a fragment landed in c.Buf; Imm carries the
 			// encoded length. The frame is bound in place and the buffer
 			// stays un-credited until the pipeline releases it.
-			length := int(c.Imm)
-			if length > c.Buf.Cap() {
-				n.report(fmt.Errorf("ring: node %d: write doorbell claims %d B in a %d B buffer", n.id, length, c.Buf.Cap()))
-				return
-			}
-			if !n.deliver(c.Buf, c.Buf.Data()[:length], stop) {
+			if !n.deliverDoorbell(qp, stop, c) {
+				n.drainRecvWrites(qp)
 				return
 			}
 		}
+	}
+}
+
+// deliverDoorbell validates one write-with-immediate doorbell and hands
+// its frame to the pipeline. A corrupt doorbell (announced length the
+// exposed buffer cannot hold) fails the link — but the exposed buffer
+// itself is intact and unreferenced, so its credit goes back upstream
+// first: the receive pool must stay whole across the failure, whether the
+// ring recovers the link or an operator keeps running degraded.
+func (n *node) deliverDoorbell(qp rdma.WriteQueuePair, stop chan struct{}, c rdma.Completion) bool {
+	length := int(c.Imm)
+	if length > c.Buf.Cap() {
+		mDoorbellRejects.Inc()
+		n.releaseRecv(c.Buf)
+		n.failLink(stop, false, qp, fmt.Errorf("ring: node %d: write doorbell claims %d B in a %d B buffer", n.id, length, c.Buf.Cap()))
+		return false
+	}
+	n.deliver(c.Buf, c.Buf.Data()[:length])
+	return true
+}
+
+// drainRecvWrites consumes the inbound completion queue to channel close,
+// delivering doorbells that landed before the fault or stop — their
+// writers have confirmed completions and will not re-send. Corrupt
+// doorbells release their buffer credit and are skipped (the failure is
+// already on its way to Run); credit-send completions need no handling,
+// since the restarted receiver re-advertises from scratch.
+func (n *node) drainRecvWrites(qp rdma.WriteQueuePair) {
+	for c := range qp.Completions() {
+		if c.Err != nil || c.Op != rdma.OpWrite {
+			continue
+		}
+		length := int(c.Imm)
+		if length > c.Buf.Cap() {
+			mDoorbellRejects.Inc()
+			n.releaseRecv(c.Buf)
+			continue
+		}
+		n.deliver(c.Buf, c.Buf.Data()[:length])
 	}
 }
 
@@ -212,6 +256,10 @@ func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credit
 		case ob = <-n.sendQ:
 		}
 		buf, sz := ob.staged, ob.sz
+		// Track the frame as undelivered from the moment it leaves the
+		// queue — including through the credit wait below, so a stop or
+		// fault mid-wait leaves the frame retained for re-routing.
+		n.trackInflight(buf, ob)
 		// Wait for a free slot in the neighbor's exposed pool. The frame
 		// already left this node's receive memory (staged in the join
 		// loop), so waiting here never withholds the upstream credit. A
@@ -244,7 +292,7 @@ func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credit
 			n.pendMu.Unlock()
 		}
 		if err := qp.PostWriteImm(key, 0, buf, uint32(sz)); err != nil {
-			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: post write: %w", n.id, err))
+			n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: post write: %w", n.id, err))
 			return
 		}
 		n.mu.Lock()
@@ -258,15 +306,18 @@ func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credit
 	}
 }
 
-// sendReaperWrites recycles completed write buffers and collects credits.
+// sendReaperWrites recycles completed write buffers (confirming their
+// frames as delivered) and collects credits.
 func (n *node) sendReaperWrites(qp rdma.WriteQueuePair, stop chan struct{}, credits chan rdma.RemoteKey) {
 	for {
 		var c rdma.Completion
 		var ok bool
 		select {
 		case <-stop:
+			n.drainSendCQ(qp)
 			return
 		case <-n.quit:
+			n.drainSendCQ(qp)
 			return
 		case c, ok = <-qp.Completions():
 		}
@@ -274,12 +325,14 @@ func (n *node) sendReaperWrites(qp rdma.WriteQueuePair, stop chan struct{}, cred
 			return
 		}
 		if c.Err != nil {
-			n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: write-mode send: %w", n.id, c.Err))
+			n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: write-mode send: %w", n.id, c.Err))
+			n.drainSendCQ(qp)
 			return
 		}
 		switch c.Op {
 		case rdma.OpWrite:
 			n.endSendSpan(c.Buf)
+			n.untrackInflight(c.Buf)
 			select {
 			case n.freeSend <- c.Buf:
 			case <-n.quit:
@@ -288,16 +341,19 @@ func (n *node) sendReaperWrites(qp rdma.WriteQueuePair, stop chan struct{}, cred
 		case rdma.OpRecv:
 			key, err := decodeCredit(c.Buf.Bytes())
 			if err != nil {
-				n.report(fmt.Errorf("ring: node %d: %w", n.id, err))
+				n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: %w", n.id, err))
+				n.drainSendCQ(qp)
 				return
 			}
 			select {
 			case credits <- key:
 			case <-n.quit:
+				n.drainSendCQ(qp)
 				return
 			}
 			if err := qp.PostRecv(c.Buf); err != nil {
-				n.reportUnlessStopping(stop, fmt.Errorf("ring: node %d: repost credit receive: %w", n.id, err))
+				n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: repost credit receive: %w", n.id, err))
+				n.drainSendCQ(qp)
 				return
 			}
 		}

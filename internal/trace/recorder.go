@@ -80,6 +80,14 @@ const (
 	// PhaseCreditStall: a sender blocked because the receiver advertised
 	// no buffer (RNR backpressure / exhausted write credits).
 	PhaseCreditStall
+	// PhaseFault: an injected (or detected) link fault. Instant for drops
+	// and corrupted doorbells; an interval for injected delays, covering
+	// the time the frame was held back.
+	PhaseFault
+	// PhaseRelink: ring-level link recovery, failure detection → link
+	// re-established and retained frames re-routed. Arg carries the
+	// number of re-dial attempts.
+	PhaseRelink
 )
 
 // phaseNames is the wire naming, shared by String and the Perfetto parser.
@@ -98,6 +106,8 @@ var phaseNames = map[Phase]string{
 	PhaseWRWrite:     "wr-write",
 	PhaseWRRecv:      "wr-recv",
 	PhaseCreditStall: "credit-stall",
+	PhaseFault:       "fault",
+	PhaseRelink:      "relink",
 }
 
 // String implements fmt.Stringer.
