@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint cyclolint lint-sarif test race chaos chaos-fuzz bench-metrics bench-ring bench-trace smoke-trace
+.PHONY: check build vet lint cyclolint lint-sarif test race chaos chaos-fuzz bench-metrics bench-ring bench-smoke bench-trace smoke-trace
 
 check: build vet lint race chaos
 
@@ -86,5 +86,14 @@ smoke-trace:
 bench-ring:
 	$(GO) test -run NONE -bench 'BenchmarkRingHop|BenchmarkForwardStage' -benchtime 2s ./internal/ring/ > /tmp/bench_ring.$$$$.txt && \
 	$(GO) test -run NONE -bench 'BenchmarkEncode|BenchmarkDecode|BenchmarkViewBind' -benchtime 2s ./internal/relation/ >> /tmp/bench_ring.$$$$.txt && \
-	$(GO) run ./cmd/benchring -o BENCH_ring.json -label "$$(git rev-parse --short HEAD 2>/dev/null || echo dev)" < /tmp/bench_ring.$$$$.txt; \
+	$(GO) run ./cmd/benchring -o BENCH_ring.json < /tmp/bench_ring.$$$$.txt; \
 	rm -f /tmp/bench_ring.$$$$.txt
+
+# Short-form zero-alloc gate for CI: one quick pass over the guarded
+# hot-path benchmarks, failing on any allocs/op > 0. The full sweep that
+# rewrites BENCH_ring.json stays in bench-ring.
+bench-smoke:
+	$(GO) test -run NONE -bench 'BenchmarkForwardStage' -benchtime 100x ./internal/ring/ > /tmp/bench_smoke.$$$$.txt && \
+	$(GO) test -run NONE -bench 'BenchmarkEncode$$|BenchmarkViewBind' -benchtime 1000x ./internal/relation/ >> /tmp/bench_smoke.$$$$.txt && \
+	$(GO) run ./cmd/benchring -guard BenchmarkForwardStage,BenchmarkEncode,BenchmarkViewBind < /tmp/bench_smoke.$$$$.txt; \
+	status=$$?; rm -f /tmp/bench_smoke.$$$$.txt; exit $$status

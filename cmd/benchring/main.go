@@ -6,9 +6,13 @@
 // pre-optimization numbers; -rebaseline promotes the parsed run to be the
 // new baseline instead.
 //
+// The run label defaults to `git describe --always --dirty` and the date
+// to today (UTC); both can be injected with -label/-date so the file
+// never needs hand-editing.
+//
 // Usage:
 //
-//	go test ./internal/ring/ -bench . | benchring -o BENCH_ring.json -label "$(git rev-parse --short HEAD)"
+//	go test ./internal/ring/ -bench . | benchring -o BENCH_ring.json
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
@@ -100,11 +105,83 @@ func summarize(w *os.File, baseline, current *run) {
 	}
 }
 
+// describeHead labels the run from the repository state: git describe
+// (which flags dirty trees and tags), falling back to the short commit
+// hash, falling back to "dev" outside a repository.
+func describeHead() string {
+	for _, args := range [][]string{
+		{"describe", "--always", "--dirty"},
+		{"rev-parse", "--short", "HEAD"},
+	} {
+		out, err := exec.Command("git", args...).Output()
+		if s := strings.TrimSpace(string(out)); err == nil && s != "" {
+			return s
+		}
+	}
+	return "dev"
+}
+
+// runGuard enforces the zero-alloc contract: every named benchmark must
+// appear on stdin and report allocs/op == 0. A missing benchmark fails
+// too — a drifted -bench regex must not let the guard pass vacuously.
+func runGuard(names string) int {
+	results, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	bad := 0
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, ok := results[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchring: guard: %s missing from benchmark output\n", name)
+			bad++
+			continue
+		}
+		allocs, ok := m["allocs/op"]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchring: guard: %s reports no allocs/op (missing ReportAllocs?)\n", name)
+			bad++
+			continue
+		}
+		if allocs != 0 {
+			fmt.Fprintf(os.Stderr, "benchring: guard: %s allocates: %v allocs/op, want 0\n", name, allocs)
+			bad++
+			continue
+		}
+		fmt.Printf("benchring: guard: %-28s 0 allocs/op\n", name)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	outPath := flag.String("o", "BENCH_ring.json", "output file")
-	label := flag.String("label", "", "label for this run (e.g. git commit)")
+	label := flag.String("label", "", "label for this run (default: git describe --always --dirty)")
+	date := flag.String("date", "", "date for this run, YYYY-MM-DD (default: today, UTC)")
 	rebaseline := flag.Bool("rebaseline", false, "record this run as the baseline instead of current")
+	guard := flag.String("guard", "", "comma-separated benchmarks that must report 0 allocs/op; verify stdin and exit, writing nothing")
 	flag.Parse()
+
+	if *guard != "" {
+		os.Exit(runGuard(*guard))
+	}
+
+	if *label == "" {
+		*label = describeHead()
+	}
+	if *date == "" {
+		*date = time.Now().UTC().Format("2006-01-02")
+	} else if _, err := time.Parse("2006-01-02", *date); err != nil {
+		fmt.Fprintf(os.Stderr, "benchring: -date %q is not YYYY-MM-DD\n", *date)
+		os.Exit(2)
+	}
 
 	results, err := parseBench(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -126,7 +203,7 @@ func main() {
 	f.Description = "Ring hot-path benchmarks: per-hop forwarding cost and codec cost. " +
 		"baseline is the recorded pre-zero-copy run; current is the latest `make bench-ring`."
 	f.Command = "make bench-ring"
-	r := &run{Label: *label, Date: time.Now().UTC().Format("2006-01-02"), Results: results}
+	r := &run{Label: *label, Date: *date, Results: results}
 	if *rebaseline || f.Baseline == nil {
 		f.Baseline = r
 	}

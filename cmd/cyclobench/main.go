@@ -136,16 +136,22 @@ func renderTrace(w io.Writer, after string) error {
 		counts[sp.Phase]++
 		total += time.Duration(sp.Dur)
 	}
+	// Instant events (autotune recentres, drop faults) carry no duration;
+	// with only those recorded there is no time to share out.
+	share := func(d time.Duration) string {
+		if total == 0 {
+			return "-"
+		}
+		return stats.Pct(float64(d) / float64(total))
+	}
 	for _, p := range trace.PipelinePhases {
 		if counts[p] == 0 {
 			continue
 		}
-		tbl.AddRow(p.String(), strconv.Itoa(counts[p]), shares[p].String(),
-			stats.Pct(float64(shares[p])/float64(total)))
+		tbl.AddRow(p.String(), strconv.Itoa(counts[p]), shares[p].String(), share(shares[p]))
 	}
 	for _, st := range a.Aux {
-		tbl.AddRow(st.Phase.String(), strconv.Itoa(st.Count), st.Total.String(),
-			stats.Pct(float64(st.Total)/float64(total)))
+		tbl.AddRow(st.Phase.String(), strconv.Itoa(st.Count), st.Total.String(), share(st.Total))
 	}
 	if tbl.Rows() == 0 {
 		tbl.SetNote("(no spans recorded; simulated experiments do not exercise the live ring —\n" +

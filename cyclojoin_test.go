@@ -62,8 +62,8 @@ func TestFacadeAlgorithms(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	all := cyclojoin.Experiments()
-	if len(all) != 12 {
-		t.Fatalf("%d experiments, want 12 (every table and figure, plus the extensions)", len(all))
+	if len(all) != 13 {
+		t.Fatalf("%d experiments, want 13 (every table and figure, plus the extensions)", len(all))
 	}
 	e, err := cyclojoin.ExperimentByID("table1")
 	if err != nil {

@@ -170,7 +170,9 @@ type writeQP struct{ *qp }
 
 var (
 	_ rdma.QueuePair      = (*qp)(nil)
+	_ rdma.BatchQueuePair = (*qp)(nil)
 	_ rdma.WriteQueuePair = (*writeQP)(nil)
+	_ rdma.BatchQueuePair = (*writeQP)(nil)
 )
 
 // Wrap puts a fault schedule in front of inner's sending side. The
@@ -414,6 +416,51 @@ func (q *qp) PostSend(b *rdma.Buffer) error {
 // PostRecv implements rdma.QueuePair. Receives are posted straight
 // through: faults are injected on the sending side only.
 func (q *qp) PostRecv(b *rdma.Buffer) error { return q.inner.PostRecv(b) }
+
+// PostSendBatch implements rdma.BatchQueuePair by unrolling the batch
+// through the per-frame fault schedule: a batched doorbell must not let
+// frames slip past the ordinal/drop bookkeeping, so under chaos a batch
+// deliberately degrades to per-frame submits (correctness tier, not perf
+// tier). Prefix-atomic like the native implementations: frames before the
+// first refused post were submitted and will complete; later ones were not.
+func (q *qp) PostSendBatch(bufs []*rdma.Buffer) error {
+	for i, b := range bufs {
+		if err := q.PostSend(b); err != nil {
+			return fmt.Errorf("chaoslink %s: batch send %d/%d: %w", q.link, i, len(bufs), err)
+		}
+	}
+	return nil
+}
+
+// PostRecvBatch implements rdma.BatchQueuePair: receives carry no faults,
+// so the batch goes straight through to the inner transport's batch verb.
+func (q *qp) PostRecvBatch(bufs []*rdma.Buffer) error {
+	return rdma.PostRecvBatch(q.inner, bufs)
+}
+
+// PollCQ implements rdma.BatchQueuePair: a non-blocking drain of the
+// wrapper CQ (which the pump feeds from the inner CQ, fault conversions
+// applied). A closed CQ reads as empty.
+func (q *qp) PollCQ(dst []rdma.Completion) int {
+	n := 0
+	for n < len(dst) {
+		select {
+		case c, ok := <-q.cq:
+			if !ok {
+				return n
+			}
+			dst[n] = c
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// BufferedWire implements rdma.BufferedTransport by forwarding to the
+// inner transport: fault injection adds no wire buffering of its own.
+func (q *qp) BufferedWire() bool { return rdma.Buffered(q.inner) }
 
 // Completions implements rdma.QueuePair.
 func (q *qp) Completions() <-chan rdma.Completion { return q.cq }

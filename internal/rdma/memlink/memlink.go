@@ -41,7 +41,15 @@ var linkSeq atomic.Int64
 // The Data Roundabout posts at most its ring-buffer count.
 const queueDepth = 256
 
-// workReq is one outbound work request (send or one-sided write).
+// maxBatch bounds how many sends ride in one work request. Larger batches
+// are split transparently; the bound exists so the buffers can live in a
+// fixed array INSIDE the workReq — the caller's slice is copied out at
+// post time, letting it reuse its scratch immediately without racing the
+// DMA goroutine, and without a per-batch heap allocation.
+const maxBatch = 16
+
+// workReq is one outbound work request (send, one-sided write, or a
+// doorbell-batched run of sends).
 type workReq struct {
 	kind   rdma.Op
 	buf    *rdma.Buffer
@@ -49,9 +57,16 @@ type workReq struct {
 	off    int
 	imm    uint32
 	hasImm bool
+	// batchLen > 0 marks a batched send: the buffers are batchArr[:batchLen]
+	// and buf is nil. The array is inline (not a slice) because the workReq
+	// is copied by value through sendQ — a slice into a local array would
+	// dangle.
+	batchLen int
+	batchArr [maxBatch]*rdma.Buffer
 	// pend is the flight-recorder span opened at post time and closed at
 	// completion — the WR post→completion latency the paper's §III-B
-	// pipelining argument turns on.
+	// pipelining argument turns on. A batch carries one span for the whole
+	// run: the doorbell is the unit being measured.
 	pend trace.Pending
 }
 
@@ -83,7 +98,10 @@ type link struct {
 	wg        sync.WaitGroup
 }
 
-var _ rdma.WriteQueuePair = (*link)(nil)
+var (
+	_ rdma.WriteQueuePair = (*link)(nil)
+	_ rdma.BatchQueuePair = (*link)(nil)
+)
 
 // Pair returns two connected in-process queue pairs.
 func Pair() (a, b rdma.QueuePair) {
@@ -126,66 +144,115 @@ func (l *link) start() {
 func (l *link) sendLoop() {
 	for {
 		var wr workReq
+		// Fast path: drain already-posted work with a non-blocking receive;
+		// the two-way select (and its channel locking) is the slow path.
+		// Shutdown still lands: a closed link stops producing work, so the
+		// queue drains and the next pass parks in the select below.
 		select {
-		case <-l.done:
-			return
 		case wr = <-l.sendQ:
+		default:
+			select {
+			case <-l.done:
+				return
+			case wr = <-l.sendQ:
+			}
 		}
 		if wr.kind == rdma.OpWrite {
 			l.performWrite(wr)
 			continue
 		}
-		sb := wr.buf
-		payload := sb.Bytes()
-		var rb *rdma.Buffer
-		// Receiver-not-ready: waiting for the peer to post a buffer is the
-		// RNR stall interval. The span is opened only on the slow path.
-		select {
-		case rb = <-l.peer.recvQ:
-		default:
-			cs := l.shard.Begin(trace.PhaseCreditStall)
-			cs.Arg = int64(len(payload))
-			select {
-			case <-l.done:
-				// Record the stall interval even on shutdown: the time spent
-				// waiting for a credit that never came is exactly what the
-				// stall analysis wants to see. The work request was already
-				// dequeued, so flush() cannot see it — hand its buffer back
-				// here or it would never return through the CQ.
-				l.shard.End(cs)
-				l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: rdma.ErrFlushed})
-				return
-			case <-l.peer.done:
-				l.shard.End(cs)
-				l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: rdma.ErrClosed})
-				return
-			case rb = <-l.peer.recvQ:
+		if wr.batchLen > 0 {
+			// Doorbell batch: one queue hand-off delivered the whole run;
+			// place each buffer in order. A shutdown mid-run flushes the
+			// unplaced remainder here — flush() cannot see a dequeued WR.
+			total := 0
+			aborted := false
+			for i := 0; i < wr.batchLen; i++ {
+				n, ok := l.placeSend(wr.batchArr[i])
+				if !ok {
+					for _, rest := range wr.batchArr[i+1 : wr.batchLen] {
+						l.complete(rdma.Completion{Op: rdma.OpSend, Buf: rest, Err: rdma.ErrFlushed})
+					}
+					aborted = true
+					break
+				}
+				total += n
 			}
-			l.shard.End(cs)
-		}
-		if len(payload) > rb.Cap() {
-			err := fmt.Errorf("%w: message %d B, buffer %d B", rdma.ErrBufferTooSmall, len(payload), rb.Cap())
-			l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: err})
-			l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb, Err: err})
+			wr.pend.Arg = int64(total)
+			wr.pend.Aux = int64(len(l.cq))
+			l.shard.End(wr.pend)
+			if aborted {
+				return
+			}
 			continue
 		}
-		// Direct data placement: the single data movement of the
-		// transfer, sender's registered buffer → receiver's registered
-		// buffer.
-		copy(rb.Data(), payload)
-		if err := rb.SetLen(len(payload)); err != nil {
-			l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb, Err: err})
-			continue
+		n, ok := l.placeSend(wr.buf)
+		if !ok {
+			return
 		}
-		mSendTransfers.Inc()
-		mBytes.Add(int64(len(payload)))
-		wr.pend.Arg = int64(len(payload))
-		wr.pend.Aux = int64(len(l.cq))
-		l.shard.End(wr.pend)
-		l.peer.finishRecv(rb, len(payload))
-		l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb})
-		l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb})
+		if n > 0 {
+			wr.pend.Arg = int64(n)
+			wr.pend.Aux = int64(len(l.cq))
+			l.shard.End(wr.pend)
+		}
 	}
+}
+
+// placeSend waits for the peer's next posted receive buffer and performs
+// the single-copy direct data placement for sb, raising the completions
+// on both sides. ok is false when the link (or peer) shut down during the
+// wait; sb's terminal completion has been delivered either way, so a
+// false return only tells the DMA loop to exit. n is the payload size
+// placed (0 when the message was rejected as too large — the link stays
+// up, matching per-WR error semantics).
+func (l *link) placeSend(sb *rdma.Buffer) (n int, ok bool) {
+	payload := sb.Bytes()
+	var rb *rdma.Buffer
+	// Receiver-not-ready: waiting for the peer to post a buffer is the
+	// RNR stall interval. The span is opened only on the slow path.
+	select {
+	case rb = <-l.peer.recvQ:
+	default:
+		cs := l.shard.Begin(trace.PhaseCreditStall)
+		cs.Arg = int64(len(payload))
+		select {
+		case <-l.done:
+			// Record the stall interval even on shutdown: the time spent
+			// waiting for a credit that never came is exactly what the
+			// stall analysis wants to see. The work request was already
+			// dequeued, so flush() cannot see it — hand its buffer back
+			// here or it would never return through the CQ.
+			l.shard.End(cs)
+			l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: rdma.ErrFlushed})
+			return 0, false
+		case <-l.peer.done:
+			l.shard.End(cs)
+			l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: rdma.ErrClosed})
+			return 0, false
+		case rb = <-l.peer.recvQ:
+		}
+		l.shard.End(cs)
+	}
+	if len(payload) > rb.Cap() {
+		err := fmt.Errorf("%w: message %d B, buffer %d B", rdma.ErrBufferTooSmall, len(payload), rb.Cap())
+		l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb, Err: err})
+		l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb, Err: err})
+		return 0, true
+	}
+	// Direct data placement: the single data movement of the
+	// transfer, sender's registered buffer → receiver's registered
+	// buffer.
+	copy(rb.Data(), payload)
+	if err := rb.SetLen(len(payload)); err != nil {
+		l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb, Err: err})
+		return 0, true
+	}
+	mSendTransfers.Inc()
+	mBytes.Add(int64(len(payload)))
+	l.peer.finishRecv(rb, len(payload))
+	l.complete(rdma.Completion{Op: rdma.OpSend, Buf: sb})
+	l.peer.complete(rdma.Completion{Op: rdma.OpRecv, Buf: rb})
+	return len(payload), true
 }
 
 // performWrite places a one-sided write into the peer's exposed buffer.
@@ -336,6 +403,95 @@ func (l *link) PostRecv(b *rdma.Buffer) error {
 	}
 }
 
+// PostSendBatch implements rdma.BatchQueuePair: the whole run crosses to
+// the DMA goroutine in one queue hand-off (one doorbell) instead of one
+// per frame. Runs longer than maxBatch split into several doorbells.
+//
+//cyclolint:hotpath
+func (l *link) PostSendBatch(bufs []*rdma.Buffer) error {
+	for len(bufs) > 0 {
+		n := len(bufs)
+		if n > maxBatch {
+			n = maxBatch
+		}
+		select {
+		case <-l.done:
+			return rdma.ErrClosed
+		default:
+		}
+		wr := workReq{kind: rdma.OpSend, batchLen: n, pend: l.shard.Begin(trace.PhaseWRSend)}
+		copy(wr.batchArr[:n], bufs[:n])
+		// Fast path: the work queue usually has room — one non-blocking
+		// send beats arming the two-way select. The shutdown check above
+		// keeps the post/close race window no wider than the select's.
+		select {
+		case l.sendQ <- wr:
+		default:
+			select {
+			case <-l.done:
+				l.shard.End(wr.pend)
+				return rdma.ErrClosed
+			case l.sendQ <- wr:
+			}
+		}
+		bufs = bufs[n:]
+	}
+	return nil
+}
+
+// PostRecvBatch implements rdma.BatchQueuePair. The receive queue is
+// consumed buffer-at-a-time by the peer's DMA engine, so the batch form
+// is a single shutdown check plus the per-buffer enqueues — prefix-atomic
+// like the send side.
+//
+//cyclolint:hotpath
+func (l *link) PostRecvBatch(bufs []*rdma.Buffer) error {
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	default:
+	}
+	for i, b := range bufs {
+		l.stampRecv(b)
+		// Fast path: the receive queue usually has room — one non-blocking
+		// send beats arming the two-way select.
+		select {
+		case l.recvQ <- b:
+			continue
+		default:
+		}
+		select {
+		case <-l.done:
+			l.dropRecvStamp(b)
+			//cyclolint:coldpath link teardown: the queue pair is closing
+			return fmt.Errorf("rdma: batch recv %d/%d: %w", i, len(bufs), rdma.ErrClosed)
+		case l.recvQ <- b:
+		}
+	}
+	return nil
+}
+
+// PollCQ implements rdma.BatchQueuePair: a non-blocking drain of the
+// completion channel. A closed CQ reads as empty.
+//
+//cyclolint:hotpath
+func (l *link) PollCQ(dst []rdma.Completion) int {
+	n := 0
+	for n < len(dst) {
+		select {
+		case c, ok := <-l.cq:
+			if !ok {
+				return n
+			}
+			dst[n] = c
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
 // stampRecv opens the WRRecv residency span for a buffer about to be
 // posted.
 //
@@ -420,6 +576,12 @@ drainSends:
 		select {
 		case wr := <-l.sendQ:
 			l.shard.End(wr.pend)
+			if wr.batchLen > 0 {
+				for _, b := range wr.batchArr[:wr.batchLen] {
+					deliver(rdma.Completion{Op: rdma.OpSend, Buf: b, Err: rdma.ErrFlushed})
+				}
+				continue
+			}
 			deliver(rdma.Completion{Op: wr.kind, Buf: wr.buf, Err: rdma.ErrFlushed})
 		default:
 			break drainSends

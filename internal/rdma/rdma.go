@@ -109,6 +109,131 @@ type QueuePair interface {
 	Close() error
 }
 
+// BatchQueuePair extends QueuePair with the doorbell-batching verbs of
+// real RNICs: post a linked list of work requests with one doorbell ring,
+// reap a whole completion-queue drain with one poll. The contract is
+// specified in DESIGN.md §11; the load-bearing points:
+//
+//   - Batches preserve order: PostSendBatch(a, b, c) is observably
+//     identical to three PostSends back to back — the peer receives a, b,
+//     c in order, and each buffer gets its own completion.
+//   - Failure is prefix-atomic at post time: if validation rejects buffer
+//     i, buffers 0..i-1 are already posted (and will complete), buffers
+//     i.. are not posted and remain owned by the caller. The returned
+//     error identifies the first rejected request.
+//   - Asynchronous failure (link death mid-batch) follows the flush
+//     contract: every accepted buffer still returns through the CQ,
+//     carrying the wire error or ErrFlushed.
+//   - PollCQ never blocks: it moves at most len(dst) already-available
+//     completions into dst and returns the count, 0 when the CQ is empty
+//     or the queue pair has shut down. It may be interleaved freely with
+//     channel receives from Completions(); each completion is delivered
+//     exactly once through exactly one of the two.
+//
+// Implementations that can batch natively (memlink: one queue hand-off
+// per batch; tcplink: one writev per batch) do so; the package-level
+// PostSendBatch/PostRecvBatch/PollCQ helpers fall back to per-buffer
+// verbs for plain QueuePairs (kerneltcp), so callers need not type-switch.
+type BatchQueuePair interface {
+	QueuePair
+	// PostSendBatch transmits each buffer's Bytes() in order with a
+	// single doorbell. One OpSend completion is raised per buffer.
+	PostSendBatch(bufs []*Buffer) error
+	// PostRecvBatch hands several registered buffers to the transport in
+	// one call. Buffers fill in posting order.
+	PostRecvBatch(bufs []*Buffer) error
+	// PollCQ moves up to len(dst) available completions into dst without
+	// blocking and returns how many were moved.
+	PollCQ(dst []Completion) int
+}
+
+// PostSendBatch posts every buffer with one doorbell when qp batches
+// natively, else with per-buffer posts. Prefix-atomic on error either way.
+func PostSendBatch(qp QueuePair, bufs []*Buffer) error {
+	if len(bufs) == 0 {
+		return nil
+	}
+	if bqp, ok := qp.(BatchQueuePair); ok {
+		return bqp.PostSendBatch(bufs)
+	}
+	for i, b := range bufs {
+		if err := qp.PostSend(b); err != nil {
+			return fmt.Errorf("rdma: batch send %d/%d: %w", i, len(bufs), err)
+		}
+	}
+	return nil
+}
+
+// PostRecvBatch posts every receive buffer with one doorbell when qp
+// batches natively, else with per-buffer posts.
+func PostRecvBatch(qp QueuePair, bufs []*Buffer) error {
+	if len(bufs) == 0 {
+		return nil
+	}
+	if bqp, ok := qp.(BatchQueuePair); ok {
+		return bqp.PostRecvBatch(bufs)
+	}
+	for i, b := range bufs {
+		if err := qp.PostRecv(b); err != nil {
+			return fmt.Errorf("rdma: batch recv %d/%d: %w", i, len(bufs), err)
+		}
+	}
+	return nil
+}
+
+// PollCQ drains up to len(dst) available completions from qp without
+// blocking, returning how many landed in dst. For plain QueuePairs it
+// performs a non-blocking drain of the completion channel; a closed
+// channel reads as empty.
+//
+//cyclolint:hotpath
+func PollCQ(qp QueuePair, dst []Completion) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	if bqp, ok := qp.(BatchQueuePair); ok {
+		return bqp.PollCQ(dst)
+	}
+	ch := qp.Completions()
+	n := 0
+	for n < len(dst) {
+		select {
+		case c, ok := <-ch:
+			if !ok {
+				return n
+			}
+			dst[n] = c
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// BufferedTransport marks queue pairs whose send completions can precede
+// the peer observing the data: a real wire with buffering between the
+// endpoints (tcplink's kernel socket buffers). On such a transport,
+// closing the receiving endpoint while the sender's endpoint is being
+// torn down can discard frames the sender has already counted delivered —
+// the receiver must be allowed to drain the wire to EOF first.
+// Synchronous-placement transports (memlink, where a send completion
+// means the frame is already in the peer's completion queue) leave it
+// unimplemented; wrappers forward to the wrapped endpoint.
+type BufferedTransport interface {
+	// BufferedWire reports whether delivered-at-sender frames can still
+	// be in flight toward the receiver.
+	BufferedWire() bool
+}
+
+// Buffered reports whether qp rides a buffered wire (see
+// BufferedTransport). Queue pairs that do not implement the capability
+// are synchronous: false.
+func Buffered(qp QueuePair) bool {
+	b, ok := qp.(BufferedTransport)
+	return ok && b.BufferedWire()
+}
+
 // ErrClosed is returned by posts on a closed queue pair.
 var ErrClosed = errors.New("rdma: queue pair closed")
 

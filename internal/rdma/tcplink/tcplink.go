@@ -99,7 +99,15 @@ const (
 	frameWriteImm = 2
 )
 
-// workReq is one outbound work request (send or one-sided write).
+// maxBatch bounds how many sends ride in one work request (larger batches
+// split transparently). The bound keeps the batch in a fixed array INSIDE
+// the workReq, so the caller's slice is copied out at post time — the
+// caller may reuse its scratch immediately — with no per-batch heap
+// allocation, and lets writeLoop size its frame-assembly scratch statically.
+const maxBatch = 16
+
+// workReq is one outbound work request (send, one-sided write, or a
+// doorbell-batched run of sends).
 type workReq struct {
 	kind   rdma.Op
 	buf    *rdma.Buffer
@@ -107,8 +115,14 @@ type workReq struct {
 	off    int
 	imm    uint32
 	hasImm bool
+	// batchLen > 0 marks a batched send: the buffers are batchArr[:batchLen]
+	// and buf is nil. Inline array, not a slice — the workReq is copied by
+	// value through sendQ.
+	batchLen int
+	batchArr [maxBatch]*rdma.Buffer
 	// pend is the flight-recorder span opened at post time and closed
-	// once the frame is on the wire (WR post→completion latency).
+	// once the frame is on the wire (WR post→completion latency). A batch
+	// carries one span for the whole run — the doorbell is the unit.
 	pend trace.Pending
 }
 
@@ -152,7 +166,10 @@ type link struct {
 	pendingFail []rdma.Completion
 }
 
-var _ rdma.WriteQueuePair = (*link)(nil)
+var (
+	_ rdma.WriteQueuePair = (*link)(nil)
+	_ rdma.BatchQueuePair = (*link)(nil)
+)
 
 // New wraps an established connection in a queue pair. The link owns the
 // connection and closes it on Close.
@@ -247,12 +264,24 @@ func (l *link) writeLoop() {
 	var hdr [17]byte
 	var sum [4]byte
 	var parts [3][]byte
+	// Batch frame-assembly scratch: every frame of a doorbell batch needs
+	// its own header and CRC trailer alive until the single writev, so
+	// they are statically sized by maxBatch (send headers are 5 bytes).
+	var bhdrs [maxBatch * 5]byte
+	var bsums [maxBatch][4]byte
+	var bparts [maxBatch * 3][]byte
 	for {
 		var wr workReq
 		select {
 		case <-l.done:
 			return
 		case wr = <-l.sendQ:
+		}
+		if wr.batchLen > 0 {
+			if !l.writeBatch(&wr, bhdrs[:], &bsums, bparts[:0]) {
+				return
+			}
+			continue
 		}
 		mSendDepth.Dec()
 		payload := wr.buf.Bytes()
@@ -295,6 +324,58 @@ func (l *link) writeLoop() {
 		l.shard.End(wr.pend)
 		l.complete(rdma.Completion{Op: wr.kind, Buf: wr.buf})
 	}
+}
+
+// writeBatch puts every frame of a doorbell-batched send run on the wire
+// with a single writev: all headers, payloads and CRC trailers become one
+// iovec list, so a batch of N frames costs one syscall instead of N. One
+// OpSend completion is raised per buffer, in order. Reports false on a
+// fatal write error (the loop must exit); every batch buffer has received
+// its terminal completion by then.
+func (l *link) writeBatch(wr *workReq, bhdrs []byte, bsums *[maxBatch][4]byte, parts [][]byte) bool {
+	mSendDepth.Add(-int64(wr.batchLen))
+	total := 0
+	for i := 0; i < wr.batchLen; i++ {
+		payload := wr.batchArr[i].Bytes()
+		h := bhdrs[i*5 : i*5+5]
+		h[0] = frameSend
+		binary.BigEndian.PutUint32(h[1:5], uint32(len(payload)))
+		parts = append(parts, h, payload)
+		if l.checksum {
+			binary.BigEndian.PutUint32(bsums[i][:], crc32.Checksum(payload, castagnoli))
+			parts = append(parts, bsums[i][:])
+		}
+		total += len(payload)
+		mFrameBytes.Observe(int64(len(payload)))
+	}
+	if err := l.writeFrame(parts); err != nil {
+		// The dequeued batch is invisible to flush: deliver every
+		// buffer's terminal completion here. fail() takes the first (it
+		// carries the wire error and tears the link down); the rest are
+		// flushed, parked with pendingFail when the CQ is full so no
+		// buffer is ever silently lost.
+		l.fail(rdma.Completion{Op: rdma.OpSend, Buf: wr.batchArr[0], Err: fmt.Errorf("tcplink: write batch: %w", err)})
+		for _, b := range wr.batchArr[1:wr.batchLen] {
+			c := rdma.Completion{Op: rdma.OpSend, Buf: b, Err: rdma.ErrFlushed}
+			select {
+			case l.cq <- c:
+			default:
+				l.pendMu.Lock()
+				l.pendingFail = append(l.pendingFail, c)
+				l.pendMu.Unlock()
+			}
+		}
+		return false
+	}
+	mTxFrames.Add(int64(wr.batchLen))
+	mTxBytes.Add(int64(total))
+	wr.pend.Arg = int64(total)
+	wr.pend.Aux = int64(len(l.cq))
+	l.shard.End(wr.pend)
+	for i := 0; i < wr.batchLen; i++ {
+		l.complete(rdma.Completion{Op: rdma.OpSend, Buf: wr.batchArr[i]})
+	}
+	return true
 }
 
 // writeFrame pushes one frame (header, payload, optional CRC trailer) to
@@ -590,8 +671,15 @@ drainSends:
 	for {
 		select {
 		case wr := <-l.sendQ:
-			mSendDepth.Dec()
 			l.shard.End(wr.pend)
+			if wr.batchLen > 0 {
+				mSendDepth.Add(-int64(wr.batchLen))
+				for _, b := range wr.batchArr[:wr.batchLen] {
+					deliver(rdma.Completion{Op: rdma.OpSend, Buf: b, Err: rdma.ErrFlushed})
+				}
+				continue
+			}
+			mSendDepth.Dec()
 			deliver(rdma.Completion{Op: wr.kind, Buf: wr.buf, Err: rdma.ErrFlushed})
 		default:
 			break drainSends
@@ -611,6 +699,91 @@ drainSends:
 // PostSend implements rdma.QueuePair.
 func (l *link) PostSend(b *rdma.Buffer) error {
 	return l.post(workReq{kind: rdma.OpSend, buf: b})
+}
+
+// PostSendBatch implements rdma.BatchQueuePair: the run is validated and
+// handed to writeLoop in maxBatch-sized chunks, one queue operation and
+// one writev per chunk. Prefix-atomic: on a validation reject at position
+// i, buffers 0..i-1 are posted (and will complete) and the error names i.
+//
+//cyclolint:hotpath
+func (l *link) PostSendBatch(bufs []*rdma.Buffer) error {
+	// Validate the whole run first so a reject poisons nothing after it.
+	post := len(bufs)
+	var verr error
+	for i, b := range bufs {
+		if err := l.validate(workReq{kind: rdma.OpSend, buf: b}); err != nil {
+			//cyclolint:coldpath rejected post: caller handles the error off the fast path
+			post, verr = i, fmt.Errorf("tcplink: batch send %d/%d: %w", i, len(bufs), err)
+			break
+		}
+	}
+	for off := 0; off < post; off += maxBatch {
+		n := post - off
+		if n > maxBatch {
+			n = maxBatch
+		}
+		select {
+		case <-l.done:
+			return rdma.ErrClosed
+		default:
+		}
+		wr := workReq{kind: rdma.OpSend, batchLen: n, pend: l.shard.Begin(trace.PhaseWRSend)}
+		copy(wr.batchArr[:n], bufs[off:off+n])
+		select {
+		case <-l.done:
+			l.shard.End(wr.pend)
+			return rdma.ErrClosed
+		case l.sendQ <- wr:
+			mSendDepth.Add(int64(n))
+		}
+	}
+	return verr
+}
+
+// PostRecvBatch implements rdma.BatchQueuePair. Receive buffers are
+// consumed one at a time by the read loop, so the batch form is a single
+// shutdown check plus the per-buffer enqueues — prefix-atomic on error.
+//
+//cyclolint:hotpath
+func (l *link) PostRecvBatch(bufs []*rdma.Buffer) error {
+	select {
+	case <-l.done:
+		return rdma.ErrClosed
+	default:
+	}
+	for i, b := range bufs {
+		l.stampRecv(b)
+		select {
+		case <-l.done:
+			l.dropRecvStamp(b)
+			//cyclolint:coldpath link teardown: the queue pair is closing
+			return fmt.Errorf("tcplink: batch recv %d/%d: %w", i, len(bufs), rdma.ErrClosed)
+		case l.recvQ <- b:
+		}
+	}
+	return nil
+}
+
+// PollCQ implements rdma.BatchQueuePair: a non-blocking drain of the
+// completion channel. A closed CQ reads as empty.
+//
+//cyclolint:hotpath
+func (l *link) PollCQ(dst []rdma.Completion) int {
+	n := 0
+	for n < len(dst) {
+		select {
+		case c, ok := <-l.cq:
+			if !ok {
+				return n
+			}
+			dst[n] = c
+			n++
+		default:
+			return n
+		}
+	}
+	return n
 }
 
 // PostRecv implements rdma.QueuePair.
@@ -680,6 +853,12 @@ func (l *link) finishRecv(b *rdma.Buffer, n int) {
 	pd.Aux = int64(len(l.cq))
 	l.shard.End(pd)
 }
+
+// BufferedWire implements rdma.BufferedTransport: a send completion
+// means the frame reached the kernel socket buffer, not the peer's
+// posted receive buffer, so delivered-at-sender frames can still be in
+// flight on the wire.
+func (l *link) BufferedWire() bool { return true }
 
 // Completions implements rdma.QueuePair.
 func (l *link) Completions() <-chan rdma.Completion { return l.cq }

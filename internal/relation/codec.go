@@ -134,12 +134,33 @@ func parseHeader(src []byte) (frameHeader, error) {
 // relation owns fresh storage (no aliasing of src), so the source buffer can
 // be immediately reposted for the next RDMA receive. The key column moves
 // with one bulk copy on little-endian hosts; use View to skip even that.
+// Exactly four allocations: the relation, its two columns, the fragment —
+// a View would be a fifth, heap-escaped by its internal self-reference.
 func Decode(src []byte, name string) (*Fragment, error) {
-	var v View
-	if err := v.Bind(src, name); err != nil {
+	h, err := parseHeader(src)
+	if err != nil {
 		return nil, err
 	}
-	return v.Materialize(), nil
+	off := headerSize + tupleCountSize
+	keyBytes := src[off : off+h.tuples*KeyWidth]
+	payOff := off + h.tuples*KeyWidth
+	rel := New(Schema{Name: name, PayloadWidth: h.width}, h.tuples)
+	if wire := aliasUint64(keyBytes, h.tuples); wire != nil {
+		rel.keys = append(rel.keys, wire...)
+	} else {
+		// Portable path: bulk-decode the key column straight into the
+		// freshly owned storage.
+		le := binary.LittleEndian
+		for i := 0; i < h.tuples; i++ {
+			rel.keys = append(rel.keys, le.Uint64(keyBytes[i*KeyWidth:]))
+		}
+	}
+	rel.pay = append(rel.pay, src[payOff:payOff+h.tuples*h.width]...)
+	f := &Fragment{Rel: rel, Index: h.index, Of: h.of, Hops: h.hops, Epoch: h.epoch}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("relation: decode: %w", err)
+	}
+	return f, nil
 }
 
 // FrameHops reads the hops field of an encoded frame without decoding it.

@@ -69,6 +69,27 @@ func Partition(r *Relation, n int) ([]*Fragment, error) {
 	return frags, nil
 }
 
+// PartitionByBytes splits r into fragments whose encoded wire size is at
+// most chunkBytes each (except when a single tuple already exceeds it),
+// in input order. It is the bridge from a chunk-size recommendation —
+// typically ring.Autotuner's — to a fragment plan: the count is derived
+// from the relation's tuple width so that each frame lands near the
+// requested transfer-unit size of the paper's Fig 5 sweep.
+func PartitionByBytes(r *Relation, chunkBytes int) ([]*Fragment, error) {
+	if chunkBytes <= 0 {
+		return nil, fmt.Errorf("relation: partition %q by %d bytes", r.schema.Name, chunkBytes)
+	}
+	perFrag := (chunkBytes - headerSize - tupleCountSize) / r.schema.TupleWidth()
+	if perFrag < 1 {
+		perFrag = 1
+	}
+	n := (r.Len() + perFrag - 1) / perFrag
+	if n < 1 {
+		n = 1
+	}
+	return Partition(r, n)
+}
+
 // PartitionByHash splits r into n fragments by a multiplicative hash of the
 // join key. Unlike Partition, co-partitioning both join inputs this way
 // would make the join embarrassingly local; cyclo-join deliberately does NOT

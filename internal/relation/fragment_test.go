@@ -45,6 +45,38 @@ func TestPartitionBalance(t *testing.T) {
 	}
 }
 
+func TestPartitionByBytesRespectsChunk(t *testing.T) {
+	r := FromKeys(Schema{Name: "R"}, seqKeys(1000))
+	for _, chunk := range []int{64, 256, 1 << 10, 1 << 16, 1 << 30} {
+		frags, err := PartitionByBytes(r, chunk)
+		if err != nil {
+			t.Fatalf("PartitionByBytes(%d): %v", chunk, err)
+		}
+		total := 0
+		for _, f := range frags {
+			total += f.Rel.Len()
+			if sz := EncodedSize(f); sz > chunk && f.Rel.Len() > 1 {
+				t.Errorf("chunk %d: fragment %d encodes to %d B", chunk, f.Index, sz)
+			}
+		}
+		if total != r.Len() {
+			t.Errorf("chunk %d: fragments hold %d tuples, want %d", chunk, total, r.Len())
+		}
+	}
+	// A chunk below even one tuple's wire size still yields a valid
+	// single-tuple-per-fragment plan.
+	frags, err := PartitionByBytes(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != r.Len() {
+		t.Errorf("1-byte chunk: %d fragments, want %d", len(frags), r.Len())
+	}
+	if _, err := PartitionByBytes(r, 0); err == nil {
+		t.Error("PartitionByBytes(0): want error")
+	}
+}
+
 func TestPartitionInvalidCount(t *testing.T) {
 	r := FromKeys(Schema{Name: "R"}, seqKeys(3))
 	for _, n := range []int{0, -1} {

@@ -1,0 +1,255 @@
+package ring
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cyclojoin/internal/metrics"
+	"cyclojoin/internal/trace"
+)
+
+// Autotuner adapts the fragment chunk size against observed transfer
+// throughput, finding the paper's Fig 5 sweet spot live instead of
+// hard-coding it. The search space is the power-of-two ladder of Fig 5;
+// the tuner hill-climbs it with a triangle probe: it spends one window at
+// the current centre, one at half the size, one back at the centre, and
+// one at double the size, then recentres on whichever of the three earned
+// the best smoothed throughput.
+//
+// Moving UP the ladder requires a real improvement (see upMargin): at
+// equal throughput the tuner prefers the smaller chunk, so on Fig 5's
+// saturating curve it settles at the knee — the smallest size within a
+// few percent of link speed — rather than drifting to the bound. Smaller
+// chunks at equal throughput mean lower per-hop latency, finer recovery
+// granularity, and more pipeline overlap.
+//
+// The tuner is passive: it never re-chunks a running ring. ChunkBytes
+// reports the size a closed-loop driver should use for its next transfers
+// (the probe schedule), Best reports the converged centre, and
+// relation.PartitionByBytes turns either into a fragment plan. A live
+// ring feeds Observe from its transmit reaper (Config.Autotune); the
+// current centre is surfaced as the ring_autotune_chunk_bytes gauge and
+// as PhaseAutotune points in the flight recorder.
+type Autotuner struct {
+	// next is the size a closed-loop driver should use now: the probe
+	// target, which cycles around the centre. Loaded lock-free by
+	// ChunkBytes on hot paths.
+	next atomic.Int64
+	// best is the current centre of the climb, updated at recentre.
+	best atomic.Int64
+
+	mu     sync.Mutex
+	minLog uint // smallest probed size, log2
+	maxLog uint // largest probed size, log2
+	curLog uint // centre of the climb, log2
+	window int  // observations per probe window
+	cycle  int  // position in the triangle probe: cur, half, cur, double
+
+	// One probe window's accumulators.
+	winBytes int64
+	winDur   time.Duration
+	winN     int
+	// total counts every accepted observation over the tuner's lifetime
+	// (diagnostics; see Samples).
+	total int64
+
+	// Smoothed throughput (bytes/s) per power-of-two bucket; observations
+	// are bucketed by their own mean chunk size, so open-loop feeds (a
+	// ring whose fragment size the tuner does not control) still land in
+	// the right bucket.
+	seen [maxChunkLog + 1]bool
+	tput [maxChunkLog + 1]float64
+
+	gauge *metrics.Gauge
+	shard *trace.Shard
+}
+
+const (
+	// minChunkLog/maxChunkLog bound the ladder: 1 B to 1 GB, the extent
+	// of the paper's Fig 5 sweep.
+	minChunkLog = 0
+	maxChunkLog = 30
+	// autotuneWindow is the default number of observations per probe
+	// window. Small enough to recentre within a revolution's worth of
+	// hops, large enough to smooth scheduler jitter.
+	autotuneWindow = 16
+	// ewmaAlpha is the weight of a new window in the per-bucket smoothed
+	// throughput.
+	ewmaAlpha = 0.4
+	// upMargin is the relative throughput improvement a larger chunk must
+	// show before the tuner moves up the ladder (≥2%); moving down only
+	// has to match. The asymmetry parks the climb at the knee of a
+	// saturating curve instead of its upper bound.
+	upMargin = 1.02
+)
+
+// NewAutotuner creates a tuner probing power-of-two chunk sizes in
+// [minBytes, maxBytes] (both rounded to powers of two, clamped to the
+// Fig 5 ladder of 1 B–1 GB). Non-positive bounds default to 1 kB and
+// DefaultBufferBytes. The climb starts at the lower bound — the paper's
+// Fig 5 narrative read left to right.
+func NewAutotuner(minBytes, maxBytes int) *Autotuner {
+	if minBytes <= 0 {
+		minBytes = 1 << 10
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultBufferBytes
+	}
+	lo := log2Clamp(minBytes)
+	hi := log2Clamp(maxBytes)
+	if hi < lo {
+		hi = lo
+	}
+	a := &Autotuner{
+		minLog: lo,
+		maxLog: hi,
+		curLog: lo,
+		window: autotuneWindow,
+		gauge: metrics.Default().Gauge("ring_autotune_chunk_bytes",
+			"chunk size currently recommended by the ring autotuner"),
+		shard: trace.Flight().Shard(trace.NodeTransport, "autotune"),
+	}
+	a.next.Store(1 << lo)
+	a.best.Store(1 << lo)
+	a.gauge.Set(1 << lo)
+	return a
+}
+
+// log2Clamp rounds n to the nearest power-of-two exponent and clamps it
+// to the Fig 5 ladder.
+func log2Clamp(n int) uint {
+	if n < 1 {
+		n = 1
+	}
+	l := uint(bits.Len(uint(n)) - 1)
+	// Round up once the remainder passes half the lower power of two.
+	if l < maxChunkLog && uint(n)-(1<<l) > (1<<l)/2 {
+		l++
+	}
+	if l > maxChunkLog {
+		l = maxChunkLog
+	}
+	return l
+}
+
+// ChunkBytes returns the chunk size a closed-loop driver should use for
+// its next transfers. It cycles through the triangle-probe schedule as
+// windows complete; use Best for the converged recommendation.
+//
+//cyclolint:hotpath
+func (a *Autotuner) ChunkBytes() int { return int(a.next.Load()) }
+
+// Best returns the centre of the climb — the tuner's current best fixed
+// chunk size.
+//
+//cyclolint:hotpath
+func (a *Autotuner) Best() int { return int(a.best.Load()) }
+
+// Observe feeds one transfer measurement: bytes moved and the elapsed
+// time attributed to them (for a transmit reaper, the time since the
+// previous completion burst — which makes the metric the achieved
+// through-the-transmitter rate, Fig 5's y-axis). Zero-valued samples are
+// ignored. Safe for concurrent use; allocation-free.
+//
+//cyclolint:hotpath
+func (a *Autotuner) Observe(bytes int, elapsed time.Duration) {
+	if bytes <= 0 || elapsed <= 0 {
+		return
+	}
+	a.mu.Lock()
+	a.winBytes += int64(bytes)
+	a.winDur += elapsed
+	a.winN++
+	a.total++
+	if a.winN >= a.window {
+		a.closeWindow()
+	}
+	a.mu.Unlock()
+}
+
+// Samples reports how many observations the tuner has accepted — a
+// liveness diagnostic for checking the feed is actually wired.
+func (a *Autotuner) Samples() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// closeWindow folds the finished probe window into the per-size smoothed
+// throughput, advances the probe schedule, and recentres at the end of
+// each triangle. Called with mu held.
+func (a *Autotuner) closeWindow() {
+	idx := log2Clamp(int(a.winBytes / int64(a.winN)))
+	t := float64(a.winBytes) / a.winDur.Seconds()
+	if a.seen[idx] {
+		a.tput[idx] += ewmaAlpha * (t - a.tput[idx])
+	} else {
+		a.tput[idx] = t
+		a.seen[idx] = true
+	}
+	a.winBytes, a.winDur, a.winN = 0, 0, 0
+
+	// An open-loop feed (a ring whose chunk size the tuner does not
+	// control) lands observations away from the probe neighbourhood;
+	// drift the centre one step per window toward the observed operating
+	// point so the recommendation tracks reality. Closed-loop windows
+	// land within cur±1 by construction and never trigger this.
+	if idx > a.curLog+1 && a.curLog < a.maxLog {
+		a.setCentre(a.curLog + 1)
+	} else if idx+1 < a.curLog && a.curLog > a.minLog {
+		a.setCentre(a.curLog - 1)
+	}
+
+	a.cycle = (a.cycle + 1) % 4
+	if a.cycle == 0 {
+		a.recentre()
+	}
+	a.next.Store(1 << a.probeLog())
+}
+
+// setCentre moves the climb's centre and publishes it. Called with mu
+// held.
+func (a *Autotuner) setCentre(l uint) {
+	a.curLog = l
+	a.best.Store(1 << l)
+	a.gauge.Set(1 << l)
+}
+
+// probeLog maps the triangle-probe position to a size: centre, half,
+// centre, double. Called with mu held.
+func (a *Autotuner) probeLog() uint {
+	switch a.cycle {
+	case 1:
+		if a.curLog > a.minLog {
+			return a.curLog - 1
+		}
+	case 3:
+		if a.curLog < a.maxLog {
+			return a.curLog + 1
+		}
+	}
+	return a.curLog
+}
+
+// recentre moves the climb's centre to the best-performing neighbour.
+// Called with mu held.
+func (a *Autotuner) recentre() {
+	cur := a.curLog
+	bestLog, bestT := cur, a.tput[cur]
+	if lo := cur - 1; cur > a.minLog && a.seen[lo] && a.tput[lo] >= bestT {
+		// Downhill at equal or better throughput: prefer the smaller
+		// chunk.
+		bestLog, bestT = lo, a.tput[lo]
+	}
+	if hi := cur + 1; cur < a.maxLog && a.seen[hi] && a.tput[hi] > bestT*upMargin {
+		bestLog = hi
+	}
+	if bestLog != a.curLog {
+		a.setCentre(bestLog)
+	}
+	// Record every recentre decision — including "stay put" — so the
+	// flight recorder shows the full convergence trajectory.
+	a.shard.Point(trace.PhaseAutotune, -1, -1, int64(1)<<bestLog)
+}

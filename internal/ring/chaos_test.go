@@ -121,7 +121,7 @@ func assertPoolsWhole(t *testing.T, r *Ring) {
 	for {
 		whole := true
 		for _, n := range r.nodes {
-			if pinnedCount(n) != 0 || len(n.freeSend) != cap(n.freeSend) {
+			if pinnedCount(n) != 0 || n.freeSend.Len() != n.sendPool {
 				whole = false
 			}
 		}
@@ -137,7 +137,7 @@ func assertPoolsWhole(t *testing.T, r *Ring) {
 		if got := pinnedCount(n); got != 0 {
 			t.Errorf("node %d: %d receive buffers still pinned after run", i, got)
 		}
-		if got, want := len(n.freeSend), cap(n.freeSend); got != want {
+		if got, want := n.freeSend.Len(), n.sendPool; got != want {
 			t.Errorf("node %d: send pool holds %d of %d buffers after run", i, got, want)
 		}
 	}

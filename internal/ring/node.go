@@ -3,13 +3,16 @@ package ring
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/rdma"
 	"cyclojoin/internal/relation"
+	"cyclojoin/internal/ringq"
 	"cyclojoin/internal/trace"
 )
 
@@ -21,6 +24,31 @@ var durationBounds = metrics.ExponentialBounds(1<<10, 4, 12)
 // per-fragment staging work (a 4-byte header patch plus one memmove on the
 // fast path, a full encode on the first hop).
 var stageBounds = metrics.ExponentialBounds(1<<6, 4, 12)
+
+// spinPops bounds how long a pipeline entity re-polls its queues (yielding
+// between attempts) before arming its Waiter and parking. The hand-off
+// between entities on a loaded ring is far shorter than a park/unpark
+// round trip, so a short spin keeps the hot path free of scheduler
+// activity; an idle entity still parks after ~spinPops yields.
+const spinPops = 64
+
+// reapBatch is how many completions a reaper moves out of a completion
+// queue per wakeup: one blocking receive, then a bulk PollCQ drain. One
+// wakeup then amortizes across up to reapBatch frames.
+const reapBatch = 64
+
+// txBatch is how many staged frames the transmitter coalesces into a
+// single batched post — one doorbell (one writev on tcplink, one queue
+// round trip on memlink) for everything that accumulated in sendQ while
+// the previous post was in flight.
+const txBatch = 16
+
+// timerSample decimates the sub-microsecond hot-path timers (view bind,
+// forward staging): reading the clock twice around a ~100 ns operation
+// costs more than the operation, so only every timerSample-th one is
+// timed. Power of two; the histograms keep their shape, at 1/16 the
+// clock traffic.
+const timerSample = 16
 
 // nodeMetrics are one ring position's hot-path instruments, labeled by
 // node id. Lookup is idempotent, so a replaced or re-created node keeps
@@ -103,8 +131,29 @@ type outbound struct {
 	sz          int
 }
 
+// hotStats holds the per-node counters bumped on the hot path. Plain
+// atomics, one bump per field: deliver, procLoop and the transmitters never
+// take a mutex for bookkeeping, and snapshot() assembles a NodeStats from a
+// set of independently-consistent loads.
+type hotStats struct {
+	processed, retired atomic.Int64
+	bytesIn, bytesOut  atomic.Int64
+	// waitNs/processNs accumulate the paper's sync/join time in
+	// nanoseconds.
+	waitNs, processNs atomic.Int64
+	registeredBytes   atomic.Int64
+}
+
 // node is one Data Roundabout host: receiver + join entity + transmitter
 // over a statically registered buffer pool.
+//
+// The inter-entity queues are lock-free rings (internal/ringq), not
+// channels: the uncontended hand-off is two atomics with no shared cache
+// line, and blocking is pushed off the hot path into per-edge Waiters.
+// Each SPSC edge has exactly one producer and one consumer goroutine;
+// entity restarts (node replacement, link recovery) are sequenced by the
+// stop/WaitGroup machinery, so each generation is a valid single
+// producer.
 type node struct {
 	id  int
 	cfg Config
@@ -112,16 +161,65 @@ type node struct {
 	proc Processor
 	dev  *rdma.Device
 	tr   trace.Tracer
+	// trOn gates the Event call sites: with the Nop tracer the hot paths
+	// skip both the time.Now() and the interface call entirely.
+	trOn bool
 
 	in, out rdma.QueuePair
 
-	// procQ feeds the join entity; its capacity is the ring-buffer depth,
-	// so a slow node absorbs that much slack before stalling upstream.
-	procQ chan inflight
-	// sendQ feeds the transmitter.
-	sendQ chan outbound
+	// procQ feeds the join entity wire arrivals; its capacity is the
+	// ring-buffer depth (rounded up), so a slow node absorbs that much
+	// slack before stalling upstream. Producer: receiver. Consumer: join
+	// loop.
+	procQ *ringq.SPSC[inflight]
+	// injectQ feeds the join entity locally injected fragments. It is a
+	// separate edge because Run's injector goroutine is concurrent with
+	// the receiver, and each SPSC edge admits one producer.
+	injectQ *ringq.SPSC[inflight]
+	// sendQ feeds the transmitter. It holds every staged buffer the pool
+	// can produce: an outbound exists only while it owns one of the
+	// slots+2 send buffers, so at this capacity the join loop's push can
+	// never block. That non-blocking push is load-bearing for liveness in
+	// write mode, where the transmitter holds its dequeued frame
+	// through an explicit credit wait: a full sendQ would block the
+	// join loop before it processes (and re-credits) the next pinned
+	// receive buffer, and with every node in that state the ring is a
+	// circular credit wait — a store-and-forward deadlock.
+	sendQ *ringq.SPSC[outbound]
+	// requeueQ carries retained frames re-routed by link recovery to the
+	// restarted transmitter, which drains it before sendQ. A separate
+	// edge because the producer is Run's control goroutine, not the join
+	// loop.
+	requeueQ *ringq.SPSC[outbound]
 	// freeSend holds the registered send buffers not currently in flight.
-	freeSend chan *rdma.Buffer
+	// MPMC: the transmitter's reaper fills it on the hot path, the join
+	// loop's failure paths return credits too, and recovery's drain pass
+	// is a third producer.
+	freeSend *ringq.MPMC[*rdma.Buffer]
+	// sendPool is the send pool size — the invariant value of
+	// freeSend.Len() when the pipeline is idle (the rings round their
+	// capacity up, so Cap no longer states it).
+	sendPool int
+
+	// joinWake parks the join loop when procQ and injectQ are empty;
+	// txWake parks the transmitter when sendQ and requeueQ are empty;
+	// poolWake parks the join loop's blocking free-buffer wait.
+	// procSpace/injectSpace/sendSpace park the respective producers when
+	// an edge is full.
+	joinWake    *ringq.Waiter
+	txWake      *ringq.Waiter
+	poolWake    *ringq.Waiter
+	procSpace   *ringq.Waiter
+	injectSpace *ringq.Waiter
+	sendSpace   *ringq.Waiter
+
+	// creditBuf batches receive-credit returns: the join loop defers each
+	// released buffer here and flushes them with one batched post — one
+	// doorbell per drain instead of one per frame. Join loop only; see
+	// releaseRecvDeferred and flushCredits. creditLen is the fill level.
+	creditBuf []*rdma.Buffer
+	creditLen int
+
 	// recvBufs is the registered receive pool. Each buffer is either
 	// posted on the inbound queue pair, pinned under a frame the pipeline
 	// still needs, or parked awaiting the next receiver start.
@@ -144,6 +242,10 @@ type node struct {
 	// while the receiver is stopped; released buffers are then parked
 	// (unpinned) for the next start.
 	repost func(*rdma.Buffer) error
+	// repostBatch returns several credits with a single batched post; nil
+	// when the transport mode offers no batch path (flushCredits then
+	// falls back to repost per buffer).
+	repostBatch func([]*rdma.Buffer) error
 	// repostQP is the endpoint repost targets, kept so a repost failure
 	// can be attributed to the right link instance for recovery.
 	repostQP rdma.QueuePair
@@ -165,11 +267,22 @@ type node struct {
 	// node replacement, so each has its own stop channel and wait group.
 	recvStop chan struct{}
 	recvWG   sync.WaitGroup
+	// recvDead is closed (per receiver generation) when the receive loop
+	// observes a terminal transport event — an error completion or the
+	// completion queue closing underneath it. Link recovery waits on it
+	// before closing a buffered-wire endpoint (recovery.go): the sender's
+	// teardown guarantees an eventual EOF, and every frame the wire still
+	// held is consumed and delivered before that EOF surfaces here.
+	recvDead chan struct{}
 	sendStop chan struct{}
 	sendWG   sync.WaitGroup
 
-	mu    sync.Mutex
-	stats NodeStats
+	stats hotStats
+
+	// bindTick/stageTick drive the timerSample decimation. Single-writer:
+	// bindTick belongs to the receiver goroutine, stageTick to the join
+	// loop.
+	bindTick, stageTick uint
 
 	m nodeMetrics
 
@@ -186,24 +299,27 @@ type node struct {
 func newNode(id int, cfg Config, proc Processor, retired chan<- retirement, errc chan<- error) *node {
 	slots := cfg.slots()
 	fl := cfg.flightRecorder()
+	tr := cfg.tracer()
+	_, isNop := tr.(trace.Nop)
 	return &node{
-		id:    id,
-		cfg:   cfg,
-		proc:  proc,
-		tr:    cfg.tracer(),
-		dev:   rdma.OpenDevice(fmt.Sprintf("rnic-%d", id)),
-		procQ: make(chan inflight, slots),
-		// sendQ holds every staged buffer the pool can produce: an
-		// outbound exists only while it owns one of the slots+2 send
-		// buffers, so at this capacity the join loop's push can never
-		// block. That non-blocking push is load-bearing for liveness in
-		// write mode, where the transmitter holds its dequeued frame
-		// through an explicit credit wait: a full sendQ would block the
-		// join loop before it processes (and re-credits) the next pinned
-		// receive buffer, and with every node in that state the ring is a
-		// circular credit wait — a store-and-forward deadlock.
-		sendQ:        make(chan outbound, slots+2),
-		freeSend:     make(chan *rdma.Buffer, slots+2),
+		id:           id,
+		cfg:          cfg,
+		proc:         proc,
+		tr:           tr,
+		trOn:         !isNop,
+		dev:          rdma.OpenDevice(fmt.Sprintf("rnic-%d", id)),
+		procQ:        ringq.NewSPSC[inflight](slots),
+		injectQ:      ringq.NewSPSC[inflight](slots),
+		sendQ:        ringq.NewSPSC[outbound](slots + 2),
+		requeueQ:     ringq.NewSPSC[outbound](slots + 2),
+		freeSend:     ringq.NewMPMC[*rdma.Buffer](slots + 2),
+		joinWake:     ringq.NewWaiter(),
+		txWake:       ringq.NewWaiter(),
+		poolWake:     ringq.NewWaiter(),
+		procSpace:    ringq.NewWaiter(),
+		injectSpace:  ringq.NewWaiter(),
+		sendSpace:    ringq.NewWaiter(),
+		creditBuf:    make([]*rdma.Buffer, slots),
 		views:        make(map[*rdma.Buffer]*relation.View, slots),
 		pinned:       make(map[*rdma.Buffer]bool, slots),
 		retired:      retired,
@@ -242,12 +358,11 @@ func (n *node) start() error {
 		if err != nil {
 			return fmt.Errorf("ring: node %d: register send pool: %w", n.id, err)
 		}
+		n.sendPool = len(send)
 		for _, b := range send {
-			n.freeSend <- b
+			n.freeSend.TryPush(b)
 		}
-		n.mu.Lock()
-		n.stats.RegisteredBytes = n.dev.Stats().BytesPinned
-		n.mu.Unlock()
+		n.stats.registeredBytes.Store(n.dev.Stats().BytesPinned)
 	}
 	// The three entities below share custody of the pooled views planted
 	// in n.views: each send of a view down the pipeline carries the
@@ -294,6 +409,7 @@ func (n *node) startRecv(qp rdma.QueuePair) error {
 	// not be posted — their release will repost them through the new qp.
 	n.recvMu.Lock()
 	n.repost = qp.PostRecv
+	n.repostBatch = func(bufs []*rdma.Buffer) error { return rdma.PostRecvBatch(qp, bufs) }
 	n.repostQP = qp
 	post := make([]*rdma.Buffer, 0, len(n.recvBufs))
 	for _, b := range n.recvBufs {
@@ -302,16 +418,16 @@ func (n *node) startRecv(qp rdma.QueuePair) error {
 		}
 	}
 	n.recvMu.Unlock()
-	for _, b := range post {
-		if err := qp.PostRecv(b); err != nil {
-			return fmt.Errorf("ring: node %d: post receive: %w", n.id, err)
-		}
+	if err := rdma.PostRecvBatch(qp, post); err != nil {
+		return fmt.Errorf("ring: node %d: post receive: %w", n.id, err)
 	}
 	stop := n.recvStop
+	dead := make(chan struct{})
+	n.recvDead = dead
 	n.recvWG.Add(1)
 	go func() {
 		defer n.recvWG.Done()
-		n.recvLoop(qp, stop)
+		n.recvLoop(qp, stop, dead)
 	}()
 	return nil
 }
@@ -325,6 +441,7 @@ func (n *node) stopRecv() {
 	}
 	n.recvMu.Lock()
 	n.repost = nil
+	n.repostBatch = nil
 	n.recvMu.Unlock()
 	close(n.recvStop)
 	if n.in != nil {
@@ -365,28 +482,122 @@ func (n *node) releaseRecv(buf *rdma.Buffer) {
 	}
 }
 
-func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}) {
+// releaseRecvDeferred queues buf's credit for the next batched flush
+// instead of reposting immediately — one doorbell per drain instead of
+// one per frame. Join loop only. The eager-release liveness rule still
+// holds: every point where the join loop can block calls flushCredits
+// first, so a deferred credit never waits on downstream progress.
+//
+//cyclolint:hotpath
+func (n *node) releaseRecvDeferred(buf *rdma.Buffer) {
+	if buf == nil {
+		return // locally injected fragment, no wire buffer
+	}
+	n.creditBuf[n.creditLen] = buf
+	n.creditLen++
+	if n.creditLen == len(n.creditBuf) {
+		n.flushCredits()
+	}
+}
+
+// flushCredits returns every deferred receive credit with one batched
+// post. It MUST run before the join loop blocks on anything — input, a
+// free send buffer, sendQ space, or the retired channel — so a parked
+// join entity never sits on credits its upstream neighbor is starving
+// for. With the receiver stopped the buffers are parked unpinned, exactly
+// like releaseRecv.
+//
+//cyclolint:hotpath
+func (n *node) flushCredits() {
+	if n.creditLen == 0 {
+		return
+	}
+	bufs := n.creditBuf[:n.creditLen]
+	n.recvMu.Lock()
+	for _, b := range bufs {
+		delete(n.pinned, b)
+	}
+	repostBatch := n.repostBatch
+	repost := n.repost
+	qp := n.repostQP
+	n.recvMu.Unlock()
+	var err error
+	switch {
+	case repostBatch != nil:
+		err = repostBatch(bufs)
+	case repost != nil:
+		for _, b := range bufs {
+			if err = repost(b); err != nil {
+				break
+			}
+		}
+	}
+	for i := range bufs {
+		bufs[i] = nil
+	}
+	n.creditLen = 0
+	if err != nil && !errors.Is(err, rdma.ErrClosed) {
+		//cyclolint:coldpath transport fault: recovery or abort follows
+		n.failLink(nil, false, qp, fmt.Errorf("ring: node %d: repost receive: %w", n.id, err))
+	}
+}
+
+func (n *node) recvLoop(qp rdma.QueuePair, stop chan struct{}, dead chan struct{}) {
+	var batch [reapBatch]rdma.Completion
 	for {
 		var c rdma.Completion
 		var ok bool
+		// Fast path: on a busy ring the next completion is usually already
+		// queued — take it with one non-blocking receive instead of arming
+		// the multi-way select (which locks every channel involved).
 		select {
-		case <-stop:
-			n.drainRecv(qp)
-			return
-		case <-n.quit:
-			n.drainRecv(qp)
-			return
 		case c, ok = <-qp.Completions():
+		default:
+			select {
+			case <-stop:
+				n.drainRecv(qp)
+				return
+			case <-n.quit:
+				n.drainRecv(qp)
+				return
+			case c, ok = <-qp.Completions():
+			}
 		}
 		if !ok {
+			close(dead)
 			return
 		}
-		if c.Err != nil {
-			n.failLink(stop, false, qp, fmt.Errorf("ring: node %d: receive: %w", n.id, c.Err))
-			n.drainRecv(qp)
-			return
+		// Bulk reap: one blocking receive, then drain whatever else the
+		// transport already completed — one receiver wakeup per burst.
+		batch[0] = c
+		m := 1 + rdma.PollCQ(qp, batch[1:])
+		for i := 0; i < m; i++ {
+			c := batch[i]
+			if c.Err != nil {
+				n.failLink(stop, false, qp, fmt.Errorf("ring: node %d: receive: %w", n.id, c.Err))
+				// Signal the terminal event BEFORE the drain: drainRecv
+				// blocks until recovery closes the endpoint, and recovery
+				// may be waiting on this signal to know the wire is dry.
+				close(dead)
+				n.deliverTail(batch[i+1 : m])
+				n.drainRecv(qp)
+				return
+			}
+			if c.Op != rdma.OpRecv {
+				continue
+			}
+			n.deliver(c.Buf, c.Buf.Bytes())
 		}
-		if c.Op != rdma.OpRecv {
+	}
+}
+
+// deliverTail applies drainRecv's delivery rule to completions already
+// moved out of the completion queue when an error entry cut a reaped
+// batch short: frames that landed before the fault must still reach the
+// pipeline.
+func (n *node) deliverTail(tail []rdma.Completion) {
+	for _, c := range tail {
+		if c.Err != nil || c.Op != rdma.OpRecv {
 			continue
 		}
 		n.deliver(c.Buf, c.Buf.Bytes())
@@ -427,7 +638,11 @@ func (n *node) drainRecv(qp rdma.QueuePair) {
 func (n *node) deliver(buf *rdma.Buffer, frame []byte) bool {
 	rspan := n.frecv.Begin(trace.PhaseReceive)
 	v := n.views[buf]
-	bindStart := time.Now()
+	n.bindTick++
+	var bindStart time.Time
+	if n.bindTick&(timerSample-1) == 0 {
+		bindStart = time.Now()
+	}
 	if err := v.Bind(frame, "rotating"); err != nil {
 		//cyclolint:coldpath malformed frame: the node is about to stop
 		n.report(fmt.Errorf("ring: node %d: decode: %w", n.id, err))
@@ -436,31 +651,30 @@ func (n *node) deliver(buf *rdma.Buffer, frame []byte) bool {
 		n.frecv.End(rspan)
 		return false
 	}
-	n.m.bindNs.Observe(time.Since(bindStart).Nanoseconds())
+	if !bindStart.IsZero() {
+		n.m.bindNs.Observe(time.Since(bindStart).Nanoseconds())
+	}
 	n.m.views.Inc()
 	frag := v.Frag()
 	rspan.Frag, rspan.Hop, rspan.Arg = int32(frag.Index), int32(frag.Hops), int64(len(frame))
 	n.recvMu.Lock()
 	n.pinned[buf] = true
 	n.recvMu.Unlock()
-	n.mu.Lock()
-	n.stats.BytesIn += int64(len(frame))
-	n.mu.Unlock()
+	n.stats.bytesIn.Add(int64(len(frame)))
 	n.m.bytesIn.Add(int64(len(frame)))
-	n.tr.Record(trace.Event{
-		Time: time.Now(), Node: n.id, Kind: trace.FragmentReceived,
-		Fragment: frag.Index, Hops: frag.Hops, Bytes: len(frame),
-	})
-	select {
+	if n.trOn {
+		n.tr.Record(trace.Event{
+			Time: time.Now(), Node: n.id, Kind: trace.FragmentReceived,
+			Fragment: frag.Index, Hops: frag.Hops, Bytes: len(frame),
+		})
+	}
 	// The view rides the queue bound to live receive memory, and that is
 	// the point: the buffer credit travels with it (buf stays pinned), and
 	// the join loop releases the credit only after staging or Materialize.
 	//cyclolint:viewsafe credit travels with the view; procLoop releases it after staging or Materialize
-	case n.procQ <- inflight{frag: frag, view: v, buf: buf}:
-		n.m.procDepth.Inc()
+	if n.pushInput(n.procQ, n.procSpace, inflight{frag: frag, view: v, buf: buf}) {
 		n.frecv.End(rspan)
 		return true
-	case <-n.quit:
 	}
 	// Quitting with the frame undelivered: unpin so a later receiver
 	// start reposts the buffer instead of leaking the credit.
@@ -471,54 +685,135 @@ func (n *node) deliver(buf *rdma.Buffer, frame []byte) bool {
 	return false
 }
 
+// pushInput enqueues one fragment for the join entity, parking on space
+// when the edge is full — that park is the ring's backpressure point.
+// Returns false only when the node quits first.
+//
+//cyclolint:hotpath
+func (n *node) pushInput(q *ringq.SPSC[inflight], space *ringq.Waiter, inf inflight) bool {
+	if q.TryPush(inf) {
+		n.m.procDepth.Inc()
+		n.joinWake.Signal()
+		return true
+	}
+	for {
+		for i := 0; i < spinPops; i++ {
+			runtime.Gosched()
+			if q.TryPush(inf) {
+				n.m.procDepth.Inc()
+				n.joinWake.Signal()
+				return true
+			}
+		}
+		space.Prepare()
+		if q.TryPush(inf) {
+			n.m.procDepth.Inc()
+			n.joinWake.Signal()
+			return true
+		}
+		select {
+		case <-space.C():
+		case <-n.quit:
+			return false
+		}
+	}
+}
+
 // ---- join entity ----
 
+// popInput takes the join entity's next fragment, wire arrivals before
+// local injections.
+//
+//cyclolint:hotpath
+func (n *node) popInput() (inflight, bool) {
+	if inf, ok := n.procQ.TryPop(); ok {
+		n.procSpace.Signal()
+		return inf, true
+	}
+	if inf, ok := n.injectQ.TryPop(); ok {
+		n.injectSpace.Signal()
+		return inf, true
+	}
+	return inflight{}, false
+}
+
+// nextInput blocks for the join entity's next fragment. Deferred credits
+// are flushed before any spin or park: idle time must never withhold a
+// credit from the upstream neighbor.
+func (n *node) nextInput() (inflight, bool) {
+	if inf, ok := n.popInput(); ok {
+		return inf, true
+	}
+	n.flushCredits()
+	for {
+		for i := 0; i < spinPops; i++ {
+			runtime.Gosched()
+			if inf, ok := n.popInput(); ok {
+				return inf, true
+			}
+		}
+		n.joinWake.Prepare()
+		if inf, ok := n.popInput(); ok {
+			return inf, true
+		}
+		select {
+		case <-n.joinWake.C():
+		case <-n.quit:
+			return inflight{}, false
+		}
+	}
+}
+
 func (n *node) procLoop() {
+	defer n.flushCredits()
 	for {
 		// The wait/join/stage spans tile this loop back to back, so the
 		// join-entity track has no unaccounted gaps: cyclotrace reconciles
 		// their sum against the track's wall clock.
 		wpd := n.fjoin.Begin(trace.PhaseWait)
 		waitStart := time.Now()
-		var inf inflight
-		select {
-		case <-n.quit:
+		inf, ok := n.nextInput()
+		if !ok {
 			// Close the wait span on shutdown: the terminal wait interval
 			// is part of the join-entity track, not a gap.
 			n.fjoin.End(wpd)
 			return
-		case inf = <-n.procQ:
 		}
 		n.m.procDepth.Dec()
-		waited := time.Since(waitStart)
+		// One clock read serves as both the end of the wait and the start
+		// of Process: the bookkeeping between them is a handful of stores.
+		procStart := time.Now()
+		waited := procStart.Sub(waitStart)
 
 		frag := inf.frag
 		wpd.Frag, wpd.Hop = int32(frag.Index), int32(frag.Hops)
 		n.fjoin.End(wpd)
 		jpd := n.fjoin.Begin(trace.PhaseJoin)
 		jpd.Frag, jpd.Hop, jpd.Arg = int32(frag.Index), int32(frag.Hops), int64(frag.Rel.Len())
-		procStart := time.Now()
-		n.tr.Record(trace.Event{
-			Time: procStart, Node: n.id, Kind: trace.ProcessStart,
-			Fragment: frag.Index, Hops: frag.Hops,
-		})
+		if n.trOn {
+			n.tr.Record(trace.Event{
+				Time: procStart, Node: n.id, Kind: trace.ProcessStart,
+				Fragment: frag.Index, Hops: frag.Hops,
+			})
+		}
 		err := n.proc.Process(frag)
-		procTime := time.Since(procStart)
+		procEnd := time.Now()
+		procTime := procEnd.Sub(procStart)
 		n.fjoin.End(jpd)
 		spd := n.fjoin.Begin(trace.PhaseStage)
 		spd.Frag, spd.Hop = int32(frag.Index), int32(frag.Hops)
-		n.tr.Record(trace.Event{
-			Time: time.Now(), Node: n.id, Kind: trace.ProcessEnd,
-			Fragment: frag.Index, Hops: frag.Hops,
-		})
+		if n.trOn {
+			n.tr.Record(trace.Event{
+				Time: procEnd, Node: n.id, Kind: trace.ProcessEnd,
+				Fragment: frag.Index, Hops: frag.Hops,
+			})
+		}
 
-		n.mu.Lock()
 		// The wait before a fragment that did arrive is "sync" time in
 		// the paper's sense: the join entity starving on the transport.
-		n.stats.WaitTime += waited
-		n.stats.ProcessTime += procTime
-		n.stats.Processed++
-		n.mu.Unlock()
+		n.stats.waitNs.Add(waited.Nanoseconds())
+		n.stats.processNs.Add(procTime.Nanoseconds())
+		n.stats.processed.Add(1)
 		n.m.waitNs.Observe(waited.Nanoseconds())
 		n.m.processNs.Observe(procTime.Nanoseconds())
 		n.m.processed.Inc()
@@ -537,21 +832,28 @@ func (n *node) procLoop() {
 			// would inf.view.Materialize() before the release — today none
 			// does, Run just counts revolutions.
 			ret := retirement{index: frag.Index, hops: frag.Hops}
-			n.mu.Lock()
-			n.stats.Retired++
-			n.mu.Unlock()
+			n.stats.retired.Add(1)
 			n.m.retired.Inc()
 			n.fjoin.Point(trace.PhaseRetire, int32(ret.index), int32(ret.hops), 0)
-			n.tr.Record(trace.Event{
-				Time: time.Now(), Node: n.id, Kind: trace.FragmentRetired,
-				Fragment: ret.index, Hops: ret.hops,
-			})
-			n.releaseRecv(inf.buf)
+			if n.trOn {
+				n.tr.Record(trace.Event{
+					Time: time.Now(), Node: n.id, Kind: trace.FragmentRetired,
+					Fragment: ret.index, Hops: ret.hops,
+				})
+			}
+			n.releaseRecvDeferred(inf.buf)
 			select {
 			case n.retired <- ret:
-			case <-n.quit:
-				n.fjoin.End(spd)
-				return
+			default:
+				// Run's drain is briefly behind: flush deferred credits
+				// before blocking on it.
+				n.flushCredits()
+				select {
+				case n.retired <- ret:
+				case <-n.quit:
+					n.fjoin.End(spd)
+					return
+				}
 			}
 			n.fjoin.End(spd)
 			continue
@@ -561,15 +863,16 @@ func (n *node) procLoop() {
 		// this loop blocks on anything send-side. Around the ring, "my
 		// credit returns when my send progresses, my send progresses when
 		// my neighbor credits me" is a circular wait; eager release after
-		// Process breaks it. On the hot path a free send buffer is ready
-		// and the frame is staged by one copy plus a 4-byte hops patch —
-		// then released. Only when every send buffer is busy does the
-		// fragment get copied out of registered memory (releasing the
-		// credit) and pay a full encode once a buffer frees up.
+		// Process breaks it (deferred credits count as released: every
+		// blocking point below flushes them first). On the hot path a
+		// free send buffer is ready and the frame is staged by one copy
+		// plus a 4-byte hops patch — then released. Only when every send
+		// buffer is busy does the fragment get copied out of registered
+		// memory (releasing the credit) and pay a full encode once a
+		// buffer frees up.
 		var ob outbound
 		if inf.view != nil {
-			select {
-			case buf := <-n.freeSend:
+			if buf, ok := n.freeSend.TryPop(); ok {
 				// Snapshot the metadata before the release: the credit
 				// return lets upstream overwrite the receive buffer, and
 				// with it the view this fragment aliases.
@@ -579,16 +882,16 @@ func (n *node) procLoop() {
 					// The node is stopping, but the pool must stay whole:
 					// ReplaceNode restarts entities against these buffers,
 					// and a dropped credit would shrink the send pool.
-					n.freeSend <- buf
+					n.freeSend.TryPush(buf)
 					n.fjoin.End(spd)
 					return
 				}
-				n.releaseRecv(inf.buf)
+				n.releaseRecvDeferred(inf.buf)
 				ob = outbound{index: index, hops: hops, staged: buf, sz: sz}
-			default:
+			} else {
 				heap := inf.view.Materialize()
 				n.m.materializes.Inc()
-				n.releaseRecv(inf.buf)
+				n.releaseRecvDeferred(inf.buf)
 				var ok bool
 				if ob, ok = n.encodeOutbound(heap); !ok {
 					n.fjoin.End(spd)
@@ -603,9 +906,7 @@ func (n *node) procLoop() {
 			}
 		}
 		spd.Arg = int64(ob.sz)
-		select {
-		case n.sendQ <- ob:
-		case <-n.quit:
+		if !n.pushOutbound(ob) {
 			n.fjoin.End(spd)
 			return
 		}
@@ -613,22 +914,79 @@ func (n *node) procLoop() {
 	}
 }
 
+// popFreeSend blocks for a free send buffer; quit aborts. The wait
+// depends on downstream progress, so deferred credits are flushed before
+// any spin or park.
+func (n *node) popFreeSend() (*rdma.Buffer, bool) {
+	if buf, ok := n.freeSend.TryPop(); ok {
+		return buf, true
+	}
+	n.flushCredits()
+	for {
+		for i := 0; i < spinPops; i++ {
+			runtime.Gosched()
+			if buf, ok := n.freeSend.TryPop(); ok {
+				return buf, true
+			}
+		}
+		n.poolWake.Prepare()
+		if buf, ok := n.freeSend.TryPop(); ok {
+			return buf, true
+		}
+		select {
+		case <-n.poolWake.C():
+		case <-n.quit:
+			return nil, false
+		}
+	}
+}
+
+// pushOutbound hands a staged frame to the transmitter. sendQ is sized
+// for every buffer the pool can produce, so the fast path never fails;
+// the park path is a safety net and flushes credits before blocking.
+//
+//cyclolint:hotpath
+func (n *node) pushOutbound(ob outbound) bool {
+	if n.sendQ.TryPush(ob) {
+		n.txWake.Signal()
+		return true
+	}
+	n.flushCredits()
+	for {
+		for i := 0; i < spinPops; i++ {
+			runtime.Gosched()
+			if n.sendQ.TryPush(ob) {
+				n.txWake.Signal()
+				return true
+			}
+		}
+		n.sendSpace.Prepare()
+		if n.sendQ.TryPush(ob) {
+			n.txWake.Signal()
+			return true
+		}
+		select {
+		case <-n.sendSpace.C():
+		case <-n.quit:
+			return false
+		}
+	}
+}
+
 // encodeOutbound waits for a free send buffer and fully serializes a
 // heap-owned fragment (locally injected, or materialized under
 // congestion) into it. Called only after any receive credit the fragment
-// depended on has been released.
+// depended on has been released (or deferred — popFreeSend flushes).
 func (n *node) encodeOutbound(frag *relation.Fragment) (outbound, bool) {
-	var buf *rdma.Buffer
-	select {
-	case <-n.quit:
+	buf, ok := n.popFreeSend()
+	if !ok {
 		return outbound{}, false
-	case buf = <-n.freeSend:
 	}
 	sz, ok := n.stageEncode(frag, buf)
 	if !ok {
 		// Return the credit even though the node is stopping: the send
 		// pool is registered once and must survive node replacement.
-		n.freeSend <- buf
+		n.freeSend.TryPush(buf)
 		return outbound{}, false
 	}
 	return outbound{index: frag.Index, hops: frag.Hops, staged: buf, sz: sz}, true
@@ -637,13 +995,18 @@ func (n *node) encodeOutbound(frag *relation.Fragment) (outbound, bool) {
 // inject hands a locally stored fragment to the join entity, as if it had
 // just arrived. It reports false if the node is shutting down.
 func (n *node) inject(frag *relation.Fragment) bool {
-	select {
-	case n.procQ <- inflight{frag: frag}:
-		n.m.procDepth.Inc()
-		return true
-	case <-n.quit:
+	return n.pushInput(n.injectQ, n.injectSpace, inflight{frag: frag})
+}
+
+// tryInject is inject's non-blocking fast path: push or report a full edge,
+// never park. Run uses it to inject inline before paying for a goroutine.
+func (n *node) tryInject(frag *relation.Fragment) bool {
+	if !n.injectQ.TryPush(inflight{frag: frag}) {
 		return false
 	}
+	n.m.procDepth.Inc()
+	n.joinWake.Signal()
+	return true
 }
 
 // ---- transmitter ----
@@ -690,7 +1053,11 @@ func (n *node) stageForward(v *relation.View, frag *relation.Fragment, buf *rdma
 			n.id, frag.Index, len(frame), buf.Cap()))
 		return 0, false
 	}
-	stageStart := time.Now()
+	n.stageTick++
+	var stageStart time.Time
+	if n.stageTick&(timerSample-1) == 0 {
+		stageStart = time.Now()
+	}
 	dst := buf.Data()[:len(frame)]
 	copy(dst, frame)
 	if err := relation.SetFrameHops(dst, frag.Hops); err != nil {
@@ -702,7 +1069,9 @@ func (n *node) stageForward(v *relation.View, frag *relation.Fragment, buf *rdma
 		n.report(err)
 		return 0, false
 	}
-	n.m.forwardNs.Observe(time.Since(stageStart).Nanoseconds())
+	if !stageStart.IsZero() {
+		n.m.forwardNs.Observe(time.Since(stageStart).Nanoseconds())
+	}
 	n.m.forwards.Inc()
 	return len(frame), true
 }
@@ -731,77 +1100,198 @@ func (n *node) stageEncode(frag *relation.Fragment, buf *rdma.Buffer) (int, bool
 	return sz, true
 }
 
-func (n *node) sendLoop(qp rdma.QueuePair, stop chan struct{}) {
+// popOutbound takes the transmitter's next frame, re-routed retained
+// frames (requeueQ, link recovery) before freshly staged ones.
+//
+//cyclolint:hotpath
+func (n *node) popOutbound() (outbound, bool) {
+	if ob, ok := n.requeueQ.TryPop(); ok {
+		return ob, true
+	}
+	if ob, ok := n.sendQ.TryPop(); ok {
+		n.sendSpace.Signal()
+		return ob, true
+	}
+	return outbound{}, false
+}
+
+// nextOutbound blocks for the transmitter's next frame; stop and quit
+// abort.
+func (n *node) nextOutbound(stop chan struct{}) (outbound, bool) {
+	if ob, ok := n.popOutbound(); ok {
+		return ob, true
+	}
 	for {
-		var ob outbound
+		for i := 0; i < spinPops; i++ {
+			runtime.Gosched()
+			if ob, ok := n.popOutbound(); ok {
+				return ob, true
+			}
+		}
+		n.txWake.Prepare()
+		if ob, ok := n.popOutbound(); ok {
+			return ob, true
+		}
 		select {
+		case <-n.txWake.C():
 		case <-stop:
-			return
+			return outbound{}, false
 		case <-n.quit:
+			return outbound{}, false
+		}
+	}
+}
+
+func (n *node) sendLoop(qp rdma.QueuePair, stop chan struct{}) {
+	// The batch arrays live for the loop's lifetime: the doorbell batch
+	// costs no per-frame allocation.
+	var batch [txBatch]outbound
+	var bufs [txBatch]*rdma.Buffer
+	for {
+		ob, ok := n.nextOutbound(stop)
+		if !ok {
 			return
-		case ob = <-n.sendQ:
 		}
-		buf, sz := ob.staged, ob.sz
-		// Track the frame as undelivered from the moment it leaves the
-		// queue: whatever fails from here on — the post below, or the
-		// completion later — leaves the entry for recovery to re-route.
-		n.trackInflight(buf, ob)
-		// The send span runs from post to completion (closed by the
-		// reaper), covering the transport's whole handling of the frame.
-		spd := n.fsend.Begin(trace.PhaseSend)
-		spd.Frag, spd.Hop, spd.Arg = int32(ob.index), int32(ob.hops), int64(sz)
-		if spd.Active() {
-			n.pendMu.Lock()
-			n.sendPend[buf] = spd
-			n.pendMu.Unlock()
+		// Coalesce everything already staged behind it — one batched post
+		// (a single doorbell at the transport) for the whole burst.
+		batch[0] = ob
+		m := 1
+		for m < txBatch {
+			ob, ok := n.popOutbound()
+			if !ok {
+				break
+			}
+			batch[m] = ob
+			m++
 		}
-		if err := qp.PostSend(buf); err != nil {
+		total := 0
+		for i := 0; i < m; i++ {
+			ob := batch[i]
+			// Track the frame as undelivered from the moment it leaves
+			// the queue: whatever fails from here on — the post below, or
+			// the completion later — leaves the entry for recovery to
+			// re-route (batched posts are prefix-atomic, so an unposted
+			// suffix simply stays tracked with no completion to come).
+			n.trackInflight(ob.staged, ob)
+			// The send span runs from post to completion (closed by the
+			// reaper), covering the transport's whole handling of the
+			// frame.
+			spd := n.fsend.Begin(trace.PhaseSend)
+			spd.Frag, spd.Hop, spd.Arg = int32(ob.index), int32(ob.hops), int64(ob.sz)
+			if spd.Active() {
+				n.pendMu.Lock()
+				n.sendPend[ob.staged] = spd
+				n.pendMu.Unlock()
+			}
+			bufs[i] = ob.staged
+			total += ob.sz
+		}
+		if err := rdma.PostSendBatch(qp, bufs[:m]); err != nil {
 			n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: post send: %w", n.id, err))
 			return
 		}
-		n.mu.Lock()
-		n.stats.BytesOut += int64(sz)
-		n.mu.Unlock()
-		n.m.bytesOut.Add(int64(sz))
-		n.tr.Record(trace.Event{
-			Time: time.Now(), Node: n.id, Kind: trace.FragmentSent,
-			Fragment: ob.index, Hops: ob.hops, Bytes: sz,
-		})
+		n.stats.bytesOut.Add(int64(total))
+		n.m.bytesOut.Add(int64(total))
+		if n.trOn {
+			now := time.Now()
+			for i := 0; i < m; i++ {
+				n.tr.Record(trace.Event{
+					Time: now, Node: n.id, Kind: trace.FragmentSent,
+					Fragment: batch[i].index, Hops: batch[i].hops, Bytes: batch[i].sz,
+				})
+			}
+		}
 	}
 }
 
 // sendReaper returns completed send buffers to the free pool and confirms
-// frame deliveries (untracking them from the recovery retention map).
+// frame deliveries (untracking them from the recovery retention map). It
+// reaps in bulk: one blocking receive per burst, then a PollCQ drain.
+//
+//cyclolint:hotpath
 func (n *node) sendReaper(qp rdma.QueuePair, stop chan struct{}) {
+	var batch [reapBatch]rdma.Completion
+	var lastBurst time.Time // autotuner baseline; zero until the first burst
 	for {
 		var c rdma.Completion
 		var ok bool
+		// Fast path mirrors recvLoop: skip the select when a completion is
+		// already waiting.
 		select {
-		case <-stop:
-			n.drainSendCQ(qp)
-			return
-		case <-n.quit:
-			n.drainSendCQ(qp)
-			return
 		case c, ok = <-qp.Completions():
+		default:
+			select {
+			case <-stop:
+				n.drainSendCQ(qp)
+				return
+			case <-n.quit:
+				n.drainSendCQ(qp)
+				return
+			case c, ok = <-qp.Completions():
+			}
 		}
 		if !ok {
 			return
 		}
-		if c.Err != nil {
-			n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: send: %w", n.id, c.Err))
-			n.drainSendCQ(qp)
-			return
+		batch[0] = c
+		m := 1 + rdma.PollCQ(qp, batch[1:])
+		burstBytes := 0
+		for i := 0; i < m; i++ {
+			c := batch[i]
+			if c.Err != nil {
+				//cyclolint:coldpath transport fault: recovery or abort follows
+				n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: send: %w", n.id, c.Err))
+				n.reapSendTail(batch[i+1 : m])
+				n.drainSendCQ(qp)
+				return
+			}
+			if c.Op != rdma.OpSend {
+				continue
+			}
+			burstBytes += c.Buf.Len()
+			n.endSendSpan(c.Buf)
+			n.untrackInflight(c.Buf)
+			n.freeSend.TryPush(c.Buf)
+			n.poolWake.Signal()
 		}
-		if c.Op != rdma.OpSend {
+		lastBurst = n.observeBurst(lastBurst, burstBytes)
+	}
+}
+
+// observeBurst feeds one completion burst to the chunk-size autotuner:
+// burst bytes over the time since the previous burst, i.e. the achieved
+// through-the-transmitter rate. Returns the new baseline; a no-op (and
+// free of clock reads) when no tuner is configured.
+//
+//cyclolint:hotpath
+func (n *node) observeBurst(last time.Time, bytes int) time.Time {
+	tuner := n.cfg.Autotune
+	if tuner == nil {
+		return last
+	}
+	now := time.Now()
+	if !last.IsZero() && bytes > 0 {
+		tuner.Observe(bytes, now.Sub(last))
+	}
+	return now
+}
+
+// reapSendTail applies drainSendCQ's confirmation rules to completions
+// already moved out of the completion queue when an error entry cut a
+// reaped batch short: successes behind the failure are confirmed
+// deliveries that must not be re-sent.
+func (n *node) reapSendTail(tail []rdma.Completion) {
+	for _, c := range tail {
+		if c.Err != nil {
+			n.endSendSpan(c.Buf)
 			continue
 		}
-		n.endSendSpan(c.Buf)
-		n.untrackInflight(c.Buf)
-		select {
-		case n.freeSend <- c.Buf:
-		case <-n.quit:
-			return
+		switch c.Op {
+		case rdma.OpSend, rdma.OpWrite:
+			n.endSendSpan(c.Buf)
+			n.untrackInflight(c.Buf)
+			n.freeSend.TryPush(c.Buf)
+			n.poolWake.Signal()
 		}
 	}
 }
@@ -812,7 +1302,7 @@ func (n *node) sendReaper(qp rdma.QueuePair, stop chan struct{}) {
 // confirmed deliveries whose frames must NOT be re-sent, and error/flush
 // completions leave their frames tracked for re-routing. The queue pair
 // is closed by the same stop/recovery path that lands here, so the loop
-// is bounded; freeSend never blocks (its capacity is the pool size).
+// is bounded; freeSend's push never fails (its capacity covers the pool).
 func (n *node) drainSendCQ(qp rdma.QueuePair) {
 	for c := range qp.Completions() {
 		if c.Err != nil {
@@ -823,7 +1313,8 @@ func (n *node) drainSendCQ(qp rdma.QueuePair) {
 		case rdma.OpSend, rdma.OpWrite:
 			n.endSendSpan(c.Buf)
 			n.untrackInflight(c.Buf)
-			n.freeSend <- c.Buf
+			n.freeSend.TryPush(c.Buf)
+			n.poolWake.Signal()
 		}
 	}
 }
@@ -895,7 +1386,13 @@ func (n *node) report(err error) {
 }
 
 func (n *node) snapshot() NodeStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return NodeStats{
+		Processed:       int(n.stats.processed.Load()),
+		Retired:         int(n.stats.retired.Load()),
+		BytesIn:         n.stats.bytesIn.Load(),
+		BytesOut:        n.stats.bytesOut.Load(),
+		ProcessTime:     time.Duration(n.stats.processNs.Load()),
+		WaitTime:        time.Duration(n.stats.waitNs.Load()),
+		RegisteredBytes: n.stats.registeredBytes.Load(),
+	}
 }

@@ -67,6 +67,14 @@ type Recovery struct {
 // Recovery.Backoff is zero.
 const DefaultRecoveryBackoff = 2 * time.Millisecond
 
+// recvSettleTimeout bounds how long recovery waits for the receiving
+// endpoint of a failed buffered-wire link to observe the sender-side
+// teardown (recvDead). The wait normally resolves in microseconds — the
+// sender's closed socket turns into an EOF right behind the last
+// in-flight frame — so the bound only matters if the wire never
+// delivers one.
+const recvSettleTimeout = 250 * time.Millisecond
+
 // backoff returns the effective initial re-dial delay.
 func (rc Recovery) backoff() time.Duration {
 	if rc.Backoff <= 0 {
@@ -209,6 +217,24 @@ func (r *Ring) recoverLink(from, to int, st *linkRetry) error {
 	// symmetrically drains delivered-but-unprocessed frames into the
 	// pipeline before the old endpoint is discarded.
 	fromN.stopSend()
+	// On a buffered wire (tcplink), frames the sender already counted
+	// delivered can still be in the kernel socket buffers. stopSend just
+	// closed the sending endpoint, so an EOF is on its way to the receiver
+	// right behind them; closing the receiving endpoint before its read
+	// loop has consumed them would discard frames exactly-once accounting
+	// says were delivered. Wait (bounded) for the receive loop to observe
+	// the teardown — every in-flight frame is delivered first, then
+	// recvDead closes. Synchronous transports (memlink) skip the wait: a
+	// send completion there means the frame is already in the peer's CQ.
+	if rdma.Buffered(toN.in) {
+		select {
+		case <-toN.recvDead:
+		case <-time.After(recvSettleTimeout):
+		case <-r.quit:
+			r.frelink.End(pd)
+			return ErrClosed
+		}
+	}
 	toN.stopRecv()
 	retained := fromN.takeRetained()
 
@@ -318,19 +344,27 @@ func (n *node) takeRetained() []outbound {
 	return out
 }
 
-// requeue hands a retained frame back to the (restarted) transmitter. The
-// wait is bounded: a freshly recovered link drains sendQ immediately, so a
-// stall here means the new link already failed again — better to give up
-// and let the caller escalate than wedge the control goroutine.
+// requeue hands a retained frame back to the (restarted) transmitter via
+// requeueQ, which the transmitter drains before sendQ. The push is
+// bounded: requeueQ's capacity covers every buffer the send pool can
+// produce, so a full queue means the new link already failed again —
+// better to give up and let the caller escalate than wedge the control
+// goroutine.
 func (n *node) requeue(ob outbound) bool {
-	t := time.NewTimer(2 * time.Second)
-	defer t.Stop()
-	select {
-	case n.sendQ <- ob:
-		return true
-	case <-n.quit:
-		return false
-	case <-t.C:
-		return false
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n.requeueQ.TryPush(ob) {
+			n.txWake.Signal()
+			return true
+		}
+		select {
+		case <-n.quit:
+			return false
+		default:
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 }

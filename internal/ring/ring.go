@@ -136,6 +136,13 @@ type Config struct {
 	// recovery.go). The zero value keeps the historical fail-fast
 	// behavior. Recovery needs Nodes > 1.
 	Recovery Recovery
+	// Autotune, when non-nil, receives per-burst transmit throughput
+	// observations from every node's send reaper, feeding the live
+	// chunk-size search (see Autotuner). The ring never re-chunks frames
+	// in flight; the tuner's recommendation steers the NEXT partitioning
+	// (relation.PartitionByBytes) and is surfaced via the
+	// ring_autotune_chunk_bytes gauge and PhaseAutotune trace points.
+	Autotune *Autotuner
 }
 
 // tracer returns the effective tracer.
@@ -304,10 +311,17 @@ func (r *Ring) Run(perNode [][]*relation.Fragment) error {
 	}
 	// Inject asynchronously: a node's processing queue may be smaller than
 	// its fragment list, and injection must not deadlock against the
-	// node's own consumption.
+	// node's own consumption. The non-blocking pass below usually empties
+	// the whole list inline (injection counts are normally sized to the
+	// ring's queues); only a remainder that would block costs a goroutine.
 	var wg sync.WaitGroup
 	for i, frags := range perNode {
-		if len(frags) == 0 {
+		n := r.nodes[i]
+		j := 0
+		for j < len(frags) && n.tryInject(frags[j]) {
+			j++
+		}
+		if j == len(frags) {
 			continue
 		}
 		wg.Add(1)
@@ -318,7 +332,7 @@ func (r *Ring) Run(perNode [][]*relation.Fragment) error {
 					return
 				}
 			}
-		}(r.nodes[i], frags)
+		}(n, frags[j:])
 	}
 	defer wg.Wait()
 
@@ -350,6 +364,17 @@ func (r *Ring) Run(perNode [][]*relation.Fragment) error {
 		select {
 		case <-r.retired:
 			done++
+			// Drain retirements already queued without re-entering the
+			// multi-way select: on a busy ring they arrive in bursts.
+			for done < total {
+				select {
+				case <-r.retired:
+					done++
+					continue
+				default:
+				}
+				break
+			}
 			resetStall()
 		case <-r.quit:
 			return ErrClosed

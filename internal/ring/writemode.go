@@ -87,6 +87,39 @@ func (n *node) startRecvWrites(qp rdma.QueuePair) error {
 		}
 		return wqp.PostSend(cb)
 	}
+	// sendCreditBatch is the write-mode batch repost: one batched post
+	// carries every credit the join loop deferred — one doorbell per
+	// drain instead of one per frame. Called only from the join loop
+	// (flushCredits), so the scratch slice is single-threaded. A stop or
+	// quit mid-acquisition abandons the batch like sendCredit does: the
+	// restart handshake re-credits every exposed buffer from scratch.
+	creditScratch := make([]*rdma.Buffer, 0, n.cfg.slots())
+	sendCreditBatch := func(bufs []*rdma.Buffer) error {
+		creditScratch = creditScratch[:0]
+		for range bufs {
+			var cb *rdma.Buffer
+			select {
+			case cb = <-freeCredits:
+			case <-stop:
+				for _, cb := range creditScratch {
+					freeCredits <- cb
+				}
+				return nil
+			case <-n.quit:
+				for _, cb := range creditScratch {
+					freeCredits <- cb
+				}
+				return nil
+			}
+			creditScratch = append(creditScratch, cb)
+		}
+		for i, b := range bufs {
+			if err := encodeCredit(creditScratch[i], keyOf[b]); err != nil {
+				return err
+			}
+		}
+		return rdma.PostSendBatch(wqp, creditScratch)
+	}
 	// Expose every buffer — pinned ones too, since a frame still held by
 	// the pipeline will return its credit through this (re)started
 	// receiver — but advertise initial credits only for buffers not
@@ -107,6 +140,7 @@ func (n *node) startRecvWrites(qp rdma.QueuePair) error {
 	// In write mode a receive credit returns upstream as a credit message
 	// for the released buffer's exposed key.
 	n.repost = func(b *rdma.Buffer) error { return sendCredit(keyOf[b]) }
+	n.repostBatch = sendCreditBatch
 	n.recvMu.Unlock()
 	for _, key := range creditNow {
 		if err := sendCredit(key); err != nil {
@@ -114,60 +148,105 @@ func (n *node) startRecvWrites(qp rdma.QueuePair) error {
 		}
 	}
 
+	dead := make(chan struct{})
+	n.recvDead = dead
 	n.recvWG.Add(1)
 	go func() {
 		defer n.recvWG.Done()
-		n.recvLoopWrites(wqp, stop, freeCredits)
+		n.recvLoopWrites(wqp, stop, freeCredits, dead)
 	}()
 	return nil
 }
 
-func (n *node) recvLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, freeCredits chan *rdma.Buffer) {
+func (n *node) recvLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, freeCredits chan *rdma.Buffer, dead chan struct{}) {
+	var batch [reapBatch]rdma.Completion
 	for {
 		var c rdma.Completion
 		var ok bool
+		// Fast path: take an already-queued completion with one
+		// non-blocking receive instead of arming the multi-way select.
 		select {
-		case <-stop:
-			n.drainRecvWrites(qp)
-			return
-		case <-n.quit:
-			n.drainRecvWrites(qp)
-			return
 		case c, ok = <-qp.Completions():
+		default:
+			select {
+			case <-stop:
+				n.drainRecvWrites(qp)
+				return
+			case <-n.quit:
+				n.drainRecvWrites(qp)
+				return
+			case c, ok = <-qp.Completions():
+			}
 		}
 		if !ok {
+			close(dead)
 			return
 		}
-		if c.Err != nil {
-			if c.Op == rdma.OpSend && errors.Is(c.Err, rdma.ErrClosed) {
-				// A credit message raced an upstream link teardown (node
-				// replacement closes the neighbor's endpoint while late
-				// credits are still in flight). Losing it is harmless —
-				// the replacement handshake re-credits every exposed
-				// buffer from scratch.
-				continue
-			}
-			n.failLink(stop, false, qp, fmt.Errorf("ring: node %d: write-mode receive: %w", n.id, c.Err))
-			n.drainRecvWrites(qp)
-			return
-		}
-		switch c.Op {
-		case rdma.OpSend:
-			// A credit message went out; its buffer is free again.
-			select {
-			case freeCredits <- c.Buf:
-			case <-n.quit:
-				return
-			}
-		case rdma.OpWrite:
-			// Doorbell: a fragment landed in c.Buf; Imm carries the
-			// encoded length. The frame is bound in place and the buffer
-			// stays un-credited until the pipeline releases it.
-			if !n.deliverDoorbell(qp, stop, c) {
+		// Bulk reap: one blocking receive, then drain whatever else the
+		// transport already completed — one receiver wakeup per burst.
+		batch[0] = c
+		m := 1 + rdma.PollCQ(qp, batch[1:])
+		for i := 0; i < m; i++ {
+			c := batch[i]
+			if c.Err != nil {
+				if c.Op == rdma.OpSend && errors.Is(c.Err, rdma.ErrClosed) {
+					// A credit message raced an upstream link teardown (node
+					// replacement closes the neighbor's endpoint while late
+					// credits are still in flight). Losing it is harmless —
+					// the replacement handshake re-credits every exposed
+					// buffer from scratch.
+					continue
+				}
+				n.failLink(stop, false, qp, fmt.Errorf("ring: node %d: write-mode receive: %w", n.id, c.Err))
+				// Signal the terminal event BEFORE the drain: drainRecvWrites
+				// blocks until recovery closes the endpoint, and recovery may
+				// be waiting on this signal to know the wire is dry.
+				close(dead)
+				n.doorbellTail(batch[i+1 : m])
 				n.drainRecvWrites(qp)
 				return
 			}
+			switch c.Op {
+			case rdma.OpSend:
+				// A credit message went out; its buffer is free again.
+				select {
+				case freeCredits <- c.Buf:
+				case <-n.quit:
+					return
+				}
+			case rdma.OpWrite:
+				// Doorbell: a fragment landed in c.Buf; Imm carries the
+				// encoded length. The frame is bound in place and the buffer
+				// stays un-credited until the pipeline releases it.
+				if !n.deliverDoorbell(qp, stop, c) {
+					close(dead)
+					n.doorbellTail(batch[i+1 : m])
+					n.drainRecvWrites(qp)
+					return
+				}
+			}
 		}
+	}
+}
+
+// doorbellTail applies drainRecvWrites's rules to completions already
+// moved out of the completion queue when a fault cut a reaped batch
+// short: doorbells that landed before the fault still reach the
+// pipeline, corrupt ones release their credit, and credit-send
+// completions are dropped (the restarted receiver re-advertises from
+// scratch).
+func (n *node) doorbellTail(tail []rdma.Completion) {
+	for _, c := range tail {
+		if c.Err != nil || c.Op != rdma.OpWrite {
+			continue
+		}
+		length := int(c.Imm)
+		if length > c.Buf.Cap() {
+			mDoorbellRejects.Inc()
+			n.releaseRecv(c.Buf)
+			continue
+		}
+		n.deliver(c.Buf, c.Buf.Data()[:length])
 	}
 }
 
@@ -247,13 +326,9 @@ func (n *node) startSendWrites(qp rdma.QueuePair) error {
 
 func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credits chan rdma.RemoteKey) {
 	for {
-		var ob outbound
-		select {
-		case <-stop:
+		ob, ok := n.nextOutbound(stop)
+		if !ok {
 			return
-		case <-n.quit:
-			return
-		case ob = <-n.sendQ:
 		}
 		buf, sz := ob.staged, ob.sz
 		// Track the frame as undelivered from the moment it leaves the
@@ -295,67 +370,97 @@ func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credit
 			n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: post write: %w", n.id, err))
 			return
 		}
-		n.mu.Lock()
-		n.stats.BytesOut += int64(sz)
-		n.mu.Unlock()
+		n.stats.bytesOut.Add(int64(sz))
 		n.m.bytesOut.Add(int64(sz))
-		n.tr.Record(trace.Event{
-			Time: time.Now(), Node: n.id, Kind: trace.FragmentSent,
-			Fragment: ob.index, Hops: ob.hops, Bytes: sz,
-		})
+		if n.trOn {
+			n.tr.Record(trace.Event{
+				Time: time.Now(), Node: n.id, Kind: trace.FragmentSent,
+				Fragment: ob.index, Hops: ob.hops, Bytes: sz,
+			})
+		}
 	}
 }
 
 // sendReaperWrites recycles completed write buffers (confirming their
-// frames as delivered) and collects credits.
+// frames as delivered) and collects credits. It reaps in bulk — one
+// blocking receive per burst, then a PollCQ drain — and reposts every
+// consumed credit receive buffer of the burst with a single batched
+// post.
+//
+//cyclolint:hotpath
 func (n *node) sendReaperWrites(qp rdma.WriteQueuePair, stop chan struct{}, credits chan rdma.RemoteKey) {
+	var batch [reapBatch]rdma.Completion
+	var creditBufs [reapBatch]*rdma.Buffer
+	var lastBurst time.Time // autotuner baseline; zero until the first burst
 	for {
 		var c rdma.Completion
 		var ok bool
+		// Fast path mirrors recvLoopWrites: skip the select when a
+		// completion is already waiting.
 		select {
-		case <-stop:
-			n.drainSendCQ(qp)
-			return
-		case <-n.quit:
-			n.drainSendCQ(qp)
-			return
 		case c, ok = <-qp.Completions():
+		default:
+			select {
+			case <-stop:
+				n.drainSendCQ(qp)
+				return
+			case <-n.quit:
+				n.drainSendCQ(qp)
+				return
+			case c, ok = <-qp.Completions():
+			}
 		}
 		if !ok {
 			return
 		}
-		if c.Err != nil {
-			n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: write-mode send: %w", n.id, c.Err))
-			n.drainSendCQ(qp)
-			return
+		batch[0] = c
+		m := 1 + rdma.PollCQ(qp, batch[1:])
+		nCredits := 0
+		burstBytes := 0
+		for i := 0; i < m; i++ {
+			c := batch[i]
+			if c.Err != nil {
+				//cyclolint:coldpath transport fault: recovery or abort follows
+				n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: write-mode send: %w", n.id, c.Err))
+				n.reapSendTail(batch[i+1 : m])
+				n.drainSendCQ(qp)
+				return
+			}
+			switch c.Op {
+			case rdma.OpWrite:
+				burstBytes += c.Buf.Len()
+				n.endSendSpan(c.Buf)
+				n.untrackInflight(c.Buf)
+				n.freeSend.TryPush(c.Buf)
+				n.poolWake.Signal()
+			case rdma.OpRecv:
+				key, err := decodeCredit(c.Buf.Bytes())
+				if err != nil {
+					//cyclolint:coldpath corrupt credit fault: recovery or abort follows
+					n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: %w", n.id, err))
+					n.reapSendTail(batch[i+1 : m])
+					n.drainSendCQ(qp)
+					return
+				}
+				select {
+				case credits <- key:
+				case <-n.quit:
+					n.drainSendCQ(qp)
+					return
+				}
+				creditBufs[nCredits] = c.Buf
+				nCredits++
+			}
 		}
-		switch c.Op {
-		case rdma.OpWrite:
-			n.endSendSpan(c.Buf)
-			n.untrackInflight(c.Buf)
-			select {
-			case n.freeSend <- c.Buf:
-			case <-n.quit:
-				return
-			}
-		case rdma.OpRecv:
-			key, err := decodeCredit(c.Buf.Bytes())
-			if err != nil {
-				n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: %w", n.id, err))
-				n.drainSendCQ(qp)
-				return
-			}
-			select {
-			case credits <- key:
-			case <-n.quit:
-				n.drainSendCQ(qp)
-				return
-			}
-			if err := qp.PostRecv(c.Buf); err != nil {
+		if nCredits > 0 {
+			// One batched repost covers every credit consumed this burst.
+			if err := rdma.PostRecvBatch(qp, creditBufs[:nCredits]); err != nil {
+				//cyclolint:coldpath transport fault: recovery or abort follows
 				n.failLink(stop, true, qp, fmt.Errorf("ring: node %d: repost credit receive: %w", n.id, err))
 				n.drainSendCQ(qp)
 				return
 			}
 		}
+		lastBurst = n.observeBurst(lastBurst, burstBytes)
 	}
 }

@@ -1,0 +1,98 @@
+package ringq
+
+import "testing"
+
+// FuzzSPSCIndex model-checks the index arithmetic: a queue whose cursors
+// start at an arbitrary point — including just below uint64 overflow — is
+// driven through a fuzzer-chosen push/pop sequence and compared against a
+// plain slice model. The white-box cursor seeding is the point: the
+// monotonic-index design only works if t-h comparisons and t&mask slot
+// selection stay correct when t+1 wraps to 0.
+func FuzzSPSCIndex(f *testing.F) {
+	f.Add(uint8(0), uint64(0), []byte{0, 0, 1, 0, 1, 1})
+	f.Add(uint8(2), ^uint64(0)-2, []byte{0, 0, 0, 0, 1, 1, 1, 1, 0, 1})
+	f.Add(uint8(5), ^uint64(0)-7, []byte{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+	f.Add(uint8(3), uint64(1)<<63, []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, capLog uint8, start uint64, ops []byte) {
+		q := NewSPSC[uint64](1 << (capLog % 6))
+		q.head.Store(start)
+		q.tail.Store(start)
+		q.cachedHead = start
+		q.cachedTail = start
+
+		var model []uint64
+		var next uint64
+		for _, op := range ops {
+			if op&1 == 0 {
+				pushed := q.TryPush(next)
+				wantPushed := len(model) < q.Cap()
+				if pushed != wantPushed {
+					t.Fatalf("push(%d) = %v with %d/%d queued", next, pushed, len(model), q.Cap())
+				}
+				if pushed {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				v, ok := q.TryPop()
+				if wantOK := len(model) > 0; ok != wantOK {
+					t.Fatalf("pop = _,%v with %d queued", ok, len(model))
+				}
+				if ok {
+					if v != model[0] {
+						t.Fatalf("pop = %d, want %d", v, model[0])
+					}
+					model = model[1:]
+				}
+			}
+			if got := q.Len(); got != len(model) {
+				t.Fatalf("Len = %d, want %d", got, len(model))
+			}
+		}
+	})
+}
+
+// FuzzMPMCIndex does the same for the Vyukov queue. Seeding the cursors
+// at start requires re-stamping every slot's sequence number the way the
+// constructor would have if indexes had begun there.
+func FuzzMPMCIndex(f *testing.F) {
+	f.Add(uint8(0), uint64(0), []byte{0, 1})
+	f.Add(uint8(2), ^uint64(0)-1, []byte{0, 0, 0, 0, 1, 1, 1, 1})
+	f.Add(uint8(4), ^uint64(0)-5, []byte{0, 1, 0, 1, 0, 0, 1, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, capLog uint8, start uint64, ops []byte) {
+		q := NewMPMC[uint64](1 << (capLog % 6))
+		q.head.Store(start)
+		q.tail.Store(start)
+		for i := 0; i < q.Cap(); i++ {
+			idx := start + uint64(i)
+			q.slots[idx&q.mask].seq.Store(idx)
+		}
+
+		var model []uint64
+		var next uint64
+		for _, op := range ops {
+			if op&1 == 0 {
+				pushed := q.TryPush(next)
+				wantPushed := len(model) < q.Cap()
+				if pushed != wantPushed {
+					t.Fatalf("push(%d) = %v with %d/%d queued", next, pushed, len(model), q.Cap())
+				}
+				if pushed {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				v, ok := q.TryPop()
+				if wantOK := len(model) > 0; ok != wantOK {
+					t.Fatalf("pop = _,%v with %d queued", ok, len(model))
+				}
+				if ok {
+					if v != model[0] {
+						t.Fatalf("pop = %d, want %d", v, model[0])
+					}
+					model = model[1:]
+				}
+			}
+		}
+	})
+}

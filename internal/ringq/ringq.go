@@ -1,0 +1,271 @@
+// Package ringq provides the lock-free queues the ring hot path runs on:
+// a cache-padded single-producer single-consumer ring (SPSC), a bounded
+// multi-producer multi-consumer queue (MPMC, Vyukov's per-slot-sequence
+// design), and the Waiter eventcount that lets a consumer park without
+// putting a channel operation on every hand-off.
+//
+// The motivation is the per-fragment control overhead the paper amortizes
+// away (§III-B): a Go channel send/receive is a mutex acquisition plus a
+// potential goroutine park/unpark on EVERY hand-off, even when both sides
+// are running hot. The queues here make the uncontended hand-off two
+// atomic operations with no shared cache line between producer and
+// consumer indexes; blocking is pushed entirely off the fast path into
+// Waiter, which producers touch only when a consumer has announced it is
+// about to sleep.
+//
+// Memory model: the Go race detector models sync/atomic operations with
+// acquire/release semantics, so the slot write → index store (producer)
+// and index load → slot read (consumer) pairs below are both correct
+// under the Go memory model and visible to the race detector as
+// synchronization — the stress tests in this package run under -race.
+package ringq
+
+import "sync/atomic"
+
+// cacheLine is the assumed coherence granule. 64 bytes covers amd64 and
+// most arm64 parts; on 128-byte-line hosts the padding is merely half as
+// effective, never incorrect.
+const cacheLine = 64
+
+// pad separates index fields onto distinct cache lines so the producer's
+// tail updates never invalidate the consumer's head line and vice versa
+// (false sharing is the classic SPSC throughput killer).
+type pad [cacheLine]byte
+
+// SPSC is a bounded single-producer single-consumer queue. Exactly one
+// goroutine may push and exactly one may pop at any moment; "one
+// goroutine" may be a succession of goroutines when their lifetimes are
+// ordered by other synchronization (the ring's receiver restarts are
+// sequenced by a WaitGroup, so each receiver generation is a valid single
+// producer).
+//
+// The zero value is not usable; construct with NewSPSC.
+type SPSC[T any] struct {
+	// mask turns an ever-increasing index into a slot number; capacity is
+	// a power of two so wrap-around is a single AND. Indexes increase
+	// monotonically and are compared by difference, so the arithmetic is
+	// correct across uint64 overflow (FuzzSPSCIndex exercises the wrap).
+	mask uint64
+	buf  []T
+
+	_ pad
+	// head is the consumer cursor: the next index to pop. cachedTail is
+	// the consumer's private copy of tail, refreshed only when the queue
+	// looks empty — the Dean/Vyukov trick that keeps the consumer off the
+	// producer's cache line in steady state.
+	head       atomic.Uint64
+	cachedTail uint64
+	_          pad
+	// tail is the producer cursor: the next index to fill. cachedHead is
+	// the producer's private copy of head, refreshed only when the queue
+	// looks full.
+	tail       atomic.Uint64
+	cachedHead uint64
+	_          pad
+}
+
+// NewSPSC returns an SPSC queue holding at least capacity elements
+// (rounded up to a power of two).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{mask: uint64(n - 1), buf: make([]T, n)}
+}
+
+// Cap returns the queue's true (rounded) capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of queued elements. It is exact for the calling
+// side's view and approximate across concurrent use.
+//
+//cyclolint:hotpath
+func (q *SPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+
+// TryPush enqueues v, reporting false when the queue is full. Producer
+// side only.
+//
+//cyclolint:hotpath
+func (q *SPSC[T]) TryPush(v T) bool {
+	t := q.tail.Load()
+	if t-q.cachedHead >= uint64(len(q.buf)) {
+		q.cachedHead = q.head.Load()
+		if t-q.cachedHead >= uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+// TryPop dequeues the oldest element, reporting false when the queue is
+// empty. Consumer side only. The vacated slot is zeroed so the queue
+// never retains a reference that would keep a buffer alive for the
+// garbage collector.
+//
+//cyclolint:hotpath
+func (q *SPSC[T]) TryPop() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	if h == q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if h == q.cachedTail {
+			return zero, false
+		}
+	}
+	v := q.buf[h&q.mask]
+	q.buf[h&q.mask] = zero
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// mpmcSlot pairs an element with its sequence number. seq == index means
+// the slot is free for the producer claiming that index; seq == index+1
+// means it holds that index's element for the consumer.
+type mpmcSlot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// MPMC is a bounded multi-producer multi-consumer queue (Dmitry Vyukov's
+// bounded queue: one CAS plus one sequence store per operation, no locks,
+// no ABA). The ring uses it where a queue has more than one producer —
+// the free-send-buffer pool is filled by the transmitter's reaper on the
+// hot path and by the join loop's congestion fallbacks.
+//
+// The zero value is not usable; construct with NewMPMC.
+type MPMC[T any] struct {
+	mask  uint64
+	slots []mpmcSlot[T]
+	_     pad
+	head  atomic.Uint64
+	_     pad
+	tail  atomic.Uint64
+	_     pad
+}
+
+// NewMPMC returns an MPMC queue holding at least capacity elements
+// (rounded up to a power of two, minimum 2: with one slot the sequence
+// value t+1 would be ambiguous between "ready for the consumer at t" and
+// "free for the producer at t+1" — Vyukov's design needs ≥ 2 slots).
+func NewMPMC[T any](capacity int) *MPMC[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	q := &MPMC[T]{mask: uint64(n - 1), slots: make([]mpmcSlot[T], n)}
+	for i := range q.slots {
+		q.slots[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// Cap returns the queue's true (rounded) capacity.
+func (q *MPMC[T]) Cap() int { return len(q.slots) }
+
+// Len returns the approximate number of queued elements.
+//
+//cyclolint:hotpath
+func (q *MPMC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+
+// TryPush enqueues v, reporting false when the queue is full.
+//
+//cyclolint:hotpath
+func (q *MPMC[T]) TryPush(v T) bool {
+	for {
+		t := q.tail.Load()
+		s := &q.slots[t&q.mask]
+		// Signed difference so the comparison survives index wrap-around
+		// at 2^64 (an unsigned seq < t would spin forever on a full queue
+		// whose tail just wrapped).
+		d := int64(s.seq.Load() - t)
+		switch {
+		case d == 0:
+			if q.tail.CompareAndSwap(t, t+1) {
+				s.val = v
+				s.seq.Store(t + 1)
+				return true
+			}
+		case d < 0:
+			// The slot still holds an element from one lap ago: full.
+			return false
+		}
+		// Another producer claimed the slot between the loads; retry.
+	}
+}
+
+// TryPop dequeues the oldest element, reporting false when the queue is
+// empty. The vacated slot is zeroed (see SPSC.TryPop).
+//
+//cyclolint:hotpath
+func (q *MPMC[T]) TryPop() (T, bool) {
+	var zero T
+	for {
+		h := q.head.Load()
+		s := &q.slots[h&q.mask]
+		d := int64(s.seq.Load() - (h + 1))
+		switch {
+		case d == 0:
+			if q.head.CompareAndSwap(h, h+1) {
+				v := s.val
+				s.val = zero
+				s.seq.Store(h + uint64(len(q.slots)))
+				return v, true
+			}
+		case d < 0:
+			return zero, false
+		}
+	}
+}
+
+// Waiter is the parking half of an eventcount: a consumer that finds its
+// queues empty arms the waiter, re-checks, and then blocks on C; a
+// producer signals after every push. The producer's fast path is a single
+// atomic load (armed == false while the consumer is running), so the
+// per-element cost of blocking support is nil until someone actually
+// sleeps — this is what replaces the channel's unconditional lock.
+//
+// One Waiter serves exactly one waiting goroutine, but any number of
+// queues and producers may share it: the consumer simply re-checks every
+// queue after waking. Spurious wakes are benign by construction.
+type Waiter struct {
+	armed atomic.Bool
+	ch    chan struct{}
+}
+
+// NewWaiter returns a ready Waiter.
+func NewWaiter() *Waiter { return &Waiter{ch: make(chan struct{}, 1)} }
+
+// Prepare arms the waiter. Protocol: Prepare, re-check the queue(s), and
+// only then block on C — a producer that pushed between the check and
+// Prepare is caught by the re-check, and one that pushes after Prepare
+// will Signal.
+//
+//cyclolint:hotpath
+func (w *Waiter) Prepare() { w.armed.Store(true) }
+
+// C returns the wake channel. Receive from it only after a Prepare whose
+// re-check came up empty. A stale token from an earlier Signal causes at
+// most one spurious wake.
+func (w *Waiter) C() <-chan struct{} { return w.ch }
+
+// Signal wakes the parked (or about-to-park) consumer, if any. Cheap
+// when nobody is waiting: one atomic load.
+//
+//cyclolint:hotpath
+func (w *Waiter) Signal() {
+	if w.armed.Load() && w.armed.CompareAndSwap(true, false) {
+		select {
+		case w.ch <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package ringq
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"cyclojoin/internal/testutil"
+)
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {6, 8}, {7, 8}, {8, 8}, {9, 16},
+	} {
+		if got := NewSPSC[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+		wantM := tc.want
+		if wantM < 2 {
+			wantM = 2 // MPMC needs ≥ 2 slots; see NewMPMC
+		}
+		if got := NewMPMC[int](tc.ask).Cap(); got != wantM {
+			t.Errorf("NewMPMC(%d).Cap() = %d, want %d", tc.ask, got, wantM)
+		}
+	}
+}
+
+func TestSPSCFIFOAndWraparound(t *testing.T) {
+	q := NewSPSC[int](4)
+	// Push/pop many multiples of the capacity so the indexes wrap the
+	// mask repeatedly while the queue cycles between full and empty.
+	next := 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < q.Cap(); i++ {
+			if !q.TryPush(next + i) {
+				t.Fatalf("round %d: push %d failed on non-full queue", round, i)
+			}
+		}
+		if q.TryPush(-1) {
+			t.Fatalf("round %d: push succeeded on full queue", round)
+		}
+		if got := q.Len(); got != q.Cap() {
+			t.Fatalf("round %d: Len = %d, want %d", round, got, q.Cap())
+		}
+		for i := 0; i < q.Cap(); i++ {
+			v, ok := q.TryPop()
+			if !ok || v != next+i {
+				t.Fatalf("round %d: pop = %d,%v, want %d,true", round, v, ok, next+i)
+			}
+		}
+		if _, ok := q.TryPop(); ok {
+			t.Fatalf("round %d: pop succeeded on empty queue", round)
+		}
+		next += q.Cap()
+	}
+}
+
+func TestSPSCZeroesPoppedSlot(t *testing.T) {
+	q := NewSPSC[*int](2)
+	v := new(int)
+	q.TryPush(v)
+	if got, ok := q.TryPop(); !ok || got != v {
+		t.Fatal("roundtrip failed")
+	}
+	for i := range q.buf {
+		if q.buf[i] != nil {
+			t.Fatalf("slot %d retains pointer after pop", i)
+		}
+	}
+}
+
+// TestSPSCStressCapacityOne hammers the smallest possible ring from two
+// goroutines under -race: every element must arrive exactly once, in
+// order.
+func TestSPSCStressCapacityOne(t *testing.T) {
+	testutil.CheckNoLeaks(t)
+	const n = 100000
+	q := NewSPSC[int](1)
+	done := make(chan error, 1)
+	go func() {
+		for want := 0; want < n; {
+			v, ok := q.TryPop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if v != want {
+				done <- errf("pop %d, want %d", v, want)
+				return
+			}
+			want++
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; {
+		if q.TryPush(i) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSPSCStressWithWaiter runs the production park/signal protocol:
+// the consumer spins briefly, then Prepare → re-check → block; the
+// producer signals after every push. A missed wake would hang the test.
+func TestSPSCStressWithWaiter(t *testing.T) {
+	testutil.CheckNoLeaks(t)
+	const n = 50000
+	q := NewSPSC[int](8)
+	w := NewWaiter()
+	quit := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		for want := 0; want < n; {
+			v, ok := q.TryPop()
+			if !ok {
+				w.Prepare()
+				if v, ok = q.TryPop(); !ok {
+					select {
+					case <-w.C():
+					case <-quit:
+						done <- errf("quit while waiting at %d", want)
+						return
+					}
+					continue
+				}
+			}
+			if v != want {
+				done <- errf("pop %d, want %d", v, want)
+				return
+			}
+			want++
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; {
+		if q.TryPush(i) {
+			i++
+			w.Signal()
+		} else {
+			runtime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	close(quit)
+}
+
+// TestWaiterAbortWhileFull is the close-while-full teardown shape: a
+// producer parks forever blocked on a full queue's consumer, and the quit
+// channel — not a queue signal — must release it.
+func TestWaiterAbortWhileFull(t *testing.T) {
+	testutil.CheckNoLeaks(t)
+	q := NewSPSC[int](1)
+	if !q.TryPush(1) {
+		t.Fatal("push failed")
+	}
+	w := NewWaiter()
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !q.TryPush(2) {
+			w.Prepare()
+			if q.TryPush(2) {
+				return
+			}
+			select {
+			case <-w.C():
+			case <-quit:
+				return
+			}
+		}
+	}()
+	close(quit)
+	wg.Wait()
+	if got := q.Len(); got != 1 {
+		t.Fatalf("queue len after abort = %d, want 1", got)
+	}
+}
+
+func TestWaiterSignalBeforePrepare(t *testing.T) {
+	// A Signal with nobody armed must be a no-op (no token deposited).
+	w := NewWaiter()
+	w.Signal()
+	select {
+	case <-w.C():
+		t.Fatal("unarmed Signal deposited a wake token")
+	default:
+	}
+	// Prepare then Signal must deposit exactly one token even if signaled
+	// many times.
+	w.Prepare()
+	w.Signal()
+	w.Signal()
+	w.Signal()
+	select {
+	case <-w.C():
+	default:
+		t.Fatal("armed Signal did not wake")
+	}
+	select {
+	case <-w.C():
+		t.Fatal("multiple Signals deposited multiple tokens")
+	default:
+	}
+}
+
+// TestMPMCStress drives the free-pool shape: several producers, several
+// consumers, every element accounted for exactly once.
+func TestMPMCStress(t *testing.T) {
+	testutil.CheckNoLeaks(t)
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 20000
+	)
+	q := NewMPMC[int](8)
+	var wg sync.WaitGroup
+	seen := make([]int32, producers*perProd)
+	var consumed sync.WaitGroup
+	total := producers * perProd
+	remaining := make(chan struct{})
+	popped := make(chan int, 64)
+	consumed.Add(1)
+	go func() {
+		defer consumed.Done()
+		count := 0
+		for v := range popped {
+			seen[v]++
+			count++
+		}
+		if count != total {
+			t.Errorf("consumed %d elements, want %d", count, total)
+		}
+		close(remaining)
+	}()
+	var popWG sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		popWG.Add(1)
+		go func() {
+			defer popWG.Done()
+			for {
+				v, ok := q.TryPop()
+				if !ok {
+					select {
+					case <-stop:
+						// Final drain after producers finish.
+						for {
+							v, ok := q.TryPop()
+							if !ok {
+								return
+							}
+							popped <- v
+						}
+					default:
+						runtime.Gosched()
+						continue
+					}
+				}
+				popped <- v
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				v := p*perProd + i
+				for !q.TryPush(v) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	popWG.Wait()
+	close(popped)
+	consumed.Wait()
+	<-remaining
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("element %d consumed %d times, want exactly once", v, n)
+		}
+	}
+}
+
+func TestMPMCFullAndEmpty(t *testing.T) {
+	q := NewMPMC[int](2)
+	if !q.TryPush(1) || !q.TryPush(2) {
+		t.Fatal("fill failed")
+	}
+	if q.TryPush(3) {
+		t.Fatal("push succeeded on full queue")
+	}
+	if v, ok := q.TryPop(); !ok || v != 1 {
+		t.Fatalf("pop = %d,%v, want 1,true", v, ok)
+	}
+	if v, ok := q.TryPop(); !ok || v != 2 {
+		t.Fatalf("pop = %d,%v, want 2,true", v, ok)
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop succeeded on empty queue")
+	}
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

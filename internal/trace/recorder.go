@@ -88,6 +88,9 @@ const (
 	// re-established and retained frames re-routed. Arg carries the
 	// number of re-dial attempts.
 	PhaseRelink
+	// PhaseAutotune: instant — the chunk-size autotuner recentred its
+	// recommendation. Arg carries the chosen chunk size in bytes.
+	PhaseAutotune
 )
 
 // phaseNames is the wire naming, shared by String and the Perfetto parser.
@@ -108,6 +111,7 @@ var phaseNames = map[Phase]string{
 	PhaseCreditStall: "credit-stall",
 	PhaseFault:       "fault",
 	PhaseRelink:      "relink",
+	PhaseAutotune:    "autotune",
 }
 
 // String implements fmt.Stringer.
