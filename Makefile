@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint cyclolint lint-sarif test race chaos chaos-fuzz bench-metrics bench-ring bench-smoke bench-trace smoke-trace
+.PHONY: check build vet lint cyclolint lint-sarif test race chaos chaos-fuzz bench-metrics bench-ring bench-smoke bench-trace smoke-trace smoke-health
 
 check: build vet lint race chaos
 
@@ -78,6 +78,20 @@ bench-trace:
 smoke-trace:
 	$(GO) run ./cmd/roundabout -nodes 4 -tuples 50000 -threads 2 -flightrec flight.json
 	$(GO) run ./cmd/cyclotrace flight.json | tee flight_breakdown.txt
+
+# End-to-end live-health smoke: spin a small ring through many rotations
+# with the metrics mux up, then follow /health/live once with cyclotop.
+# The -json pass proves the SSE payload decodes end to end (the snapshot
+# lands in health_snapshot.json for CI to keep); the second pass prints
+# the human table into the log.
+smoke-health:
+	$(GO) build -o bin/roundabout ./cmd/roundabout
+	$(GO) build -o bin/cyclotop ./cmd/cyclotop
+	./bin/roundabout -nodes 3 -tuples 20000 -threads 2 -rotations 400 -healthint 50ms -metrics 127.0.0.1:19199 & pid=$$!; \
+	./bin/cyclotop -once -json -wait 15s http://127.0.0.1:19199/health/live > health_snapshot.json; st=$$?; \
+	./bin/cyclotop -once -wait 5s http://127.0.0.1:19199/health/live || true; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	cat health_snapshot.json; exit $$st
 
 # Ring hot-path benchmarks → BENCH_ring.json (preserves the recorded
 # pre-zero-copy baseline; compare with the printed summary). The forward

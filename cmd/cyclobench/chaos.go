@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cyclojoin/internal/core"
+	"cyclojoin/internal/health"
 	"cyclojoin/internal/join"
 	"cyclojoin/internal/join/hashjoin"
 	"cyclojoin/internal/rdma/chaoslink"
@@ -128,10 +129,50 @@ func chaosCases(seed uint64) []chaosCase {
 	return cases
 }
 
+// watchHealth runs a live health sampler over the cluster's ring for the
+// duration of fn and returns the worst verdict any window produced (worst
+// by kind: degraded > credit-stall > straggler > healthy). The sampling
+// interval is tight because chaos joins are tiny.
+func watchHealth(c *core.Cluster, fn func()) health.Verdict {
+	sampler := health.NewSampler(c.Ring(), health.Options{Interval: 5 * time.Millisecond})
+	snaps, cancel := sampler.Subscribe()
+	got := make(chan health.Verdict, 1)
+	go func() {
+		worst := health.Verdict{Kind: health.Healthy, Node: -1}
+		for snap := range snaps {
+			if snap.Verdict.Kind > worst.Kind {
+				worst = snap.Verdict
+			}
+		}
+		got <- worst
+	}()
+	sampler.Start()
+	fn()
+	sampler.Stop()
+	// One last sample so the tail of the run lands in a window even when
+	// the join finished between ticks.
+	sampler.SampleOnce()
+	cancel()
+	return <-got
+}
+
+// fmtVerdict renders a verdict for the chaos table's -health column.
+func fmtVerdict(v health.Verdict) string {
+	switch v.Kind {
+	case health.Straggler:
+		return fmt.Sprintf("%s(node %d)", v.Kind, v.Node)
+	case health.CreditStall, health.Degraded:
+		return fmt.Sprintf("%s(%s)", v.Kind, v.Link)
+	default:
+		return v.Kind.String()
+	}
+}
+
 // runChaosCase executes one scenario and returns a short outcome label,
-// the number of dials the faulty link saw, and the verification error (nil
-// when the case met its acceptance condition).
-func runChaosCase(tc chaosCase) (string, int, error) {
+// the number of dials the faulty link saw, the worst live health verdict
+// (empty unless withHealth), and the verification error (nil when the
+// case met its acceptance condition).
+func runChaosCase(tc chaosCase, withHealth bool) (string, int, string, error) {
 	links := ring.MemLinks()
 	if tc.transport == "tcp" {
 		links = ring.TCPLinks()
@@ -151,63 +192,78 @@ func runChaosCase(tc chaosCase) (string, int, error) {
 		},
 	})
 	if err != nil {
-		return "setup failed", 0, err
+		return "setup failed", 0, "", err
 	}
 	defer func() {
 		_ = c.Close()
 	}()
 	r := workload.Sequential("R", chaosTuples, 4)
 	s := workload.Sequential("S", chaosTuples, 4)
-	res, joinErr := c.JoinRelations(r, s, false)
+	var res *core.Result
+	var joinErr error
+	run := func() { res, joinErr = c.JoinRelations(r, s, false) }
+	verdict := ""
+	if withHealth {
+		verdict = fmtVerdict(watchHealth(c, run))
+	} else {
+		run()
+	}
 	dials := plan.Dials(tc.link)
 
 	if tc.wantPartial {
 		var pe *ring.PartialError
 		switch {
 		case joinErr == nil:
-			return "completed", dials, errors.New("partitioned join completed; want graceful degradation")
+			return "completed", dials, verdict, errors.New("partitioned join completed; want graceful degradation")
 		case !errors.As(joinErr, &pe):
-			return "wrong error", dials, fmt.Errorf("error is not a *ring.PartialError: %w", joinErr)
+			return "wrong error", dials, verdict, fmt.Errorf("error is not a *ring.PartialError: %w", joinErr)
 		case res == nil || res.Partial == nil:
-			return "no partial", dials, errors.New("degraded join returned no partial result")
+			return "no partial", dials, verdict, errors.New("degraded join returned no partial result")
 		default:
-			return fmt.Sprintf("partial %d/%d", pe.Retired, pe.Total), dials, nil
+			return fmt.Sprintf("partial %d/%d", pe.Retired, pe.Total), dials, verdict, nil
 		}
 	}
 	if joinErr != nil {
-		return "failed", dials, joinErr
+		return "failed", dials, verdict, joinErr
 	}
 	if got := res.Matches(); got != chaosTuples {
-		return "wrong result", dials, fmt.Errorf("matches = %d, want %d", got, chaosTuples)
+		return "wrong result", dials, verdict, fmt.Errorf("matches = %d, want %d", got, chaosTuples)
 	}
-	return "recovered", dials, nil
+	return "recovered", dials, verdict, nil
 }
 
 // runChaos drives the seeded fault-injection suite against live rings and
 // renders one row per scenario. Any failure prints the exact schedule —
 // seed, link, scenario — so a CI job with randomized seeds can upload a
 // reproducible artifact, and returns nonzero.
-func runChaos(w io.Writer, seed uint64) int {
+func runChaos(w io.Writer, seed uint64, withHealth bool) int {
 	if seed == 0 {
 		seed = uint64(time.Now().UnixNano())
 	}
-	tbl := stats.NewTable(fmt.Sprintf("Chaos scenarios (seed %d)", seed),
-		"scenario", "transport", "mode", "link", "dials", "outcome")
+	cols := []string{"scenario", "transport", "mode", "link", "dials", "outcome"}
+	if withHealth {
+		cols = append(cols, "verdict")
+	}
+	tbl := stats.NewTable(fmt.Sprintf("Chaos scenarios (seed %d)", seed), cols...)
 	failures := 0
 	for _, tc := range chaosCases(seed) {
 		mode := "send/recv"
 		if tc.writes {
 			mode = "writes"
 		}
-		outcome, dials, err := runChaosCase(tc)
+		outcome, dials, verdict, err := runChaosCase(tc, withHealth)
 		if err != nil {
 			failures++
 			fmt.Fprintf(os.Stderr,
 				"cyclobench: chaos FAIL %s/%s/%s: %v\n  reproduce: cyclobench -chaos -seed %d\n  schedule: link %s %+v faultDials=%d retries=%d\n",
 				tc.name, tc.transport, mode, err, seed, tc.link, tc.scenario, tc.faultDials, tc.retries)
 		}
-		tbl.AddRow(tc.name, tc.transport, mode, tc.link.String(),
-			fmt.Sprintf("%d", dials), outcome)
+		row := []string{tc.name, tc.transport, mode, tc.link.String(),
+			fmt.Sprintf("%d", dials), outcome}
+		if withHealth {
+			row = append(row, verdict)
+		}
+		tbl.AddRow(row...)
 	}
 	if err := tbl.Render(w); err != nil {
 		fmt.Fprintf(os.Stderr, "cyclobench: render chaos table: %v\n", err)

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cyclojoin/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden fixtures from the current code")
+
+const msN = int64(time.Millisecond)
+
+// fixtureTracks / fixtureSpans build a deterministic three-node recording
+// with a clearly slow node 2, two completed revolutions, and a spread of
+// detail phases, exercising every section cyclotrace renders. The span set
+// round-trips through WritePerfetto/ReadPerfetto so the golden files guard
+// the full file-in, tables-out path.
+func fixtureTracks() []trace.TrackInfo {
+	return []trace.TrackInfo{
+		{ID: 0, Node: 0, Entity: "join"},
+		{ID: 1, Node: 1, Entity: "join"},
+		{ID: 2, Node: 2, Entity: "join"},
+		{ID: 3, Node: 0, Entity: "recv"},
+		{ID: 4, Node: 0, Entity: "send"},
+		{ID: 5, Node: -1, Entity: "wire"},
+	}
+}
+
+func fixtureSpans() []trace.Span {
+	return []trace.Span{
+		// node 0: wait 3ms, join 5ms, stage 2ms (wall 10ms)
+		{Start: 0, Dur: 3 * msN, Node: 0, Track: 0, Phase: trace.PhaseWait, Frag: -1, Hop: -1},
+		{Start: 3 * msN, Dur: 5 * msN, Node: 0, Track: 0, Phase: trace.PhaseJoin, Frag: 0, Hop: 0, Arg: 512},
+		{Start: 8 * msN, Dur: 2 * msN, Node: 0, Track: 0, Phase: trace.PhaseStage, Frag: 0, Hop: 0, Arg: 512},
+		// node 1: wait 6ms, join 3ms, stage 1ms (wall 10ms) — most starved
+		{Start: 0, Dur: 6 * msN, Node: 1, Track: 1, Phase: trace.PhaseWait, Frag: -1, Hop: -1},
+		{Start: 6 * msN, Dur: 3 * msN, Node: 1, Track: 1, Phase: trace.PhaseJoin, Frag: 1, Hop: 0, Arg: 512},
+		{Start: 9 * msN, Dur: 1 * msN, Node: 1, Track: 1, Phase: trace.PhaseStage, Frag: 1, Hop: 0, Arg: 512},
+		// node 2: wait 1ms, join 11ms, stage 4ms (wall 16ms) — the straggler
+		{Start: 0, Dur: 1 * msN, Node: 2, Track: 2, Phase: trace.PhaseWait, Frag: -1, Hop: -1},
+		{Start: 1 * msN, Dur: 11 * msN, Node: 2, Track: 2, Phase: trace.PhaseJoin, Frag: 2, Hop: 0, Arg: 512},
+		{Start: 12 * msN, Dur: 4 * msN, Node: 2, Track: 2, Phase: trace.PhaseStage, Frag: 2, Hop: 0, Arg: 512},
+		// overlapping receive/send entities on node 0
+		{Start: 500_000, Dur: 2 * msN, Node: 0, Track: 3, Phase: trace.PhaseReceive, Frag: 1, Hop: 1, Arg: 4096},
+		{Start: 10 * msN, Dur: 1500_000, Node: 0, Track: 4, Phase: trace.PhaseSend, Frag: 0, Hop: 1, Arg: 4096},
+		// two completed revolutions: frag 0 (join @3ms → retire @27ms),
+		// frag 2 (join @1ms → retire @19ms)
+		{Start: 27 * msN, Node: 1, Track: 1, Phase: trace.PhaseRetire, Frag: 0, Hop: 3},
+		{Start: 19 * msN, Node: 0, Track: 0, Phase: trace.PhaseRetire, Frag: 2, Hop: 3},
+		// detail phases: join internals overlap PhaseJoin above
+		{Start: 3 * msN, Dur: 2 * msN, Node: 0, Track: 0, Phase: trace.PhaseBuild, Frag: 0, Hop: 0, Arg: 256},
+		{Start: 5 * msN, Dur: 3 * msN, Node: 0, Track: 0, Phase: trace.PhaseProbe, Frag: 0, Hop: 0, Arg: 256},
+		// transport work requests and a credit stall on the wire track
+		{Start: 2 * msN, Dur: 40_000, Node: trace.NodeTransport, Track: 5, Phase: trace.PhaseWRSend, Frag: -1, Hop: -1, Arg: 4096, Aux: 1},
+		{Start: 4 * msN, Dur: 65_000, Node: trace.NodeTransport, Track: 5, Phase: trace.PhaseWRSend, Frag: -1, Hop: -1, Arg: 4096, Aux: 2},
+		{Start: 6 * msN, Dur: 80_000, Node: trace.NodeTransport, Track: 5, Phase: trace.PhaseWRRecv, Frag: -1, Hop: -1, Arg: 4096, Aux: 1},
+		{Start: 7 * msN, Dur: 900_000, Node: trace.NodeTransport, Track: 5, Phase: trace.PhaseCreditStall, Frag: -1, Hop: -1},
+	}
+}
+
+// loadFixture returns the analysis of testdata/flight.json, regenerating
+// the fixture first under -update.
+func loadFixture(t *testing.T) *trace.Analysis {
+	t.Helper()
+	path := filepath.Join("testdata", "flight.json")
+	if *update {
+		var buf bytes.Buffer
+		if err := trace.WritePerfetto(&buf, fixtureTracks(), fixtureSpans()); err != nil {
+			t.Fatalf("write fixture: %v", err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open fixture (run with -update to regenerate): %v", err)
+	}
+	defer f.Close()
+	_, spans, err := trace.ReadPerfetto(f)
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	return trace.Analyze(spans)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestRenderGolden pins the human-readable breakdown byte for byte. It
+// exists to guard refactors of trace/analyze.go (the attribution model
+// extraction must not change cyclotrace output at all).
+func TestRenderGolden(t *testing.T) {
+	a := loadFixture(t)
+	var buf bytes.Buffer
+	if err := render(&buf, a); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	checkGolden(t, "breakdown.golden", buf.Bytes())
+}
+
+// TestRenderJSONGolden pins the -json output CI diffs against.
+func TestRenderJSONGolden(t *testing.T) {
+	a := loadFixture(t)
+	var buf bytes.Buffer
+	if err := renderJSON(&buf, a); err != nil {
+		t.Fatalf("renderJSON: %v", err)
+	}
+	checkGolden(t, "breakdown.json.golden", buf.Bytes())
+}
+
+// TestFixtureShape sanity-checks the fixture itself so a silent -update
+// against broken code cannot pin nonsense goldens: node 2 must be the
+// slowest, node 1 the most starved, with two completed revolutions.
+func TestFixtureShape(t *testing.T) {
+	a := loadFixture(t)
+	if a.SlowestNode != 2 {
+		t.Errorf("slowest node = %d, want 2", a.SlowestNode)
+	}
+	if a.MostStarvedNode != 1 {
+		t.Errorf("most starved node = %d, want 1", a.MostStarvedNode)
+	}
+	if len(a.Revolutions) != 2 {
+		t.Errorf("revolutions = %d, want 2", len(a.Revolutions))
+	}
+	if len(a.Nodes) != 3 {
+		t.Errorf("nodes = %d, want 3", len(a.Nodes))
+	}
+}

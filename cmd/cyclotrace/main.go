@@ -8,14 +8,17 @@
 //
 //	roundabout -nodes 4 -flightrec flight.json
 //	cyclotrace flight.json
+//	cyclotrace -json flight.json   # machine-readable breakdown for CI diffs
 //
 // The same file loads in ui.perfetto.dev for the zoomable timeline view;
 // cyclotrace is the terminal companion that turns it into tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"time"
@@ -29,8 +32,9 @@ func main() {
 }
 
 func run() int {
+	asJSON := flag.Bool("json", false, "emit the breakdown as JSON (durations in ns) instead of tables")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: cyclotrace FILE\n\nFILE is a Perfetto trace-event JSON flight recording (roundabout -flightrec).")
+		fmt.Fprintln(os.Stderr, "usage: cyclotrace [-json] FILE\n\nFILE is a Perfetto trace-event JSON flight recording (roundabout -flightrec).")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,19 +56,23 @@ func run() int {
 		return 1
 	}
 	a := trace.Analyze(spans)
-	if a.Spans == 0 {
+	if a.Spans == 0 && !*asJSON {
 		fmt.Println("cyclotrace: no spans in recording (was the flight recorder enabled?)")
 		return 0
 	}
-	if err := render(a); err != nil {
+	renderer := render
+	if *asJSON {
+		renderer = renderJSON
+	}
+	if err := renderer(os.Stdout, a); err != nil {
 		fmt.Fprintln(os.Stderr, "cyclotrace:", err)
 		return 1
 	}
 	return 0
 }
 
-func render(a *trace.Analysis) error {
-	fmt.Printf("flight recording: %d spans, %d ring hosts, %d completed revolutions\n\n",
+func render(w io.Writer, a *trace.Analysis) error {
+	fmt.Fprintf(w, "flight recording: %d spans, %d ring hosts, %d completed revolutions\n\n",
 		a.Spans, len(a.Nodes), len(a.Revolutions))
 
 	if len(a.Nodes) > 0 {
@@ -85,10 +93,10 @@ func render(a *trace.Analysis) error {
 		}
 		tbl.SetNote("wait+join+stage tile the join entity's wall clock (coverage ~100%);\n" +
 			"receive/send run on their own entities and overlap the pipeline.")
-		if err := tbl.Render(os.Stdout); err != nil {
+		if err := tbl.Render(w); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	if len(a.Revolutions) > 0 {
@@ -101,10 +109,10 @@ func render(a *trace.Analysis) error {
 			fmtDur(a.RevolutionP(99)),
 			fmtDur(a.Revolutions[len(a.Revolutions)-1]),
 		)
-		if err := tbl.Render(os.Stdout); err != nil {
+		if err := tbl.Render(w); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	if len(a.Aux) > 0 {
@@ -116,18 +124,108 @@ func render(a *trace.Analysis) error {
 		}
 		tbl.SetNote("build/probe/sort/merge overlap the join phase above; wr-* spans\n" +
 			"measure post-to-completion latency on the transport tracks.")
-		if err := tbl.Render(os.Stdout); err != nil {
+		if err := tbl.Render(w); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	if a.SlowestNode >= 0 {
-		fmt.Printf("ring imbalance: node %d is the slowest (largest join+stage time); "+
+		fmt.Fprintf(w, "ring imbalance: node %d is the slowest (largest join+stage time); "+
 			"node %d is the most starved (largest wait share)\n",
 			a.SlowestNode, a.MostStarvedNode)
 	}
 	return nil
+}
+
+// The JSON report mirrors the tables with stable field names and integer
+// nanosecond durations, so CI can diff two recordings with jq and the
+// internal/health tests can use the offline analyzer as an oracle.
+
+type jsonReport struct {
+	Spans       int        `json:"spans"`
+	Nodes       []jsonNode `json:"nodes"`
+	Revolutions *jsonRevs  `json:"revolutions,omitempty"`
+	Detail      []jsonStat `json:"detail,omitempty"`
+	Imbalance   *jsonImbal `json:"imbalance,omitempty"`
+}
+
+type jsonNode struct {
+	Node       int     `json:"node"`
+	ReceiveNs  int64   `json:"receive_ns"`
+	WaitNs     int64   `json:"wait_ns"`
+	JoinNs     int64   `json:"join_ns"`
+	StageNs    int64   `json:"stage_ns"`
+	SendNs     int64   `json:"send_ns"`
+	WallNs     int64   `json:"wall_ns"`
+	BusyNs     int64   `json:"busy_ns"`
+	Coverage   float64 `json:"coverage"`
+	Starvation float64 `json:"starvation"`
+}
+
+type jsonRevs struct {
+	Count int   `json:"count"`
+	P50Ns int64 `json:"p50_ns"`
+	P90Ns int64 `json:"p90_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	MaxNs int64 `json:"max_ns"`
+}
+
+type jsonStat struct {
+	Phase   string `json:"phase"`
+	Count   int    `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	P50Ns   int64  `json:"p50_ns"`
+	P99Ns   int64  `json:"p99_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+type jsonImbal struct {
+	SlowestNode     int `json:"slowest_node"`
+	MostStarvedNode int `json:"most_starved_node"`
+}
+
+func renderJSON(w io.Writer, a *trace.Analysis) error {
+	rep := jsonReport{Spans: a.Spans, Nodes: []jsonNode{}}
+	for _, nb := range a.Nodes {
+		rep.Nodes = append(rep.Nodes, jsonNode{
+			Node:       nb.Node,
+			ReceiveNs:  int64(nb.Phases[trace.PhaseReceive]),
+			WaitNs:     int64(nb.Phases[trace.PhaseWait]),
+			JoinNs:     int64(nb.Phases[trace.PhaseJoin]),
+			StageNs:    int64(nb.Phases[trace.PhaseStage]),
+			SendNs:     int64(nb.Phases[trace.PhaseSend]),
+			WallNs:     int64(nb.Wall),
+			BusyNs:     int64(nb.Busy),
+			Coverage:   nb.Coverage,
+			Starvation: nb.Starvation,
+		})
+	}
+	if len(a.Revolutions) > 0 {
+		rep.Revolutions = &jsonRevs{
+			Count: len(a.Revolutions),
+			P50Ns: int64(a.RevolutionP(50)),
+			P90Ns: int64(a.RevolutionP(90)),
+			P99Ns: int64(a.RevolutionP(99)),
+			MaxNs: int64(a.Revolutions[len(a.Revolutions)-1]),
+		}
+	}
+	for _, st := range a.Aux {
+		rep.Detail = append(rep.Detail, jsonStat{
+			Phase:   st.Phase.String(),
+			Count:   st.Count,
+			TotalNs: int64(st.Total),
+			P50Ns:   int64(st.P50),
+			P99Ns:   int64(st.P99),
+			MaxNs:   int64(st.Max),
+		})
+	}
+	if a.SlowestNode >= 0 {
+		rep.Imbalance = &jsonImbal{SlowestNode: a.SlowestNode, MostStarvedNode: a.MostStarvedNode}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // fmtDur renders a duration at a precision matched to its magnitude, so

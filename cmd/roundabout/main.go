@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"cyclojoin"
+	"cyclojoin/internal/health"
 	"cyclojoin/internal/metrics"
 	"cyclojoin/internal/trace"
 )
@@ -57,6 +58,8 @@ func run() int {
 		traced    = flag.Bool("trace", false, "print a runtime event summary after the join")
 		metricsAt = flag.String("metrics", "", "serve Prometheus metrics at http://ADDR/metrics while running (e.g. 127.0.0.1:9090); empty disables")
 		flightrec = flag.String("flightrec", "", "record cross-layer spans and write a Perfetto trace-event JSON FILE (view at ui.perfetto.dev or with cyclotrace)")
+		rotations = flag.Int("rotations", 1, "full revolutions to run (reusing the setup phase); >1 keeps the ring spinning for live observation with cyclotop")
+		healthInt = flag.Duration("healthint", 250*time.Millisecond, "live health sampling interval (with -metrics; see /health/live)")
 	)
 	flag.Parse()
 
@@ -66,13 +69,14 @@ func run() int {
 		trace.Flight().Enable(trace.DefaultShardCap)
 	}
 
+	var mux *http.ServeMux
 	if *metricsAt != "" {
 		ln, err := net.Listen("tcp", *metricsAt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "roundabout: metrics listener:", err)
 			return 1
 		}
-		mux := http.NewServeMux()
+		mux = http.NewServeMux()
 		mux.Handle("/metrics", metrics.Default().Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -88,7 +92,7 @@ func run() int {
 			defer cancel()
 			_ = srv.Shutdown(ctx)
 		}()
-		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/, live health at /health/live)\n", ln.Addr())
 	}
 
 	var alg cyclojoin.Algorithm
@@ -140,6 +144,15 @@ func run() int {
 		_ = cluster.Close()
 	}()
 
+	// The live health sampler rides the metrics mux: SSE/JSON snapshots at
+	// /health/live (cyclotop's feed), health_* gauges on /metrics.
+	if mux != nil {
+		sampler := health.NewSampler(cluster.Ring(), health.Options{Interval: *healthInt})
+		sampler.Start()
+		defer sampler.Stop()
+		mux.Handle("/health/live", sampler.Handler())
+	}
+
 	fmt.Printf("generating 2 × %d tuples (zipf=%.2f) ...\n", *tuples, *zipf)
 	r, err := cyclojoin.Generate(cyclojoin.WorkloadSpec{
 		Name: "R", Tuples: *tuples, KeyDomain: *domain, Zipf: *zipf, Seed: *seed, PayloadWidth: 4,
@@ -166,6 +179,18 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roundabout:", err)
 		return 1
+	}
+	// Extra rotations reuse the stationed setup (§V's repeatable
+	// revolutions) and keep fragments circulating, so live observers
+	// (cyclotop, /health/live) have a spinning ring to watch.
+	for i := 1; i < *rotations; i++ {
+		if res, err = cluster.Rotate(); err != nil {
+			fmt.Fprintf(os.Stderr, "roundabout: rotation %d: %v\n", i+1, err)
+			return 1
+		}
+	}
+	if *rotations > 1 {
+		fmt.Printf("rotations: %d\n", *rotations)
 	}
 	fmt.Printf("matches: %d\n", res.Matches())
 	fmt.Printf("setup phase: %v   join phase: %v\n", res.SetupTime, res.JoinTime)

@@ -96,6 +96,11 @@ type Cluster struct {
 	closed   bool
 }
 
+// Ring exposes the cluster's transport ring as a live-telemetry source:
+// internal/health samples its HealthSnapshot on a ticker. Callers must
+// not Close or Run the ring directly — the cluster owns its lifecycle.
+func (c *Cluster) Ring() *ring.Ring { return c.ring }
+
 // joinOpts derives host i's join options: label the host's algorithm spans
 // with its ring position, and default the algorithm's flight recorder to the
 // ring's so one recorder sees the whole cross-layer picture.

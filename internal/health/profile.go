@@ -1,0 +1,53 @@
+package health
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+	"time"
+)
+
+// CaptureProfile records a CPU profile for d and returns the pprof bytes.
+// The ring's entity goroutines carry cyclo_node/cyclo_entity labels, so
+// `go tool pprof -tagfocus cyclo_node=<id>` isolates a flagged node's
+// samples. Fails if another CPU profile is already running.
+func CaptureProfile(d time.Duration) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, fmt.Errorf("health: start cpu profile: %w", err)
+	}
+	time.Sleep(d)
+	pprof.StopCPUProfile()
+	return buf.Bytes(), nil
+}
+
+// maybeProfile auto-captures a profile (the caller gates on the verdict
+// transition): single-flight, asynchronous, stored for LastProfile.
+func (s *Sampler) maybeProfile() {
+	s.mu.Lock()
+	if s.profBusy {
+		s.mu.Unlock()
+		return
+	}
+	s.profBusy = true
+	s.mu.Unlock()
+	go func() {
+		b, err := CaptureProfile(s.opt.AutoProfile)
+		s.mu.Lock()
+		if err == nil {
+			s.profile = b
+			s.captures.Add(1)
+			s.m.captures.Inc()
+		}
+		s.profBusy = false
+		s.mu.Unlock()
+	}()
+}
+
+// LastProfile returns the most recent auto-captured straggler CPU
+// profile, or nil when none has completed yet.
+func (s *Sampler) LastProfile() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.profile
+}

@@ -1,0 +1,77 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the live health feed.
+//
+//	GET /health/live            → Server-Sent Events: one `data:` line per
+//	                              sampling tick, each a JSON Snapshot. The
+//	                              current snapshot (if any) is sent
+//	                              immediately on connect, so a client
+//	                              always gets a first event within one
+//	                              sampling interval.
+//	GET /health/live?once=1     → one JSON Snapshot, then the connection
+//	                              closes (curl/CI friendly).
+func (s *Sampler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("once") != "" {
+			snap := s.Current()
+			if snap == nil {
+				snap = s.SampleOnce()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(snap)
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "health: streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+
+		send := func(snap *Snapshot) bool {
+			b, err := json.Marshal(snap)
+			if err != nil {
+				return false
+			}
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return false
+			}
+			if _, err := w.Write(b); err != nil {
+				return false
+			}
+			if _, err := w.Write([]byte("\n\n")); err != nil {
+				return false
+			}
+			fl.Flush()
+			return true
+		}
+
+		if snap := s.Current(); snap != nil {
+			if !send(snap) {
+				return
+			}
+		}
+		ch, cancel := s.Subscribe()
+		defer cancel()
+		for {
+			select {
+			case snap, ok := <-ch:
+				if !ok || !send(snap) {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			case <-s.stop:
+				return
+			}
+		}
+	})
+}

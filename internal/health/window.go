@@ -1,0 +1,115 @@
+package health
+
+// WindowedHistogram turns a cumulative log-bucketed histogram into a
+// rolling-window view: each sampling tick pushes the per-bucket count
+// deltas observed in that window, the oldest window rotates out, and
+// quantiles are read off the merged windows with linear interpolation
+// inside the matched bucket ("log-linear": log-spaced bounds, linear
+// within a bucket). Percentiles therefore track the last W windows of
+// traffic instead of the whole process lifetime — a straggler that slows
+// down NOW moves the p99 NOW.
+//
+// Not safe for concurrent use; the Sampler owns one per node and touches
+// it only from its tick loop.
+type WindowedHistogram struct {
+	// bounds are inclusive upper bucket bounds, strictly increasing; an
+	// implicit +Inf bucket follows. Shared with the source histogram —
+	// read-only.
+	bounds []int64
+	// windows is a ring of per-window bucket deltas, each len(bounds)+1.
+	windows [][]int64
+	head    int
+	filled  int
+	// merged is the scratch sum across live windows, rebuilt on Push.
+	merged []int64
+	total  int64
+}
+
+// NewWindowed builds a rolling view over the given bucket bounds keeping
+// the most recent `windows` pushes. windows must be >= 1.
+func NewWindowed(bounds []int64, windows int) *WindowedHistogram {
+	if windows < 1 {
+		windows = 1
+	}
+	w := &WindowedHistogram{
+		bounds:  bounds,
+		windows: make([][]int64, windows),
+		merged:  make([]int64, len(bounds)+1),
+	}
+	for i := range w.windows {
+		w.windows[i] = make([]int64, len(bounds)+1)
+	}
+	return w
+}
+
+// Push rotates in one window of per-bucket deltas (len(bounds)+1 values).
+// Negative deltas (a reset source) clamp to zero.
+func (w *WindowedHistogram) Push(delta []int64) {
+	slot := w.windows[w.head]
+	for i := range slot {
+		var d int64
+		if i < len(delta) {
+			d = delta[i]
+		}
+		if d < 0 {
+			d = 0
+		}
+		slot[i] = d
+	}
+	w.head = (w.head + 1) % len(w.windows)
+	if w.filled < len(w.windows) {
+		w.filled++
+	}
+	// Re-merge: W is small (single digits) and this runs once per tick.
+	w.total = 0
+	for i := range w.merged {
+		w.merged[i] = 0
+	}
+	for wi := 0; wi < w.filled; wi++ {
+		for i, c := range w.windows[wi] {
+			w.merged[i] += c
+			w.total += c
+		}
+	}
+}
+
+// Count is the number of observations across the live windows.
+func (w *WindowedHistogram) Count() int64 { return w.total }
+
+// Quantile returns the q-th quantile (0 < q <= 1) over the merged
+// windows, interpolating linearly inside the matched bucket. The first
+// bucket interpolates from zero; the +Inf bucket reports the last finite
+// bound (the histogram cannot resolve beyond it). Returns 0 when empty.
+func (w *WindowedHistogram) Quantile(q float64) int64 {
+	if w.total == 0 || len(w.bounds) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(w.total)
+	var cum float64
+	for i, c := range w.merged {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			if i >= len(w.bounds) {
+				return w.bounds[len(w.bounds)-1]
+			}
+			var lo int64
+			if i > 0 {
+				lo = w.bounds[i-1]
+			}
+			hi := w.bounds[i]
+			frac := (rank - cum) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return w.bounds[len(w.bounds)-1]
+}

@@ -1,0 +1,68 @@
+package health
+
+import "testing"
+
+func TestWindowedQuantileInterpolates(t *testing.T) {
+	// Bounds 10/100/1000: one window, 10 observations in (10,100].
+	w := NewWindowed([]int64{10, 100, 1000}, 4)
+	w.Push([]int64{0, 10, 0, 0})
+	if got := w.Count(); got != 10 {
+		t.Fatalf("Count = %d, want 10", got)
+	}
+	// p50 → rank 5 of 10 inside (10,100]: 10 + 0.5*90 = 55.
+	if got := w.Quantile(0.50); got != 55 {
+		t.Errorf("p50 = %d, want 55", got)
+	}
+	// p100 lands at the bucket's upper bound.
+	if got := w.Quantile(1.0); got != 100 {
+		t.Errorf("p100 = %d, want 100", got)
+	}
+	// First bucket interpolates from zero.
+	w2 := NewWindowed([]int64{10, 100}, 2)
+	w2.Push([]int64{10, 0, 0})
+	if got := w2.Quantile(0.50); got != 5 {
+		t.Errorf("first-bucket p50 = %d, want 5", got)
+	}
+}
+
+func TestWindowedRotationEvictsOldWindows(t *testing.T) {
+	w := NewWindowed([]int64{10, 100}, 2)
+	// Window 1: slow traffic in (10,100].
+	w.Push([]int64{0, 8, 0})
+	// Window 2: fast traffic in (0,10].
+	w.Push([]int64{8, 0, 0})
+	if got := w.Count(); got != 16 {
+		t.Fatalf("Count = %d, want 16 (both windows live)", got)
+	}
+	// Window 3 rotates window 1 out: only fast traffic remains.
+	w.Push([]int64{8, 0, 0})
+	if got := w.Count(); got != 16 {
+		t.Fatalf("Count = %d, want 16 after rotation", got)
+	}
+	if got := w.Quantile(0.99); got > 10 {
+		t.Errorf("p99 = %d after the slow window rotated out, want <= 10", got)
+	}
+}
+
+func TestWindowedInfBucketAndClamps(t *testing.T) {
+	w := NewWindowed([]int64{10, 100}, 2)
+	// All mass beyond the last finite bound.
+	w.Push([]int64{0, 0, 5})
+	if got := w.Quantile(0.99); got != 100 {
+		t.Errorf("+Inf-bucket p99 = %d, want last finite bound 100", got)
+	}
+	// Negative deltas (reset source) clamp rather than corrupt the merge.
+	w.Push([]int64{-3, 4, 0})
+	if got := w.Count(); got != 9 {
+		t.Errorf("Count = %d, want 9 (negative delta clamped)", got)
+	}
+	// Short delta slices zero-fill the missing buckets.
+	w.Push([]int64{2})
+	if got := w.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6 (5 rotated out, 4 + 2 live)", got)
+	}
+	// Empty histogram reads as zero.
+	if got := NewWindowed(nil, 1).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+}

@@ -10,8 +10,12 @@
 // names the unit or level appropriate to the instrument kind:
 //
 //	Counter   → _total (including _bytes_total)
-//	Gauge     → _depth | _bytes
+//	Gauge     → _depth | _bytes | _ns | _state | _permille
 //	Histogram → _ns | _seconds | _bytes | _depth
+//
+// The gauge list covers the live-health surface: _ns for point-in-time
+// latency readings (windowed percentiles), _state for small enums
+// (verdict kinds), _permille for ratio shares scaled to integers.
 package metricname
 
 import (
@@ -32,14 +36,14 @@ var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
 // suffixes maps registry method → allowed final name tokens.
 var suffixes = map[string][]string{
 	"Counter":   {"total"},
-	"Gauge":     {"depth", "bytes"},
+	"Gauge":     {"depth", "bytes", "ns", "state", "permille"},
 	"Histogram": {"ns", "seconds", "bytes", "depth"},
 }
 
 // suffixRe precompiles the per-method suffix checks.
 var suffixRe = map[string]*regexp.Regexp{
 	"Counter":   regexp.MustCompile(`_total$`),
-	"Gauge":     regexp.MustCompile(`_(depth|bytes)$`),
+	"Gauge":     regexp.MustCompile(`_(depth|bytes|ns|state|permille)$`),
 	"Histogram": regexp.MustCompile(`_(ns|seconds|bytes|depth)$`),
 }
 

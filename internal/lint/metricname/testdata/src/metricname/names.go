@@ -12,9 +12,12 @@ var (
 	counterCase    = reg.Counter("FramesTotal", "frames moved")  // want `not snake_case`
 	counterSuffix  = reg.Counter("frames_count", "frames moved") // want `must end in _total`
 
-	gaugeDepthOK = reg.Gauge("send_queue_depth", "queued sends")
-	gaugeBytesOK = reg.Gauge("resident_bytes", "resident memory")
-	gaugeSuffix  = reg.Gauge("send_queue_size", "queued sends") // want `must end in _depth or _bytes`
+	gaugeDepthOK    = reg.Gauge("send_queue_depth", "queued sends")
+	gaugeBytesOK    = reg.Gauge("resident_bytes", "resident memory")
+	gaugeNsOK       = reg.Gauge("hop_p99_ns", "windowed hop p99")
+	gaugeStateOK    = reg.Gauge("verdict_state", "health verdict enum")
+	gaugePermilleOK = reg.Gauge("busy_share_permille", "busy share of wall clock")
+	gaugeSuffix     = reg.Gauge("send_queue_size", "queued sends") // want `must end in _depth or _bytes or _ns or _state or _permille`
 
 	histNsOK     = reg.Histogram("bind_ns", "bind latency", []int64{1, 10, 100})
 	histBytesOK  = reg.Histogram("frame_bytes", "frame sizes", []int64{64, 512, 4096})

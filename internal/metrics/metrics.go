@@ -142,6 +142,23 @@ func (h *Histogram) Count() int64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// Bounds returns the histogram's inclusive upper bucket bounds. The slice
+// is the histogram's own (immutable after construction); callers must not
+// modify it.
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Buckets appends the current per-bucket counts (not cumulative)
+// (len(Bounds())+1 values, the last being the +Inf bucket) to dst and
+// returns it. Cold-path: samplers diff successive snapshots to get
+// per-window counts; the loads are not atomic as a set, which is fine for
+// monitoring (each bucket is individually consistent).
+func (h *Histogram) Buckets(dst []int64) []int64 {
+	for i := range h.buckets {
+		dst = append(dst, h.buckets[i].Load())
+	}
+	return dst
+}
+
 // ExponentialBounds builds count bucket bounds starting at start and
 // growing by factor — the usual shape for latency and size histograms.
 func ExponentialBounds(start, factor int64, count int) []int64 {

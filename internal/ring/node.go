@@ -1,9 +1,11 @@
 package ring
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -73,6 +75,11 @@ type nodeMetrics struct {
 	bindNs       *metrics.Histogram
 	forwardNs    *metrics.Histogram
 	encodeNs     *metrics.Histogram
+
+	// hopNs is the fragment's full residence on this node's join entity
+	// (Process start to staged), the distribution internal/health windows
+	// into live p50/p99 per node.
+	hopNs *metrics.Histogram
 }
 
 func newNodeMetrics(id int) nodeMetrics {
@@ -93,6 +100,7 @@ func newNodeMetrics(id int) nodeMetrics {
 		bindNs:       r.Histogram("ring_view_bind_ns", "time to bind a received frame as a view", stageBounds, "node", node),
 		forwardNs:    r.Histogram("ring_forward_ns", "time to stage a forwarded frame (copy + hops patch)", stageBounds, "node", node),
 		encodeNs:     r.Histogram("ring_encode_ns", "time to fully encode a fragment into a send buffer", stageBounds, "node", node),
+		hopNs:        r.Histogram("ring_hop_ns", "fragment residence on the join entity, Process start to staged", durationBounds, "node", node),
 	}
 }
 
@@ -141,7 +149,15 @@ type hotStats struct {
 	// waitNs/processNs accumulate the paper's sync/join time in
 	// nanoseconds.
 	waitNs, processNs atomic.Int64
-	registeredBytes   atomic.Int64
+	// stageNs accumulates post-Process staging time (forward copy /
+	// encode / retirement bookkeeping) — with processNs it is the node's
+	// "busy" time in the attribution model's sense.
+	stageNs atomic.Int64
+	// stallNs accumulates send-side backpressure: waiting for a free send
+	// buffer, and in write mode for a remote credit. A node whose
+	// downstream neighbor lags shows it here first.
+	stallNs         atomic.Int64
+	registeredBytes atomic.Int64
 }
 
 // node is one Data Roundabout host: receiver + join entity + transmitter
@@ -334,6 +350,15 @@ func newNode(id int, cfg Config, proc Processor, retired chan<- retirement, errc
 	}
 }
 
+// labelEntity tags the calling goroutine with pprof labels (cyclo_node,
+// cyclo_entity) so an on-demand CPU profile — internal/health captures one
+// when it flags a straggler — attributes samples to a ring position and
+// pipeline entity. Cold path: once per entity-goroutine start.
+func (n *node) labelEntity(entity string) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("cyclo_node", strconv.Itoa(n.id), "cyclo_entity", entity)))
+}
+
 // start registers the buffer pools (once, up front — §III-C) and launches
 // the three entities.
 func (n *node) start() error {
@@ -370,6 +395,7 @@ func (n *node) start() error {
 	n.procWG.Add(1)
 	go func() {
 		defer n.procWG.Done()
+		n.labelEntity("join")
 		//cyclolint:viewsafe pooled views travel the pipeline with their buffer credit
 		n.procLoop()
 	}()
@@ -427,6 +453,7 @@ func (n *node) startRecv(qp rdma.QueuePair) error {
 	n.recvWG.Add(1)
 	go func() {
 		defer n.recvWG.Done()
+		n.labelEntity("recv")
 		n.recvLoop(qp, stop, dead)
 	}()
 	return nil
@@ -856,6 +883,7 @@ func (n *node) procLoop() {
 				}
 			}
 			n.fjoin.End(spd)
+			n.finishHop(procStart, procEnd)
 			continue
 		}
 
@@ -911,7 +939,21 @@ func (n *node) procLoop() {
 			return
 		}
 		n.fjoin.End(spd)
+		n.finishHop(procStart, procEnd)
 	}
+}
+
+// finishHop closes a fragment's hop accounting with a single clock read:
+// the interval since procEnd is staging time, the interval since procStart
+// is the fragment's full residence on the join entity (the live hop
+// histogram internal/health windows into p50/p99). Fragment-scoped — one
+// extra time.Now per hop, in line with the loop's other clock reads.
+//
+//cyclolint:hotpath
+func (n *node) finishHop(procStart, procEnd time.Time) {
+	end := time.Now()
+	n.stats.stageNs.Add(end.Sub(procEnd).Nanoseconds())
+	n.m.hopNs.Observe(end.Sub(procStart).Nanoseconds())
 }
 
 // popFreeSend blocks for a free send buffer; quit aborts. The wait
@@ -922,15 +964,20 @@ func (n *node) popFreeSend() (*rdma.Buffer, bool) {
 		return buf, true
 	}
 	n.flushCredits()
+	// Send-pool exhaustion is downstream backpressure: account the whole
+	// slow-path wait as stall time. The fast path above pays no clock read.
+	stallStart := time.Now()
 	for {
 		for i := 0; i < spinPops; i++ {
 			runtime.Gosched()
 			if buf, ok := n.freeSend.TryPop(); ok {
+				n.stats.stallNs.Add(time.Since(stallStart).Nanoseconds())
 				return buf, true
 			}
 		}
 		n.poolWake.Prepare()
 		if buf, ok := n.freeSend.TryPop(); ok {
+			n.stats.stallNs.Add(time.Since(stallStart).Nanoseconds())
 			return buf, true
 		}
 		select {
@@ -1018,10 +1065,12 @@ func (n *node) startSend(qp rdma.QueuePair) {
 	n.sendWG.Add(2)
 	go func() {
 		defer n.sendWG.Done()
+		n.labelEntity("send")
 		n.sendLoop(qp, stop)
 	}()
 	go func() {
 		defer n.sendWG.Done()
+		n.labelEntity("send")
 		n.sendReaper(qp, stop)
 	}()
 }
@@ -1393,6 +1442,8 @@ func (n *node) snapshot() NodeStats {
 		BytesOut:        n.stats.bytesOut.Load(),
 		ProcessTime:     time.Duration(n.stats.processNs.Load()),
 		WaitTime:        time.Duration(n.stats.waitNs.Load()),
+		StageTime:       time.Duration(n.stats.stageNs.Load()),
+		StallTime:       time.Duration(n.stats.stallNs.Load()),
 		RegisteredBytes: n.stats.registeredBytes.Load(),
 	}
 }

@@ -203,6 +203,13 @@ type NodeStats struct {
 	// WaitTime is time the join entity spent waiting for data to arrive —
 	// the paper's "sync" time (§V-F).
 	WaitTime time.Duration
+	// StageTime is post-Process staging time (forward copy, encode,
+	// retirement bookkeeping); ProcessTime+StageTime is the node's busy
+	// time in the attribution model's sense.
+	StageTime time.Duration
+	// StallTime is send-side backpressure: waiting on a free send buffer
+	// or (write mode) a remote credit.
+	StallTime time.Duration
 	// RegisteredBytes is the node's pinned buffer volume.
 	RegisteredBytes int64
 }

@@ -153,6 +153,7 @@ func (n *node) startRecvWrites(qp rdma.QueuePair) error {
 	n.recvWG.Add(1)
 	go func() {
 		defer n.recvWG.Done()
+		n.labelEntity("recv")
 		n.recvLoopWrites(wqp, stop, freeCredits, dead)
 	}()
 	return nil
@@ -315,10 +316,12 @@ func (n *node) startSendWrites(qp rdma.QueuePair) error {
 	n.sendWG.Add(2)
 	go func() {
 		defer n.sendWG.Done()
+		n.labelEntity("send")
 		n.sendLoopWrites(wqp, stop, credits)
 	}()
 	go func() {
 		defer n.sendWG.Done()
+		n.labelEntity("send")
 		n.sendReaperWrites(wqp, stop, credits)
 	}()
 	return nil
@@ -346,6 +349,7 @@ func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credit
 		default:
 			cs := n.fsend.Begin(trace.PhaseCreditStall)
 			cs.Frag, cs.Hop, cs.Arg = int32(ob.index), int32(ob.hops), int64(sz)
+			stallStart := time.Now()
 			select {
 			case <-stop:
 				// End the stall span on shutdown so the trace keeps the
@@ -357,6 +361,7 @@ func (n *node) sendLoopWrites(qp rdma.WriteQueuePair, stop chan struct{}, credit
 				return
 			case key = <-credits:
 			}
+			n.stats.stallNs.Add(time.Since(stallStart).Nanoseconds())
 			n.fsend.End(cs)
 		}
 		spd := n.fsend.Begin(trace.PhaseSend)

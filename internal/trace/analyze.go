@@ -157,36 +157,36 @@ func Analyze(spans []Span) *Analysis {
 		}
 	}
 
-	ids := make([]int, 0, len(nodes))
-	for id := range nodes {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	var maxBusy time.Duration
-	maxStarve := -1.0
-	for _, id := range ids {
-		na := nodes[id]
-		nb := NodeBreakdown{Node: id, Phases: na.phases}
+	// Hand the per-node totals to the shared attribution model (the same
+	// one internal/health feeds live counter deltas) and graft its derived
+	// ratios back onto the span-level breakdown.
+	rows := make([]PhaseTotals, 0, len(nodes))
+	for id, na := range nodes {
+		pt := PhaseTotals{
+			Node:    id,
+			Receive: na.phases[PhaseReceive],
+			Wait:    na.phases[PhaseWait],
+			Join:    na.phases[PhaseJoin],
+			Stage:   na.phases[PhaseStage],
+			Send:    na.phases[PhaseSend],
+		}
 		if na.haveWall {
-			nb.Wall = time.Duration(na.wallHi - na.wallLo)
+			pt.Wall = time.Duration(na.wallHi - na.wallLo)
 		}
-		entity := na.phases[PhaseWait] + na.phases[PhaseJoin] + na.phases[PhaseStage]
-		nb.Busy = na.phases[PhaseJoin] + na.phases[PhaseStage]
-		if nb.Wall > 0 {
-			nb.Coverage = float64(entity) / float64(nb.Wall)
-		}
-		if entity > 0 {
-			nb.Starvation = float64(na.phases[PhaseWait]) / float64(entity)
-		}
-		a.Nodes = append(a.Nodes, nb)
-		if nb.Busy > maxBusy || a.SlowestNode < 0 {
-			maxBusy = nb.Busy
-			a.SlowestNode = id
-		}
-		if nb.Starvation > maxStarve {
-			maxStarve = nb.Starvation
-			a.MostStarvedNode = id
-		}
+		rows = append(rows, pt)
+	}
+	attr := Attribute(rows)
+	a.SlowestNode = attr.SlowestNode
+	a.MostStarvedNode = attr.MostStarvedNode
+	for _, nat := range attr.Nodes {
+		a.Nodes = append(a.Nodes, NodeBreakdown{
+			Node:       nat.Node,
+			Phases:     nodes[nat.Node].phases,
+			Wall:       nat.Wall,
+			Busy:       nat.Busy,
+			Coverage:   nat.Coverage,
+			Starvation: nat.Starvation,
+		})
 	}
 
 	sort.Slice(revs, func(i, j int) bool { return revs[i] < revs[j] })

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// The attribution model answers "which node is the ring waiting on?" from
+// per-node phase totals, independent of where those totals came from: the
+// offline analyzer feeds it span sums from a flight recording, and
+// internal/health feeds it deltas of the ring's hot-path counters sampled
+// on a ticker. Keeping one implementation means the live verdicts and the
+// cyclotrace tables can never disagree about who the straggler is.
+
+// PhaseTotals is one node's accumulated pipeline-phase time over an
+// observation interval, plus the interval's extent (Wall). Wall may be
+// zero when unknown; the coverage ratio is then reported as zero.
+type PhaseTotals struct {
+	Node                             int
+	Receive, Wait, Join, Stage, Send time.Duration
+	Wall                             time.Duration
+}
+
+// NodeAttribution is one node's derived cost split.
+type NodeAttribution struct {
+	PhaseTotals
+	// Busy is join + stage: the time the join entity made progress.
+	Busy time.Duration
+	// Coverage is (wait+join+stage)/Wall — how completely the totals
+	// account for the join entity's wall clock (~1 for a flight
+	// recording; for live samples it is the entity's duty cycle).
+	Coverage float64
+	// Starvation is wait/(wait+join+stage) — the share of the join
+	// entity's time spent starved for data (§V-F "sync" share).
+	Starvation float64
+}
+
+// Attribution ranks a set of nodes by who is slowing the ring down.
+type Attribution struct {
+	// Nodes holds per-node attributions, sorted by node id.
+	Nodes []NodeAttribution
+	// SlowestNode has the largest Busy time; -1 when no rows exist.
+	// Ties keep the lowest node id.
+	SlowestNode int
+	// MostStarvedNode has the largest Starvation share; -1 when absent.
+	MostStarvedNode int
+	// StragglerScore is the slowest node's Busy divided by the mean Busy
+	// of the other nodes: 1 means a balanced ring, >>1 means one node is
+	// doing disproportionate work. Zero when fewer than two nodes have
+	// any busy time (the ratio is meaningless).
+	StragglerScore float64
+}
+
+// Attribute derives the cost split and straggler ranking from per-node
+// phase totals. Rows may arrive in any order; they are sorted by node id.
+func Attribute(rows []PhaseTotals) Attribution {
+	a := Attribution{SlowestNode: -1, MostStarvedNode: -1}
+	if len(rows) == 0 {
+		return a
+	}
+	sorted := append([]PhaseTotals(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+
+	var maxBusy time.Duration
+	maxStarve := -1.0
+	var busySum time.Duration
+	busyNodes := 0
+	for _, pt := range sorted {
+		na := NodeAttribution{PhaseTotals: pt}
+		entity := pt.Wait + pt.Join + pt.Stage
+		na.Busy = pt.Join + pt.Stage
+		if pt.Wall > 0 {
+			na.Coverage = float64(entity) / float64(pt.Wall)
+		}
+		if entity > 0 {
+			na.Starvation = float64(pt.Wait) / float64(entity)
+		}
+		a.Nodes = append(a.Nodes, na)
+		if na.Busy > maxBusy || a.SlowestNode < 0 {
+			maxBusy = na.Busy
+			a.SlowestNode = pt.Node
+		}
+		if na.Starvation > maxStarve {
+			maxStarve = na.Starvation
+			a.MostStarvedNode = pt.Node
+		}
+		busySum += na.Busy
+		if na.Busy > 0 {
+			busyNodes++
+		}
+	}
+	if busyNodes >= 2 && len(sorted) >= 2 {
+		others := float64(busySum-maxBusy) / float64(len(sorted)-1)
+		if others > 0 {
+			a.StragglerScore = float64(maxBusy) / others
+		}
+	}
+	return a
+}
