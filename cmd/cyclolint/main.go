@@ -38,10 +38,12 @@ import (
 	"flag"
 	"fmt"
 	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"cyclojoin/internal/lint"
 	"cyclojoin/internal/lint/analysis"
@@ -50,7 +52,7 @@ import (
 
 // version is the driver's own version; suiteVersion folds in each
 // analyzer's, so either kind of bump discards stale cached vet verdicts.
-const version = "v0.2.0"
+const version = "v0.3.0"
 
 // suiteVersion stamps the driver and every analyzer version into the
 // -V=full reply, which go vet hashes into its build-cache key.
@@ -70,9 +72,11 @@ func main() {
 
 // outputOptions selects the standalone-mode diagnostic sink.
 type outputOptions struct {
-	json  bool
-	sarif bool
-	fix   bool
+	json   bool
+	sarif  bool
+	fix    bool
+	stats  bool
+	budget time.Duration
 }
 
 func run(args []string) int {
@@ -83,8 +87,10 @@ func run(args []string) int {
 	jsonFlag := fs.Bool("json", false, "print diagnostics as JSON on stdout (standalone mode)")
 	sarifFlag := fs.Bool("sarif", false, "print diagnostics as SARIF 2.1.0 on stdout (standalone mode)")
 	fixFlag := fs.Bool("fix", false, "apply suggested fixes to the source files (standalone mode)")
+	statsFlag := fs.Bool("stats", false, "print per-analyzer wall time on stderr (standalone mode)")
+	budgetFlag := fs.Duration("budget", 0, "fail when total analysis wall time exceeds this duration (standalone mode)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: cyclolint [-disable names] [-json|-sarif] [-fix] [packages]\n       cyclolint <unit>.cfg  (go vet -vettool mode)\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: cyclolint [-disable names] [-json|-sarif] [-fix] [-stats] [-budget dur] [packages]\n       cyclolint <unit>.cfg  (go vet -vettool mode)\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -110,7 +116,7 @@ func run(args []string) int {
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	return runStandalone(analyzers, rest, outputOptions{json: *jsonFlag, sarif: *sarifFlag, fix: *fixFlag})
+	return runStandalone(analyzers, rest, outputOptions{json: *jsonFlag, sarif: *sarifFlag, fix: *fixFlag, stats: *statsFlag, budget: *budgetFlag})
 }
 
 // selected filters the suite by the -disable list.
@@ -157,6 +163,7 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string, opts outpu
 	read := func(a *analysis.Analyzer, path string) []byte {
 		return facts[a.Name][path]
 	}
+	tm := make(timings)
 	var all []located
 	for _, pkg := range pkgs {
 		pkgPath := pkg.Types.Path()
@@ -173,7 +180,7 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string, opts outpu
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
-		}, read, export)
+		}, read, export, tm)
 		if opts.fix {
 			if err := applyFixes(pkg.Fset, diags); err != nil {
 				fmt.Fprintf(os.Stderr, "cyclolint: -fix: %v\n", err)
@@ -191,14 +198,40 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string, opts outpu
 	case opts.sarif:
 		emitSARIF(os.Stdout, all)
 	default:
-		for _, d := range all {
-			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", relName(d.pos.Filename), d.pos.Line, d.pos.Column, d.analyzer, d.message)
-		}
+		emitText(os.Stderr, all)
+	}
+	total := tm.total()
+	if opts.stats {
+		emitStats(os.Stderr, analyzers, tm)
+	}
+	if opts.budget > 0 && total > opts.budget {
+		fmt.Fprintf(os.Stderr, "cyclolint: analysis wall time %s exceeds budget %s\n", total.Round(time.Millisecond), opts.budget)
+		return 1
 	}
 	if len(all) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// timings accumulates per-analyzer wall time across packages.
+type timings map[string]time.Duration
+
+func (tm timings) total() time.Duration {
+	var sum time.Duration
+	for _, d := range tm {
+		sum += d
+	}
+	return sum
+}
+
+// emitStats prints one line per analyzer in suite order, slowest data
+// intact for the CI budget check to grep.
+func emitStats(w io.Writer, analyzers []*analysis.Analyzer, tm timings) {
+	for _, a := range analyzers {
+		fmt.Fprintf(w, "cyclolint: stats: %-14s %10s\n", a.Name, tm[a.Name].Round(10*time.Microsecond))
+	}
+	fmt.Fprintf(w, "cyclolint: stats: %-14s %10s\n", "total", tm.total().Round(10*time.Microsecond))
 }
 
 // applyFixes rewrites the source files touched by the diagnostics'
@@ -326,7 +359,7 @@ func runUnit(analyzers []*analysis.Analyzer, cfgPath string) int {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
-	}, read, export)
+	}, read, export, nil)
 	if cfg.VetxOutput != "" {
 		blob, err := json.Marshal(out)
 		if err != nil {
@@ -375,8 +408,9 @@ type labeled struct {
 }
 
 // analyze runs each analyzer over the shared pass skeleton and collects
-// diagnostics sorted by (file, line, column, analyzer).
-func analyze(analyzers []*analysis.Analyzer, base *analysis.Pass, read func(*analysis.Analyzer, string) []byte, export func(*analysis.Analyzer, []byte)) []labeled {
+// diagnostics sorted by (file, line, column, analyzer). When tm is
+// non-nil, each analyzer's wall time is accumulated into it.
+func analyze(analyzers []*analysis.Analyzer, base *analysis.Pass, read func(*analysis.Analyzer, string) []byte, export func(*analysis.Analyzer, []byte), tm timings) []labeled {
 	var diags []labeled
 	for _, a := range analyzers {
 		a := a
@@ -397,8 +431,12 @@ func analyze(analyzers []*analysis.Analyzer, base *analysis.Pass, read func(*ana
 		pass.Report = func(d analysis.Diagnostic) {
 			diags = append(diags, labeled{Diagnostic: d, analyzer: name})
 		}
+		start := time.Now()
 		if err := a.Run(pass); err != nil {
 			fmt.Fprintf(os.Stderr, "cyclolint: %s: %v\n", a.Name, err)
+		}
+		if tm != nil {
+			tm[name] += time.Since(start)
 		}
 	}
 	sort.SliceStable(diags, func(i, j int) bool {
@@ -441,6 +479,12 @@ func relName(name string) string {
 	return name
 }
 
+func emitText(w io.Writer, ds []located) {
+	for _, d := range ds {
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", relName(d.pos.Filename), d.pos.Line, d.pos.Column, d.analyzer, d.message)
+	}
+}
+
 // jsonDiag is one -json output record.
 type jsonDiag struct {
 	File     string `json:"file"`
@@ -450,7 +494,7 @@ type jsonDiag struct {
 	Message  string `json:"message"`
 }
 
-func emitJSON(w *os.File, ds []located) {
+func emitJSON(w io.Writer, ds []located) {
 	out := make([]jsonDiag, 0, len(ds))
 	for _, d := range ds {
 		out = append(out, jsonDiag{File: relName(d.pos.Filename), Line: d.pos.Line, Column: d.pos.Column, Analyzer: d.analyzer, Message: d.message})
@@ -516,7 +560,7 @@ type sarifRegion struct {
 	StartColumn int `json:"startColumn"`
 }
 
-func emitSARIF(w *os.File, ds []located) {
+func emitSARIF(w io.Writer, ds []located) {
 	var rules []sarifRule
 	for _, a := range lint.Analyzers() {
 		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})

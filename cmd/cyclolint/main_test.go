@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// fixedDiags is a stable diagnostic set exercising sorting and every
+// emitter; positions and messages mirror real suite output shapes.
+func fixedDiags() []located {
+	ds := []located{
+		{pos: token.Position{Filename: "internal/ring/node.go", Line: 454, Column: 9}, analyzer: "spscrole", message: "SPSC (cyclojoin/internal/ring.node).procQ push has 2 producer origins: go node.go:454 (at node.go:480), go writemode.go:154 (at writemode.go:200)"},
+		{pos: token.Position{Filename: "internal/health/health.go", Line: 353, Column: 2}, analyzer: "frozenpub", message: "snap is written after being atomically published at health.go:350; readers Load without locks — build a fresh object and re-Store it instead"},
+		{pos: token.Position{Filename: "internal/ring/node.go", Line: 454, Column: 9}, analyzer: "creditflow", message: "send credit buf (popped at node.go:450) is not returned on this path; the pool loses a send slot until restart"},
+		{pos: token.Position{Filename: "internal/ring/node.go", Line: 120, Column: 3}, analyzer: "spanpair", message: "trace span pd (Begin at node.go:110) is still open on this return path; call End before returning or defer it"},
+	}
+	sortLocated(ds)
+	return ds
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s output differs from golden %s:\n--- got ---\n%s\n--- want ---\n%s", name, path, got, want)
+	}
+}
+
+func TestEmitTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	emitText(&buf, fixedDiags())
+	checkGolden(t, "diags.txt", buf.Bytes())
+}
+
+func TestEmitJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	emitJSON(&buf, fixedDiags())
+	checkGolden(t, "diags.json", buf.Bytes())
+}
+
+// TestEmitSARIFGolden pins the SARIF envelope byte-exactly; the golden
+// embeds suiteVersion(), so bumping any analyzer version requires
+// regenerating it with -update — which is the cache-invalidation
+// property the vetx protocol depends on.
+func TestEmitSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	emitSARIF(&buf, fixedDiags())
+	checkGolden(t, "diags.sarif", buf.Bytes())
+}
+
+func TestEmitStatsGolden(t *testing.T) {
+	analyzers := selected("")
+	tm := make(timings)
+	for i, a := range analyzers {
+		tm[a.Name] = time.Duration(i+1) * 10 * time.Millisecond
+	}
+	var buf bytes.Buffer
+	emitStats(&buf, analyzers, tm)
+	checkGolden(t, "stats.txt", buf.Bytes())
+}
+
+// TestSuiteContainsProtocolAnalyzers guards the registration wiring: the
+// concurrency-protocol analyzers must stay in the default suite.
+func TestSuiteContainsProtocolAnalyzers(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range selected("") {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"spscrole", "frozenpub", "creditflow", "bufown", "spanpair"} {
+		if !names[want] {
+			t.Errorf("analyzer %s missing from default suite", want)
+		}
+	}
+	if len(selected("spscrole,frozenpub")) != len(selected(""))-2 {
+		t.Errorf("-disable did not remove exactly the named analyzers")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	tm := timings{"spscrole": 50 * time.Millisecond, "frozenpub": 70 * time.Millisecond}
+	if got := tm.total(); got != 120*time.Millisecond {
+		t.Fatalf("total = %v, want 120ms", got)
+	}
+}

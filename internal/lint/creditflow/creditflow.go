@@ -1,38 +1,28 @@
-// Package bufown verifies the lifecycle of registered RDMA buffers:
-// acquire → (write) → post → completion → release.
+// Package creditflow verifies conservation of ring send-credit tokens.
 //
-// A *rdma.Buffer is pinned, pooled memory. The pools are registered once
-// (§III-C of the paper's design: registration is the expensive part), so
-// every buffer taken from a free list — `buf := <-n.freeSend` — carries a
-// credit that must go somewhere: back on the free list, to the transport
-// via PostSend/PostRecv/PostWrite, or to another owner (stored, returned,
-// or passed to a function that releases it — tracked via cross-package
-// effect facts). A return path that simply drops the local leaks the
-// credit; the pool shrinks silently and a restarted node wedges under
-// backpressure slots short. These leaks hide in exactly the paths tests
-// rarely drive: shutdown selects and encode-failure bailouts.
+// The ring's flow control is a closed credit economy: a node may only
+// post a send once it holds a free send buffer, and the pool of those
+// buffers — ringq.MPMC[*rdma.Buffer] — IS the credit ledger. Every
+// TryPop from a credit pool mints an obligation: on every path the
+// token must go back (TryPush to a pool), to the transport (PostSend /
+// PostRecv / PostWrite — the completion reaper reposts it), or to
+// another owner via an explicit handoff. A path that drops the local
+// leaks a credit; the pool shrinks silently and the ring wedges under
+// backpressure exactly one slot at a time — the classic failure of the
+// recovery and flush paths that tests rarely drive. Pushing the same
+// token twice is worse: the pool hands the buffer to two senders.
 //
-// The analyzer simulates each function path-sensitively, like spanpair:
-// tracked buffers are Held/Posted/Released per control-flow path, merges
-// keep the leakiest state, and deferred releases count for every return
-// after them. It reports:
+// The analyzer simulates each function path-sensitively (like bufown):
+// tokens are Held/Released per path, merges keep the leakiest state,
+// `buf, ok := pool.TryPop()` pairs the bool so failed-acquire branches
+// hold nothing, and custody effects of callees cross package boundaries
+// as facts. Leaks at a return get a mechanical suggested fix reinserting
+// the TryPush when the pool expression is visible at the acquire.
 //
-//   - a buffer still Held at a return or at a loop's back edge (with a
-//     suggested fix reinserting the free-list send when the acquire came
-//     from a channel);
-//   - a double release (two sends of the same credit corrupt the pool's
-//     accounting — the second send duplicates the credit);
-//   - a double post without an intervening completion;
-//   - access to a posted buffer (SetLen/Data/Bytes) — the transport owns
-//     the memory until its completion is reaped.
+// Deliberate exceptions are annotated at the statement:
 //
-// Custody handoffs the analyzer cannot see locally are the owner's
-// contract: storing the buffer in a struct, returning it, or passing it
-// to a function with no known release effect all end tracking for that
-// path. Deliberate exceptions are annotated at the statement:
-//
-//	//cyclolint:bufsafe <justification>
-package bufown
+//	//cyclolint:creditsafe <justification>
+package creditflow
 
 import (
 	"bytes"
@@ -47,51 +37,43 @@ import (
 	"cyclojoin/internal/lint/dataflow"
 )
 
-// rdmaPkg declares Buffer, Device and the queue-pair interfaces; the
-// implementation itself is exempt.
-const rdmaPkg = "cyclojoin/internal/rdma"
+// ringqPkg declares the MPMC pool type; rdmaPkg declares Buffer.
+const (
+	ringqPkg = "cyclojoin/internal/ringq"
+	rdmaPkg  = "cyclojoin/internal/rdma"
+)
 
-// Analyzer flags registered-buffer lifecycle violations.
+// Analyzer flags send-credit tokens that leak or double-release.
 var Analyzer = &analysis.Analyzer{
-	Name:      "bufown",
-	Doc:       "a registered *rdma.Buffer credit must be released (free list, post, or handoff) on every path; posted buffers are untouchable until completion",
-	Version:   "2",
+	Name:      "creditflow",
+	Doc:       "a send credit popped from a ringq.MPMC[*rdma.Buffer] pool must be returned (TryPush, post, or handoff) on every path, exactly once",
+	Version:   "1",
 	UsesFacts: true,
 	Run:       run,
 }
 
-// postMethods transfer custody to the transport until a completion.
+// postMethods transfer the credit to the transport.
 var postMethods = map[string]bool{
 	"PostRecv": true, "PostSend": true, "PostWrite": true, "PostWriteImm": true,
-}
-
-// accessMethods touch buffer memory and are invalid while posted.
-var accessMethods = map[string]bool{
-	"SetLen": true, "Data": true, "Bytes": true,
 }
 
 func run(pass *analysis.Pass) error {
 	g := dataflow.NewGraph(pass.Fset, pass.Pkg, pass.TypesInfo, pass.Files)
 	effects := make(map[string]*Effect)
 	for _, imp := range pass.Pkg.Imports() {
-		for k, e := range DecodeBufFacts(pass.ImportedFacts(imp.Path())) {
+		for k, e := range DecodeCreditFacts(pass.ImportedFacts(imp.Path())) {
 			effects[k] = e
 		}
 	}
-	if pass.Pkg.Path() != rdmaPkg {
-		solveEffects(pass, g, effects)
-	}
-	pass.Export(EncodeBufFacts(effects))
-	if pass.Pkg.Path() == rdmaPkg {
-		return nil
-	}
+	solveEffects(pass, g, effects)
+	pass.Export(EncodeCreditFacts(effects))
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if analysis.FuncHasDirective(fn, "bufsafe") {
+			if analysis.FuncHasDirective(fn, "creditsafe") {
 				continue
 			}
 			checkFunc(pass, g, effects, file, fn)
@@ -109,23 +91,85 @@ func isBufferPtr(t types.Type) bool {
 	return analysis.IsNamed(ptr.Elem(), rdmaPkg, "Buffer")
 }
 
-// isBufferChan reports whether t is a channel of *rdma.Buffer.
+// isBufferChan reports whether t is a channel of *rdma.Buffer (a credit
+// handoff lane between goroutines).
 func isBufferChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
 	ch, ok := t.Underlying().(*types.Chan)
 	return ok && isBufferPtr(ch.Elem())
 }
 
-// isCompletionChan reports whether t is a channel of rdma.Completion —
-// the queue a transport delivers ownership back on.
-func isCompletionChan(t types.Type) bool {
-	ch, ok := t.Underlying().(*types.Chan)
-	return ok && analysis.IsNamed(ch.Elem(), rdmaPkg, "Completion")
+// isCreditPool reports whether t is ringq.MPMC[*rdma.Buffer] (possibly
+// behind a pointer) — the send-credit ledger type.
+func isCreditPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "MPMC" || obj.Pkg() == nil || obj.Pkg().Path() != ringqPkg {
+		return false
+	}
+	args := named.TypeArgs()
+	return args != nil && args.Len() == 1 && isBufferPtr(args.At(0))
+}
+
+// poolPop returns the pool expression of a `pool.TryPop()` credit
+// acquire, or nil.
+func poolPop(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "TryPop" {
+		return nil
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal || !isCreditPool(selection.Recv()) {
+		return nil
+	}
+	return sel.X
+}
+
+// poolPush returns the pushed argument of a `pool.TryPush(x)` credit
+// release, or nil.
+func poolPush(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "TryPush" || len(call.Args) != 1 {
+		return nil
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal || !isCreditPool(selection.Recv()) {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// isPostCall reports PostRecv/PostSend/PostWrite/PostWriteImm with a
+// buffer argument: the transport takes the credit.
+func isPostCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !postMethods[sel.Sel.Name] {
+		return false
+	}
+	if _, ok := pass.TypesInfo.Selections[sel]; !ok {
+		return false
+	}
+	for _, a := range call.Args {
+		if isBufferPtr(pass.TypesInfo.TypeOf(a)) {
+			return true
+		}
+	}
+	return false
 }
 
 // ---- effect inference (flow-insensitive, with alias closure) ----
 
-// solveEffects computes each local function's Effect to a fixpoint and
-// merges them into effects (which already holds the imports' tables).
 func solveEffects(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Effect) {
 	fns := g.All()
 	const maxRounds = 8
@@ -166,7 +210,6 @@ func intsEqual(a, b []int) bool {
 	return true
 }
 
-// combinedParams lists receiver-first parameter objects of fn.
 func combinedParams(fn *dataflow.Func) []*types.Var {
 	sig := fn.Obj.Type().(*types.Signature)
 	var out []*types.Var
@@ -179,10 +222,9 @@ func combinedParams(fn *dataflow.Func) []*types.Var {
 	return out
 }
 
-// inferEffect derives fn's custody effect: which buffer parameters it
-// releases (directly, by posting, or via a callee with a known release
-// effect — through simple local aliases), and which results carry a
-// freshly acquired buffer.
+// inferEffect derives fn's credit effect: which buffer parameters it
+// returns to a pool (directly or via a releasing callee, through simple
+// local aliases), and which results carry a freshly popped credit.
 func inferEffect(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Effect, fn *dataflow.Func) *Effect {
 	e := &Effect{Key: fn.Key()}
 	if fn.Decl.Body == nil {
@@ -190,8 +232,6 @@ func inferEffect(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Eff
 	}
 	params := combinedParams(fn)
 
-	// aliasRoot maps a local object to the parameter index (or acquired
-	// marker) it aliases via plain `a := p` assignments.
 	objOf := func(id *ast.Ident) types.Object {
 		if o := pass.TypesInfo.Defs[id]; o != nil {
 			return o
@@ -205,8 +245,7 @@ func inferEffect(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Eff
 		}
 	}
 	acquired := make(map[types.Object]bool)
-	// Two passes: first grow the alias sets, then classify uses.
-	for pass2 := 0; pass2 < 2; pass2++ {
+	for round := 0; round < 2; round++ {
 		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
 			as, ok := n.(*ast.AssignStmt)
 			if !ok {
@@ -234,7 +273,6 @@ func inferEffect(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Eff
 						continue
 					}
 				}
-				// Acquire through := <-ch / Register / effect-call.
 				rhs := as.Rhs[0]
 				if len(as.Lhs) == len(as.Rhs) {
 					rhs = as.Rhs[i]
@@ -260,6 +298,14 @@ func inferEffect(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Eff
 				}
 			}
 		case *ast.CallExpr:
+			if arg := poolPush(pass, x); arg != nil {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if idx, ok := paramIdx[objOf(id)]; ok {
+						released[idx] = true
+					}
+				}
+				return true
+			}
 			for ai, arg := range callArgs(pass, x) {
 				id, ok := ast.Unparen(arg).(*ast.Ident)
 				if !ok {
@@ -289,11 +335,7 @@ func inferEffect(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Eff
 	}
 	sort.Ints(e.ParamRelease)
 
-	// ParamBorrowed: buffer parameters whose every use keeps custody with
-	// the caller — comparisons, methods on the buffer itself, rebinding to
-	// another buffer local, or passing to a callee that itself only
-	// borrows. Any other use (return, store, capture, unknown callee)
-	// escapes, and a release supersedes a borrow.
+	// ParamBorrowed: every use keeps custody with the caller.
 	parent := buildParents(fn.Decl.Body)
 	escaped := make(map[int]bool)
 	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
@@ -318,12 +360,10 @@ func inferEffect(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Eff
 	}
 	sort.Ints(e.ParamBorrowed)
 
-	// AcquiresResult: a return whose expression is an acquire form or an
-	// acquired local.
 	fresh := make(map[int]bool)
 	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
-			return false // nested functions own their own effects
+			return false
 		}
 		ret, ok := n.(*ast.ReturnStmt)
 		if !ok {
@@ -349,7 +389,6 @@ func inferEffect(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Eff
 	return e
 }
 
-// buildParents maps every node in root to its syntactic parent.
 func buildParents(root ast.Node) map[ast.Node]ast.Node {
 	parent := make(map[ast.Node]ast.Node)
 	var stack []ast.Node
@@ -367,8 +406,6 @@ func buildParents(root ast.Node) map[ast.Node]ast.Node {
 	return parent
 }
 
-// borrowUseSafe reports whether this use of a buffer-parameter ident keeps
-// custody with the caller.
 func borrowUseSafe(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Effect,
 	parent map[ast.Node]ast.Node, id *ast.Ident, objOf func(*ast.Ident) types.Object) bool {
 	var n ast.Node = id
@@ -385,32 +422,28 @@ func borrowUseSafe(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*E
 	case *ast.AssignStmt:
 		for i, lhs := range x.Lhs {
 			if lhs == n {
-				return true // rebinding the name itself
+				return true
 			}
 			if i < len(x.Rhs) && x.Rhs[i] == n && len(x.Lhs) == len(x.Rhs) {
 				if lid, ok := lhs.(*ast.Ident); ok {
 					if lid.Name == "_" {
-						return true // discarded
+						return true
 					}
 					if lo := objOf(lid); lo != nil && isBufferPtr(lo.Type()) {
-						return true // local alias, tracked by the closure pass
+						return true
 					}
 				}
 			}
 		}
 		return false
 	case *ast.SendStmt:
-		// On a buffer chan this is a release (already counted); on anything
-		// else the receiver keeps it.
 		return x.Value == n && isBufferChan(pass.TypesInfo.TypeOf(x.Chan))
 	case *ast.BinaryExpr:
-		return true // comparisons don't move custody
+		return true
 	case *ast.SelectorExpr:
 		if x.X != n {
 			return false
 		}
-		// p.Method(...) — a method call on the buffer itself only touches
-		// its memory; a method value or field access escapes.
 		call, ok := parent[x].(*ast.CallExpr)
 		if !ok || call.Fun != ast.Node(x) {
 			return false
@@ -421,12 +454,15 @@ func borrowUseSafe(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*E
 		if x.Fun == n {
 			return false
 		}
+		if arg := poolPush(pass, x); arg != nil && ast.Unparen(arg) == n {
+			return true // a release, already counted
+		}
 		for ai, arg := range callArgs(pass, x) {
 			if arg != n {
 				continue
 			}
 			if isPostCall(pass, x) && ai > 0 && isBufferPtr(pass.TypesInfo.TypeOf(arg)) {
-				return true // a post is a release, already counted
+				return true
 			}
 			if ce := calleeEffect(g, effects, x); ce != nil {
 				return releasesParam(ce, ai) || borrowsParam(ce, ai)
@@ -439,9 +475,6 @@ func borrowUseSafe(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*E
 	}
 }
 
-// callArgs returns the call's combined argument list in the same
-// receiver-first indexing Effect uses: methods get their receiver at
-// slot 0, plain functions start at 0 with their declared arguments.
 func callArgs(pass *analysis.Pass, call *ast.CallExpr) []ast.Expr {
 	var out []ast.Expr
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
@@ -452,28 +485,6 @@ func callArgs(pass *analysis.Pass, call *ast.CallExpr) []ast.Expr {
 	return append(out, call.Args...)
 }
 
-// isPostCall reports PostRecv/PostSend/PostWrite/PostWriteImm calls on
-// any receiver, as long as some argument is a *rdma.Buffer — this covers
-// both the rdma interfaces and concrete transports.
-func isPostCall(pass *analysis.Pass, call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !postMethods[sel.Sel.Name] {
-		return false
-	}
-	if _, ok := pass.TypesInfo.Selections[sel]; !ok {
-		return false
-	}
-	for _, a := range call.Args {
-		if isBufferPtr(pass.TypesInfo.TypeOf(a)) {
-			return true
-		}
-	}
-	return false
-}
-
-// calleeEffect resolves the custody effect governing a call, if known.
-// Instantiated generic callees resolve to their generic declaration's
-// effect via FuncKey.
 func calleeEffect(g *dataflow.Graph, effects map[string]*Effect, call *ast.CallExpr) *Effect {
 	fn := g.StaticCallee(call)
 	if fn == nil {
@@ -486,30 +497,24 @@ type acquire int
 
 const (
 	acquireNone acquire = iota
-	acquireChan         // <-ch: releasing means sending back on ch
-	acquireCall         // Register / effect callee: no known home channel
+	acquirePool         // pool.TryPop(): the home pool is visible
+	acquireCall         // effect callee: no visible home pool
 )
 
-// acquireKind classifies an acquire expression feeding result/LHS slot i
-// and, for channel receives, returns the channel expression.
+// acquireKind classifies an acquire expression feeding result slot i
+// and, for direct pool pops, returns the pool expression.
 func acquireKind(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Effect, e ast.Expr, i int) (acquire, ast.Expr) {
-	switch x := ast.Unparen(e).(type) {
-	case *ast.UnaryExpr:
-		if x.Op == token.ARROW && isBufferChan(pass.TypesInfo.TypeOf(x.X)) {
-			return acquireChan, x.X
-		}
-	case *ast.CallExpr:
-		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Register" {
-			if selection, ok := pass.TypesInfo.Selections[sel]; ok &&
-				analysis.IsNamed(selection.Recv(), rdmaPkg, "Device") && i == 0 {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return acquireNone, nil
+	}
+	if pool := poolPop(pass, call); pool != nil && i == 0 {
+		return acquirePool, pool
+	}
+	if ce := calleeEffect(g, effects, call); ce != nil {
+		for _, j := range ce.AcquiresResult {
+			if j == i {
 				return acquireCall, nil
-			}
-		}
-		if ce := calleeEffect(g, effects, x); ce != nil {
-			for _, j := range ce.AcquiresResult {
-				if j == i {
-					return acquireCall, nil
-				}
 			}
 		}
 	}
@@ -522,19 +527,16 @@ type status int
 
 const (
 	untracked status = iota
-	released
-	posted
+	releasedS
 	held // highest wins on merge: a leak on any path is a leak
 )
 
-type bufState struct {
-	s status
-	// pos is where the state was last set (the release for released, the
-	// post for posted), cited in double-release/use-after-post reports.
+type credState struct {
+	s   status
 	pos token.Pos
 }
 
-type state map[types.Object]bufState
+type state map[types.Object]credState
 
 func (s state) clone() state {
 	out := make(state, len(s))
@@ -552,12 +554,11 @@ func (s state) merge(other state) {
 	}
 }
 
-// tracked is one acquire site.
 type tracked struct {
 	obj      types.Object
 	acquire  token.Pos
 	kind     acquire
-	chanExpr ast.Expr // the free list, when kind == acquireChan
+	poolExpr ast.Expr // the home pool, when kind == acquirePool
 }
 
 type checker struct {
@@ -568,9 +569,9 @@ type checker struct {
 	fn      *ast.FuncDecl
 
 	bufs map[types.Object]*tracked
-	// errFor pairs the error result of a `buf, err := acquire()` with its
-	// buffer: on the error path the acquire failed and nothing is held.
-	errFor   map[types.Object]types.Object
+	// okFor pairs the bool of `buf, ok := pool.TryPop()` with its buffer:
+	// on the !ok path the pop failed and nothing is held.
+	okFor    map[types.Object]types.Object
 	hasGoto  bool
 	reported map[posKey]bool
 }
@@ -588,7 +589,7 @@ func checkFunc(pass *analysis.Pass, g *dataflow.Graph, effects map[string]*Effec
 		file:     file,
 		fn:       fn,
 		bufs:     make(map[types.Object]*tracked),
-		errFor:   make(map[types.Object]types.Object),
+		okFor:    make(map[types.Object]types.Object),
 		reported: make(map[posKey]bool),
 	}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -614,7 +615,6 @@ func (c *checker) objOf(id *ast.Ident) types.Object {
 	return c.pass.TypesInfo.Uses[id]
 }
 
-// trackedIdent resolves e to a tracked buffer object, if it is one.
 func (c *checker) trackedIdent(e ast.Expr) types.Object {
 	id, ok := ast.Unparen(e).(*ast.Ident)
 	if !ok {
@@ -628,7 +628,7 @@ func (c *checker) trackedIdent(e ast.Expr) types.Object {
 }
 
 func (c *checker) exempt(at ast.Node) bool {
-	return c.pass.HasDirective(c.file, at, "bufsafe")
+	return c.pass.HasDirective(c.file, at, "creditsafe")
 }
 
 func (c *checker) report(obj types.Object, at token.Pos, node ast.Node, format string, args ...any) {
@@ -659,10 +659,10 @@ func (c *checker) reportHeld(st state, at token.Pos, node ast.Node) {
 		}
 		d := analysis.Diagnostic{
 			Pos: at,
-			Message: "registered buffer " + obj.Name() + " (acquired at " +
-				c.pass.Fset.Position(tr.acquire).String() + ") is still held on this return path; release its credit before returning, or annotate //cyclolint:bufsafe with the custody argument",
+			Message: "send credit " + obj.Name() + " (popped at " +
+				c.pass.Fset.Position(tr.acquire).String() + ") is not returned on this path; push it back to its pool before returning, or annotate //cyclolint:creditsafe with the custody argument",
 		}
-		if tr.kind == acquireChan && tr.chanExpr != nil {
+		if tr.kind == acquirePool && tr.poolExpr != nil {
 			if fix := c.releaseFix(tr, obj, at); fix != nil {
 				d.Fixes = append(d.Fixes, *fix)
 			}
@@ -671,29 +671,27 @@ func (c *checker) reportHeld(st state, at token.Pos, node ast.Node) {
 	}
 }
 
-// releaseFix builds the `freeList <- buf` insertion in front of the
+// releaseFix builds the `pool.TryPush(buf)` insertion in front of the
 // leaking return, matching the return's indentation.
 func (c *checker) releaseFix(tr *tracked, obj types.Object, at token.Pos) *analysis.SuggestedFix {
-	var chanSrc bytes.Buffer
-	if err := printer.Fprint(&chanSrc, c.pass.Fset, tr.chanExpr); err != nil {
+	var poolSrc bytes.Buffer
+	if err := printer.Fprint(&poolSrc, c.pass.Fset, tr.poolExpr); err != nil {
 		return nil
 	}
 	pos := c.pass.Fset.Position(at)
 	indent := strings.Repeat("\t", pos.Column-1)
 	return &analysis.SuggestedFix{
-		Message: "send " + obj.Name() + " back on its free list",
+		Message: "return the credit " + obj.Name() + " to its pool",
 		Edits: []analysis.TextEdit{{
 			Pos:     at,
 			End:     at,
-			NewText: chanSrc.String() + " <- " + obj.Name() + "\n" + indent,
+			NewText: poolSrc.String() + ".TryPush(" + obj.Name() + ")\n" + indent,
 		}},
 	}
 }
 
 // ---- statement simulation ----
 
-// stmt simulates s along the fall-through path; true means control cannot
-// fall past it.
 func (c *checker) stmt(s ast.Stmt, st state) bool {
 	switch x := s.(type) {
 	case nil:
@@ -716,7 +714,12 @@ func (c *checker) stmt(s ast.Stmt, st state) bool {
 		if gd, ok := x.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
 				if vs, ok := spec.(*ast.ValueSpec); ok {
-					c.valueSpec(vs, st, x)
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							c.scanExpr(vs.Values[i], st, x)
+						}
+						_ = name
+					}
 				}
 			}
 		}
@@ -725,8 +728,6 @@ func (c *checker) stmt(s ast.Stmt, st state) bool {
 		c.send(x, st)
 		return false
 	case *ast.DeferStmt:
-		// A deferred release covers every return after it; modeling it as
-		// immediate is sound for leak checking (same as spanpair's End).
 		c.deferredCall(x.Call, st, x)
 		return false
 	case *ast.GoStmt:
@@ -735,8 +736,8 @@ func (c *checker) stmt(s ast.Stmt, st state) bool {
 	case *ast.ReturnStmt:
 		for _, res := range x.Results {
 			if obj := c.trackedIdent(res); obj != nil {
-				// Returning the buffer transfers the credit to the caller.
-				st[obj] = bufState{s: untracked, pos: x.Pos()}
+				// Returning the token transfers the obligation upward.
+				st[obj] = credState{s: untracked, pos: x.Pos()}
 				continue
 			}
 			c.scanExpr(res, st, x)
@@ -748,13 +749,13 @@ func (c *checker) stmt(s ast.Stmt, st state) bool {
 		c.scanExpr(x.Cond, st, x)
 		thenSt := st.clone()
 		elseSt := st.clone()
-		if bufObj, eq := c.errCheck(x.Cond); bufObj != nil {
-			if eq {
-				// err == nil: the acquire failed on the else path.
-				elseSt[bufObj] = bufState{s: untracked, pos: x.Cond.Pos()}
+		if bufObj, thenHolds := c.okCheck(x.Cond); bufObj != nil {
+			if thenHolds {
+				// if ok: the pop failed on the else path.
+				elseSt[bufObj] = credState{s: untracked, pos: x.Cond.Pos()}
 			} else {
-				// err != nil: the acquire failed on the then path.
-				thenSt[bufObj] = bufState{s: untracked, pos: x.Cond.Pos()}
+				// if !ok: the pop failed on the then path.
+				thenSt[bufObj] = credState{s: untracked, pos: x.Cond.Pos()}
 			}
 		}
 		thenTerm := c.stmt(x.Body, thenSt)
@@ -780,9 +781,6 @@ func (c *checker) stmt(s ast.Stmt, st state) bool {
 		c.loopBody(x.Body, st)
 		return x.Cond == nil && !hasBreak(x.Body)
 	case *ast.RangeStmt:
-		if isCompletionChan(c.pass.TypesInfo.TypeOf(x.X)) {
-			c.reapCompletions(st, x.X.Pos())
-		}
 		c.scanExpr(x.X, st, x)
 		c.loopBody(x.Body, st)
 		return false
@@ -821,17 +819,16 @@ func (c *checker) loopBody(body *ast.BlockStmt, st state) {
 	if !terminated {
 		for obj, v := range bodySt {
 			if v.s != held || st[obj].s == held {
-				continue // only buffers acquired by this iteration
+				continue
 			}
 			tr := c.bufs[obj]
 			if tr == nil || tr.acquire < body.Pos() || body.End() <= tr.acquire {
 				continue
 			}
 			c.report(obj, tr.acquire, nil,
-				"registered buffer %s is still held at the loop's back edge; release its credit before the iteration ends, or annotate //cyclolint:bufsafe",
+				"send credit %s is still held at the loop's back edge; return it before the iteration ends, or annotate //cyclolint:creditsafe",
 				obj.Name())
-			// One report per acquire site; don't cascade to the exits.
-			bodySt[obj] = bufState{s: untracked, pos: v.pos}
+			bodySt[obj] = credState{s: untracked, pos: v.pos}
 		}
 	}
 	st.merge(bodySt)
@@ -879,16 +876,14 @@ func (c *checker) clauses(body *ast.BlockStmt, st state, exhaustive bool) bool {
 
 // assign handles acquires (LHS becomes held) and alias/escape on the RHS.
 func (c *checker) assign(x *ast.AssignStmt, st state) {
-	// Parallel assignment: classify each RHS slot against its LHS.
 	for i, lhs := range x.Lhs {
 		var rhs ast.Expr
 		ri := i
 		if len(x.Lhs) == len(x.Rhs) {
 			rhs = x.Rhs[i]
-			ri = 0 // each RHS is its own single-result expression
+			ri = 0
 		} else if len(x.Rhs) == 1 {
 			rhs = x.Rhs[0]
-			// multi-value: slot i of the single call/receive
 		} else {
 			continue
 		}
@@ -896,54 +891,47 @@ func (c *checker) assign(x *ast.AssignStmt, st state) {
 		if isIdent && id.Name != "_" {
 			obj := c.objOf(id)
 			if obj != nil && isBufferPtr(obj.Type()) {
-				if kind, ch := acquireKind(c.pass, c.g, c.effects, rhs, ri); kind != acquireNone {
-					c.bufs[obj] = &tracked{obj: obj, acquire: rhs.Pos(), kind: kind, chanExpr: ch}
-					st[obj] = bufState{s: held, pos: rhs.Pos()}
+				if kind, pool := acquireKind(c.pass, c.g, c.effects, rhs, ri); kind != acquireNone {
+					c.bufs[obj] = &tracked{obj: obj, acquire: rhs.Pos(), kind: kind, poolExpr: pool}
+					st[obj] = credState{s: held, pos: rhs.Pos()}
 					if len(x.Lhs) != len(x.Rhs) {
-						// buf, err := acquire(): remember the pairing so the
-						// err != nil path is known to hold nothing.
+						// buf, ok := pool.TryPop(): pair the bool so the
+						// failed-pop path is known to hold nothing.
 						for _, other := range x.Lhs {
 							oid, ok := other.(*ast.Ident)
 							if !ok || oid == id {
 								continue
 							}
-							if oobj := c.objOf(oid); oobj != nil && isErrorType(oobj.Type()) {
-								c.errFor[oobj] = obj
+							if oobj := c.objOf(oid); oobj != nil && isBoolType(oobj.Type()) {
+								c.okFor[oobj] = obj
 							}
 						}
 					}
 					if len(x.Rhs) == 1 {
-						// The single RHS is consumed by this acquire.
 						c.scanCallArgsOnly(rhs, st, x)
 						return
 					}
 					continue
 				}
-				// Reassignment from a non-acquire: tracking ends.
 				if prev, ok := st[obj]; ok && prev.s == held {
-					// Overwriting a held credit drops it.
 					c.report(obj, x.Pos(), x,
-						"registered buffer %s (acquired at %s) is overwritten while its credit is still held",
+						"send credit %s (popped at %s) is overwritten while still held",
 						obj.Name(), c.pass.Fset.Position(c.bufs[obj].acquire))
 				}
-				st[obj] = bufState{s: untracked, pos: x.Pos()}
+				st[obj] = credState{s: untracked, pos: x.Pos()}
 			}
 		}
 		if rhs != nil {
 			if obj := c.trackedIdent(rhs); obj != nil {
 				if isIdent && id.Name == "_" {
-					continue // `_ = buf` discards the value; custody is unchanged
+					continue
 				}
-				// Aliasing the buffer into another name (or storing it):
-				// custody follows the new owner; stop tracking here.
-				st[obj] = bufState{s: untracked, pos: x.Pos()}
+				st[obj] = credState{s: untracked, pos: x.Pos()}
 				continue
 			}
 			c.scanExpr(rhs, st, x)
 		}
 	}
-	// Non-ident LHS (field stores, index stores) may embed tracked idents
-	// on the left too (rare); treat them as escapes.
 	for _, lhs := range x.Lhs {
 		if _, ok := lhs.(*ast.Ident); ok {
 			continue
@@ -952,66 +940,27 @@ func (c *checker) assign(x *ast.AssignStmt, st state) {
 	}
 }
 
-func (c *checker) valueSpec(vs *ast.ValueSpec, st state, at ast.Stmt) {
-	for i, name := range vs.Names {
-		if i >= len(vs.Values) {
-			continue
-		}
-		obj := c.objOf(name)
-		if obj != nil && isBufferPtr(obj.Type()) {
-			if kind, ch := acquireKind(c.pass, c.g, c.effects, vs.Values[i], 0); kind != acquireNone {
-				c.bufs[obj] = &tracked{obj: obj, acquire: vs.Values[i].Pos(), kind: kind, chanExpr: ch}
-				st[obj] = bufState{s: held, pos: vs.Values[i].Pos()}
-				continue
-			}
-		}
-		c.scanExpr(vs.Values[i], st, at)
-	}
-}
-
-// reapCompletions models receiving from a completion queue: the
-// transport hands custody of completed buffers back to the application,
-// so every posted buffer leaves the analyzer's sight — which buffer a
-// given completion covers is not statically knowable.
-func (c *checker) reapCompletions(st state, at token.Pos) {
-	for obj, v := range st {
-		if v.s == posted {
-			st[obj] = bufState{s: untracked, pos: at}
-			// Path merges keep the leakiest state, which would resurrect
-			// `posted` when the reap sits in a loop body; once a completion
-			// is reaped anywhere, stop tracking the buffer outright.
-			delete(c.bufs, obj)
-		}
-	}
-}
-
-// send handles `ch <- buf`: a release when ch is a buffer free list.
+// send handles `ch <- buf`: a credit handoff to the receiving goroutine.
 func (c *checker) send(x *ast.SendStmt, st state) {
 	obj := c.trackedIdent(x.Value)
-	if obj == nil || !isBufferChan(c.pass.TypesInfo.TypeOf(x.Chan)) {
-		if obj != nil {
-			// Sent on a non-buffer channel (inside a struct, etc.): the
-			// receiver owns it now.
-			st[obj] = bufState{s: untracked, pos: x.Pos()}
-			return
-		}
+	if obj == nil {
 		c.scanExpr(x.Value, st, x)
 		return
 	}
-	if prev, ok := st[obj]; ok && prev.s == released {
-		c.report(obj, x.Pos(), x,
-			"registered buffer %s is released twice on this path (previous release at %s); the duplicate credit corrupts the pool",
-			obj.Name(), c.pass.Fset.Position(prev.pos))
-	}
-	st[obj] = bufState{s: released, pos: x.Pos()}
+	st[obj] = credState{s: untracked, pos: x.Pos()}
 }
 
-// deferredCall applies a deferred statement's custody effects immediately.
 func (c *checker) deferredCall(call *ast.CallExpr, st state, at ast.Stmt) {
+	// A deferred release covers every return after it; immediate is sound
+	// for leak checking.
 	if fl, ok := call.Fun.(*ast.FuncLit); ok {
 		ast.Inspect(fl.Body, func(n ast.Node) bool {
-			if snd, ok := n.(*ast.SendStmt); ok {
-				c.send(snd, st)
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if arg := poolPush(c.pass, inner); arg != nil {
+					if obj := c.trackedIdent(arg); obj != nil {
+						c.release(obj, inner.Pos(), at, st)
+					}
+				}
 			}
 			return true
 		})
@@ -1020,8 +969,6 @@ func (c *checker) deferredCall(call *ast.CallExpr, st state, at ast.Stmt) {
 	c.scanExpr(call, st, at)
 }
 
-// scanCallArgsOnly scans an acquire call's arguments without treating the
-// call itself as an escape of anything.
 func (c *checker) scanCallArgsOnly(e ast.Expr, st state, at ast.Stmt) {
 	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
 		for _, a := range call.Args {
@@ -1030,9 +977,17 @@ func (c *checker) scanCallArgsOnly(e ast.Expr, st state, at ast.Stmt) {
 	}
 }
 
-// scanExpr classifies every use of a tracked buffer inside e: posts,
-// releasing callees, memory access while posted, and everything else as a
-// custody handoff that ends tracking on this path.
+// release moves obj to released, reporting the duplicate-credit case.
+func (c *checker) release(obj types.Object, at token.Pos, node ast.Node, st state) {
+	if prev, ok := st[obj]; ok && prev.s == releasedS {
+		c.report(obj, at, node,
+			"send credit %s is returned twice on this path (previous return at %s); the duplicate credit hands the buffer to two senders",
+			obj.Name(), c.pass.Fset.Position(prev.pos))
+	}
+	st[obj] = credState{s: releasedS, pos: at}
+}
+
+// scanExpr classifies every use of a tracked credit inside e.
 func (c *checker) scanExpr(e ast.Expr, st state, at ast.Stmt) {
 	if e == nil {
 		return
@@ -1040,24 +995,19 @@ func (c *checker) scanExpr(e ast.Expr, st state, at ast.Stmt) {
 	switch x := e.(type) {
 	case *ast.Ident:
 		if obj := c.trackedIdent(x); obj != nil {
-			st[obj] = bufState{s: untracked, pos: x.Pos()}
+			st[obj] = credState{s: untracked, pos: x.Pos()}
 		}
 	case *ast.CallExpr:
 		c.call(x, st, at)
 	case *ast.UnaryExpr:
 		if x.Op == token.AND {
-			// &buf escapes.
 			if obj := c.trackedIdent(x.X); obj != nil {
-				st[obj] = bufState{s: untracked, pos: x.Pos()}
+				st[obj] = credState{s: untracked, pos: x.Pos()}
 				return
 			}
 		}
-		if x.Op == token.ARROW && isCompletionChan(c.pass.TypesInfo.TypeOf(x.X)) {
-			c.reapCompletions(st, x.Pos())
-		}
 		c.scanExpr(x.X, st, at)
 	case *ast.BinaryExpr:
-		// Comparisons (buf == nil) don't move custody.
 		if obj := c.trackedIdent(x.X); obj == nil {
 			c.scanExpr(x.X, st, at)
 		}
@@ -1069,10 +1019,8 @@ func (c *checker) scanExpr(e ast.Expr, st state, at ast.Stmt) {
 	case *ast.StarExpr:
 		c.scanExpr(x.X, st, at)
 	case *ast.SelectorExpr:
-		// buf.Method as a method value, or buf.field: handled at call
-		// sites; a bare selector on a tracked buffer is an escape.
 		if obj := c.trackedIdent(x.X); obj != nil {
-			st[obj] = bufState{s: untracked, pos: x.Pos()}
+			st[obj] = credState{s: untracked, pos: x.Pos()}
 			return
 		}
 		c.scanExpr(x.X, st, at)
@@ -1088,8 +1036,7 @@ func (c *checker) scanExpr(e ast.Expr, st state, at ast.Stmt) {
 				v = kv.Value
 			}
 			if obj := c.trackedIdent(v); obj != nil {
-				// Stored in a struct/slice/map: the container owns it.
-				st[obj] = bufState{s: untracked, pos: v.Pos()}
+				st[obj] = credState{s: untracked, pos: v.Pos()}
 				continue
 			}
 			c.scanExpr(v, st, at)
@@ -1097,12 +1044,10 @@ func (c *checker) scanExpr(e ast.Expr, st state, at ast.Stmt) {
 	case *ast.TypeAssertExpr:
 		c.scanExpr(x.X, st, at)
 	case *ast.FuncLit:
-		// The closure may release later; custody analysis stops here for
-		// any buffer it captures.
 		ast.Inspect(x.Body, func(n ast.Node) bool {
 			if id, ok := n.(*ast.Ident); ok {
 				if obj := c.trackedIdent(id); obj != nil {
-					st[obj] = bufState{s: untracked, pos: id.Pos()}
+					st[obj] = credState{s: untracked, pos: id.Pos()}
 				}
 			}
 			return true
@@ -1110,21 +1055,21 @@ func (c *checker) scanExpr(e ast.Expr, st state, at ast.Stmt) {
 	}
 }
 
-// call applies one call's custody semantics.
+// call applies one call's credit semantics.
 func (c *checker) call(call *ast.CallExpr, st state, at ast.Stmt) {
 	if fl, ok := call.Fun.(*ast.FuncLit); ok {
-		// Immediately-invoked (or go'd) literal: its captures escape.
 		c.scanExpr(fl, st, at)
 	}
-	// Memory access on a posted buffer: buf.SetLen / buf.Data / buf.Bytes.
+	if arg := poolPush(c.pass, call); arg != nil {
+		if obj := c.trackedIdent(arg); obj != nil {
+			c.release(obj, call.Pos(), at, st)
+			return
+		}
+	}
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if obj := c.trackedIdent(sel.X); obj != nil {
 			if _, isMethod := c.pass.TypesInfo.Selections[sel]; isMethod {
-				if prev, ok := st[obj]; ok && prev.s == posted && accessMethods[sel.Sel.Name] {
-					c.report(obj, call.Pos(), at,
-						"registered buffer %s is accessed (%s) after being posted at %s; the transport owns its memory until the completion is reaped",
-						obj.Name(), sel.Sel.Name, c.pass.Fset.Position(prev.pos))
-				}
+				// Methods on the buffer itself only touch its memory.
 				for _, a := range call.Args {
 					c.scanExpr(a, st, at)
 				}
@@ -1142,24 +1087,15 @@ func (c *checker) call(call *ast.CallExpr, st state, at ast.Stmt) {
 		}
 		switch {
 		case post && ai > 0:
-			if prev, ok := st[obj]; ok && prev.s == posted {
-				c.report(obj, call.Pos(), at,
-					"registered buffer %s is posted twice without an intervening completion (previous post at %s)",
-					obj.Name(), c.pass.Fset.Position(prev.pos))
-			}
-			st[obj] = bufState{s: posted, pos: call.Pos()}
+			// The transport holds the credit until completion; the reaper
+			// owns the repost.
+			st[obj] = credState{s: untracked, pos: call.Pos()}
 		case ce != nil && releasesParam(ce, ai):
-			if prev, ok := st[obj]; ok && prev.s == released {
-				c.report(obj, call.Pos(), at,
-					"registered buffer %s is released twice on this path (previous release at %s); the duplicate credit corrupts the pool",
-					obj.Name(), c.pass.Fset.Position(prev.pos))
-			}
-			st[obj] = bufState{s: released, pos: call.Pos()}
+			c.release(obj, call.Pos(), at, st)
 		case ce != nil && borrowsParam(ce, ai):
-			// The callee only writes into the buffer; custody stays here.
+			// Custody stays here.
 		default:
-			// Unknown custody: the callee (or container) owns it now.
-			st[obj] = bufState{s: untracked, pos: call.Pos()}
+			st[obj] = credState{s: untracked, pos: call.Pos()}
 		}
 	}
 }
@@ -1182,42 +1118,29 @@ func borrowsParam(e *Effect, i int) bool {
 	return false
 }
 
-// errCheck recognizes `err ==/!= nil` over an error paired with an
-// acquire; eq reports the == form.
-func (c *checker) errCheck(cond ast.Expr) (types.Object, bool) {
-	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
-	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-		return nil, false
+// okCheck recognizes `if ok` / `if !ok` over a bool paired with a pop;
+// thenHolds reports whether the token is held on the then path.
+func (c *checker) okCheck(cond ast.Expr) (types.Object, bool) {
+	neg := false
+	e := ast.Unparen(cond)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		neg = true
+		e = ast.Unparen(u.X)
 	}
-	errSide, nilSide := be.X, be.Y
-	if isNilIdent(c.pass, errSide) {
-		errSide, nilSide = nilSide, errSide
-	}
-	if !isNilIdent(c.pass, nilSide) {
-		return nil, false
-	}
-	id, ok := ast.Unparen(errSide).(*ast.Ident)
+	id, ok := e.(*ast.Ident)
 	if !ok {
 		return nil, false
 	}
-	buf := c.errFor[c.objOf(id)]
+	buf := c.okFor[c.objOf(id)]
 	if buf == nil {
 		return nil, false
 	}
-	return buf, be.Op == token.EQL
+	return buf, !neg
 }
 
-func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
-	id, ok := ast.Unparen(e).(*ast.Ident)
-	if !ok {
-		return false
-	}
-	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
-	return isNil
-}
-
-func isErrorType(t types.Type) bool {
-	return types.Identical(t, types.Universe.Lookup("error").Type())
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
 }
 
 func (c *checker) terminatesCall(call *ast.CallExpr) bool {

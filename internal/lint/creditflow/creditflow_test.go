@@ -1,0 +1,24 @@
+package creditflow_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/creditflow"
+	"cyclojoin/internal/lint/linttest"
+)
+
+func TestCreditFlow(t *testing.T) {
+	linttest.Run(t, creditflow.Analyzer, "creditflow")
+}
+
+// TestCreditFlowCrossPackage threads dep's Acquire/Release effects into
+// the importing package's pass.
+func TestCreditFlowCrossPackage(t *testing.T) {
+	linttest.Run(t, creditflow.Analyzer, "creditdep/dep", "creditdep/use")
+}
+
+// TestCreditFlowFix applies the suggested TryPush reinsertion and
+// compares against credits.go.golden byte-exactly.
+func TestCreditFlowFix(t *testing.T) {
+	linttest.RunFix(t, creditflow.Analyzer, "creditflow")
+}

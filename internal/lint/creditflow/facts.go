@@ -1,0 +1,73 @@
+package creditflow
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Effect is one function's send-credit custody behavior in combined
+// parameter indexing (receiver first when present). It crosses package
+// boundaries as a serialized fact, so a helper that reposts or acquires
+// credits on the caller's behalf is understood from any importing
+// package.
+type Effect struct {
+	// Key is the function's FuncKey.
+	Key string `json:"key"`
+	// ParamRelease lists the parameters whose credit the callee returns
+	// (pushes back onto a credit pool, posts to the transport, or hands
+	// to a releasing callee).
+	ParamRelease []int `json:"param_release,omitempty"`
+	// ParamBorrowed lists credit-carrying parameters the callee only
+	// borrows: custody stays with the caller across the call.
+	ParamBorrowed []int `json:"param_borrowed,omitempty"`
+	// AcquiresResult lists result indices carrying a credit the callee
+	// acquired from a pool — the caller takes over returning it.
+	AcquiresResult []int `json:"acquires_result,omitempty"`
+}
+
+func (e *Effect) empty() bool {
+	return len(e.ParamRelease) == 0 && len(e.ParamBorrowed) == 0 && len(e.AcquiresResult) == 0
+}
+
+// CreditFacts is the per-package fact blob.
+type CreditFacts struct {
+	Effects []*Effect `json:"effects"`
+}
+
+// EncodeCreditFacts serializes an effect table in deterministic order.
+func EncodeCreditFacts(effects map[string]*Effect) []byte {
+	keys := make([]string, 0, len(effects))
+	for k, e := range effects {
+		if e != nil && !e.empty() {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	f := &CreditFacts{}
+	for _, k := range keys {
+		f.Effects = append(f.Effects, effects[k])
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// DecodeCreditFacts parses a fact blob, tolerating nil/garbage.
+func DecodeCreditFacts(data []byte) map[string]*Effect {
+	out := make(map[string]*Effect)
+	if len(data) == 0 {
+		return out
+	}
+	var f CreditFacts
+	if err := json.Unmarshal(data, &f); err != nil {
+		return out
+	}
+	for _, e := range f.Effects {
+		if e != nil && e.Key != "" {
+			out[e.Key] = e
+		}
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Package dep wraps the send-credit pool; its Acquire/Release effects
+// cross to importers as facts.
+package dep
+
+import (
+	"cyclojoin/internal/rdma"
+	"cyclojoin/internal/ringq"
+)
+
+type Pool struct {
+	free *ringq.MPMC[*rdma.Buffer]
+}
+
+func (p *Pool) Acquire() (*rdma.Buffer, bool) {
+	return p.free.TryPop()
+}
+
+func (p *Pool) Release(b *rdma.Buffer) {
+	p.free.TryPush(b)
+}

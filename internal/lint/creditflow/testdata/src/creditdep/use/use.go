@@ -1,0 +1,22 @@
+package use
+
+import "cyclolinttest/creditdep/dep"
+
+func leak(p *dep.Pool, bad bool) {
+	b, ok := p.Acquire()
+	if !ok {
+		return
+	}
+	if bad {
+		return // want `send credit b .* is not returned on this path`
+	}
+	p.Release(b)
+}
+
+func clean(p *dep.Pool) {
+	b, ok := p.Acquire()
+	if !ok {
+		return
+	}
+	p.Release(b)
+}

@@ -197,7 +197,7 @@ func sortedKeys(m map[string]*Summary) []string {
 // callee is unknown and the caller must assume arg→result flow.
 func (e *Escape) calleeSummaries(cs *CallSite) []*Summary {
 	if cs.Static != nil {
-		key := cs.Static.FullName()
+		key := FuncKey(cs.Static)
 		if s, ok := e.local[key]; ok {
 			return []*Summary{s}
 		}
@@ -216,7 +216,7 @@ func (e *Escape) calleeSummaries(cs *CallSite) []*Summary {
 
 func calleeName(cs *CallSite) string {
 	if cs.Static != nil {
-		return cs.Static.FullName()
+		return FuncKey(cs.Static)
 	}
 	if cs.Iface != nil {
 		return cs.Iface.FullName()

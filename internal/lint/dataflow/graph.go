@@ -45,7 +45,19 @@ type Func struct {
 
 // Key returns the stable cross-package identity of the function,
 // e.g. "(*cyclojoin/internal/ring.node).deliver".
-func (f *Func) Key() string { return f.Obj.FullName() }
+func (f *Func) Key() string { return FuncKey(f.Obj) }
+
+// FuncKey renders fn's stable cross-package identity. Instantiated
+// generic functions and methods normalize to their generic origin
+// declaration — (*ringq.SPSC[ring.inflight]).TryPush keys as
+// (*ringq.SPSC[T]).TryPush — so call sites of an instantiation find the
+// summary computed for the declared (generic) body.
+func FuncKey(fn *types.Func) string {
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return fn.FullName()
+}
 
 // Graph indexes one type-checked package's functions for interprocedural
 // analysis.
@@ -60,6 +72,9 @@ type Graph struct {
 	Funcs map[*types.Func]*Func
 
 	ordered []*Func
+	// callFuns lazily indexes identifiers in call-operand position
+	// (Origins uses it to detect functions referenced as values).
+	callFuns map[*ast.Ident]bool
 }
 
 // NewGraph indexes files (all from pkg) by walking their declarations.
@@ -89,10 +104,23 @@ func (g *Graph) All() []*Func { return g.ordered }
 
 // StaticCallee resolves a call to the *types.Func it statically invokes:
 // a plain function, a method on a concrete receiver, or a method value.
-// It returns nil for dynamic calls (interface methods, function values)
-// and for builtins and conversions.
+// Explicitly instantiated generic calls (F[T](…)) resolve to the generic
+// function; use FuncKey on the result for summary lookups. It returns nil
+// for dynamic calls (interface methods, function values) and for builtins
+// and conversions.
 func (g *Graph) StaticCallee(call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	fn := ast.Unparen(call.Fun)
+	// Strip an explicit instantiation F[T] / F[T1, T2]: index syntax on an
+	// expression that names a function can only be a generic instantiation.
+	switch ix := fn.(type) {
+	case *ast.IndexExpr:
+		if inner := ast.Unparen(ix.X); g.namesFunc(inner) {
+			fn = inner
+		}
+	case *ast.IndexListExpr:
+		fn = ast.Unparen(ix.X)
+	}
+	switch fun := fn.(type) {
 	case *ast.Ident:
 		if fn, ok := g.Info.Uses[fun].(*types.Func); ok {
 			return fn
@@ -118,6 +146,20 @@ func (g *Graph) StaticCallee(call *ast.CallExpr) *types.Func {
 		}
 	}
 	return nil
+}
+
+// namesFunc reports whether e is an identifier or selector resolving to a
+// function object (the operand of a generic instantiation).
+func (g *Graph) namesFunc(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		_, ok := g.Info.Uses[x].(*types.Func)
+		return ok
+	case *ast.SelectorExpr:
+		_, ok := g.Info.Uses[x.Sel].(*types.Func)
+		return ok
+	}
+	return false
 }
 
 // InterfaceMethod returns the interface method a dynamic call dispatches

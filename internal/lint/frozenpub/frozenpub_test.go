@@ -1,0 +1,18 @@
+package frozenpub_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/frozenpub"
+	"cyclojoin/internal/lint/linttest"
+)
+
+func TestFrozenPub(t *testing.T) {
+	linttest.Run(t, frozenpub.Analyzer, "frozenpub")
+}
+
+// TestFrozenPubCrossPackage publishes a snapshot type declared in a
+// dependency through a cross-package atomic.Pointer instantiation.
+func TestFrozenPubCrossPackage(t *testing.T) {
+	linttest.Run(t, frozenpub.Analyzer, "pubdep/dep", "pubdep/use")
+}

@@ -1,0 +1,113 @@
+package frozenpub
+
+import "sync/atomic"
+
+type snap struct {
+	n int
+	m map[string]int
+	b []byte
+}
+
+type sampler struct {
+	cur atomic.Pointer[snap]
+}
+
+// Build fully, then publish: clean.
+func good(s *sampler) {
+	p := &snap{m: make(map[string]int)}
+	p.n = 1
+	s.cur.Store(p)
+}
+
+func bad(s *sampler) {
+	p := &snap{}
+	s.cur.Store(p)
+	p.n = 3 // want `p is written after being atomically published`
+}
+
+func aliased(s *sampler) {
+	p := &snap{}
+	q := p
+	s.cur.Store(p)
+	q.n = 1 // want `q is written after being atomically published`
+}
+
+func swapped(s *sampler) {
+	p := &snap{}
+	old := s.cur.Swap(p)
+	_ = old
+	p.b = nil // want `p is written after being atomically published`
+}
+
+func throughValue(v *atomic.Value) {
+	p := &snap{}
+	v.Store(p)
+	p.n = 2 // want `p is written after being atomically published`
+}
+
+func deepWrite(s *sampler) {
+	p := &snap{m: make(map[string]int)}
+	s.cur.Store(p)
+	p.m["k"] = 1 // want `p is written after being atomically published`
+}
+
+func incAfter(s *sampler) {
+	p := &snap{}
+	s.cur.Store(p)
+	p.n++ // want `p is written after being atomically published`
+}
+
+// Publish and write on exclusive paths: clean.
+func branch(s *sampler, c bool) {
+	p := &snap{}
+	if c {
+		s.cur.Store(p)
+	} else {
+		p.n = 1
+	}
+}
+
+// The back edge carries the publish into the next iteration's write.
+func loop(s *sampler) {
+	p := &snap{}
+	for i := 0; i < 2; i++ {
+		p.n = i // want `p is written after being atomically published`
+		s.cur.Store(p)
+	}
+}
+
+// Rebinding to a fresh object after publish starts a new private build.
+func republish(s *sampler) {
+	p := &snap{}
+	s.cur.Store(p)
+	p = &snap{}
+	p.n = 1
+	s.cur.Store(p)
+}
+
+// A failed CompareAndSwap leaves the candidate private: the retry path
+// may mutate it.
+func casRetry(s *sampler, next func(*snap) *snap) {
+	for {
+		old := s.cur.Load()
+		p := next(old)
+		if s.cur.CompareAndSwap(old, p) {
+			return
+		}
+		p.n = 0
+	}
+}
+
+func casPublished(s *sampler, old, p *snap) {
+	if s.cur.CompareAndSwap(old, p) {
+		p.n = 1 // want `p is written after being atomically published`
+	}
+}
+
+// Sanctioned single-writer mutation, justified at the write.
+func sanctioned(s *sampler) {
+	p := &snap{}
+	s.cur.Store(p)
+	//cyclolint:pubsafe readers tolerate monotonic updates of n
+	p.n = 1
+}

@@ -1,0 +1,11 @@
+// Package dep declares the snapshot type the importing package
+// publishes: the analyzer must see through the cross-package generic
+// instantiation atomic.Pointer[dep.Snap].
+package dep
+
+type Snap struct {
+	N     int
+	Edges []int
+}
+
+func NewSnap() *Snap { return &Snap{} }

@@ -1,0 +1,25 @@
+package use
+
+import (
+	"sync/atomic"
+
+	"cyclolinttest/pubdep/dep"
+)
+
+type holder struct {
+	cur atomic.Pointer[dep.Snap]
+}
+
+func publish(h *holder) {
+	s := dep.NewSnap()
+	s.N = 1
+	h.cur.Store(s)
+	s.Edges = append(s.Edges, 2) // want `s is written after being atomically published`
+}
+
+func clean(h *holder) {
+	s := dep.NewSnap()
+	s.N = 1
+	s.Edges = append(s.Edges, 2)
+	h.cur.Store(s)
+}

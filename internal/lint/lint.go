@@ -3,9 +3,12 @@
 //
 //	viewescape   — relation.View aliases must not outlive the buffer credit
 //	bufown       — registered-buffer credits released on every path
+//	creditflow   — ring send credits from the free pool returned on every path
 //	lockorder    — one global lock-acquisition order, no cycles
 //	hotpathalloc — //cyclolint:hotpath functions stay allocation-free
 //	spanpair     — trace Begin/End pairing on every return path
+//	spscrole     — each SPSC ring keeps a single producer and consumer goroutine
+//	frozenpub    — atomically published objects are frozen after the Store
 //	unsafeonly   — unsafe confined to build-tagged endian files
 //	metricname   — metric names are greppable, unit-suffixed literals
 //
@@ -16,10 +19,13 @@ package lint
 import (
 	"cyclojoin/internal/lint/analysis"
 	"cyclojoin/internal/lint/bufown"
+	"cyclojoin/internal/lint/creditflow"
+	"cyclojoin/internal/lint/frozenpub"
 	"cyclojoin/internal/lint/hotpathalloc"
 	"cyclojoin/internal/lint/lockorder"
 	"cyclojoin/internal/lint/metricname"
 	"cyclojoin/internal/lint/spanpair"
+	"cyclojoin/internal/lint/spscrole"
 	"cyclojoin/internal/lint/unsafeonly"
 	"cyclojoin/internal/lint/viewescape"
 )
@@ -29,9 +35,12 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		viewescape.Analyzer,
 		bufown.Analyzer,
+		creditflow.Analyzer,
 		lockorder.Analyzer,
 		hotpathalloc.Analyzer,
 		spanpair.Analyzer,
+		spscrole.Analyzer,
+		frozenpub.Analyzer,
 		unsafeonly.Analyzer,
 		metricname.Analyzer,
 	}

@@ -102,6 +102,9 @@ func Importer(fset *token.FileSet, importMap, exportFiles map[string]string) typ
 }
 
 // NewInfo returns a types.Info with every fact map analyzers consume.
+// Instances records each generic function/method instantiation, which the
+// dataflow IR needs to resolve instantiated callees back to their generic
+// declarations (ringq's SPSC[T] methods would otherwise be invisible).
 func NewInfo() *types.Info {
 	return &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -109,6 +112,7 @@ func NewInfo() *types.Info {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
 }

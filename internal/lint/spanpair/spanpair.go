@@ -79,6 +79,9 @@ type checker struct {
 	hasGoto bool
 	// reported dedups diagnostics per (object, position).
 	reported map[posKey]bool
+	// decls lazily maps package-level function objects to their
+	// declarations, for resolving go'd helper bodies.
+	decls map[types.Object]*ast.FuncDecl
 }
 
 type posKey struct {
@@ -191,7 +194,7 @@ func (c *checker) pruneEscapes(body *ast.BlockStmt) {
 		if obj == nil || c.spans[obj] == nil {
 			return true
 		}
-		if !c.useAllowed(id, parents[id]) {
+		if !c.useAllowed(id, parents[id]) && !c.goHandoff(id, parents) {
 			delete(c.spans, obj)
 		}
 		return true
@@ -228,6 +231,84 @@ func (c *checker) useAllowed(id *ast.Ident, parent ast.Node) bool {
 	default:
 		return false
 	}
+}
+
+// goHandoff reports whether id's use is `go helper(.., pd, ..)` where
+// the same-package helper Ends that parameter: the spawned goroutine
+// takes over the closing obligation (the ring's completion-reaper
+// pattern), so the use is a transfer, not an escape.
+func (c *checker) goHandoff(id *ast.Ident, parents map[ast.Node]ast.Node) bool {
+	call, ok := parents[id].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	g, ok := parents[call].(*ast.GoStmt)
+	if !ok || g.Call != call {
+		return false
+	}
+	for i, a := range call.Args {
+		if ast.Unparen(a) == ast.Expr(id) {
+			return c.calleeEndsParam(call, i)
+		}
+	}
+	return false
+}
+
+// calleeEndsParam resolves the static same-package callee of call and
+// reports whether its body calls End on the parameter at index i.
+func (c *checker) calleeEndsParam(call *ast.CallExpr, i int) bool {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[f.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() != c.pass.Pkg {
+		return false
+	}
+	if c.decls == nil {
+		c.decls = make(map[types.Object]*ast.FuncDecl)
+		for _, file := range c.pass.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if o := c.pass.TypesInfo.Defs[fd.Name]; o != nil {
+						c.decls[o] = fd
+					}
+				}
+			}
+		}
+	}
+	decl := c.decls[fn.Origin()]
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	var params []*ast.Ident
+	for _, field := range decl.Type.Params.List {
+		params = append(params, field.Names...)
+	}
+	if i >= len(params) {
+		return false
+	}
+	target := c.pass.TypesInfo.Defs[params[i]]
+	if target == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		ce, ok := n.(*ast.CallExpr)
+		if !ok || !c.isEnd(ce) {
+			return true
+		}
+		for _, a := range ce.Args {
+			if aid, ok := ast.Unparen(a).(*ast.Ident); ok && c.pass.TypesInfo.Uses[aid] == target {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
 }
 
 func (c *checker) isBegin(call *ast.CallExpr) bool {
@@ -385,10 +466,50 @@ func (c *checker) stmt(s ast.Stmt, st state) bool {
 		// break/continue leave the enclosing loop's walk; the path ends
 		// here as far as fall-through reporting is concerned.
 		return true
-	case *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.EmptyStmt:
+	case *ast.GoStmt:
+		c.goStmt(x, st)
+		return false
+	case *ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.EmptyStmt:
 		return false
 	default:
 		return false
+	}
+}
+
+// goStmt transfers span obligations into a spawned goroutine. A span
+// Ended anywhere in the go'd body — `go sh.End(pd)`, an End inside the
+// go'd function literal, or a same-package helper that Ends its
+// parameter — is closed on the spawning path: the new goroutine owns
+// the End from here, which is how the send reaper pairs Begin on the
+// submit path with End on the completion path.
+func (c *checker) goStmt(g *ast.GoStmt, st state) {
+	if obj := c.endedObj(g.Call); obj != nil {
+		st[obj] = closed
+		return
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if obj := c.endedObj(call); obj != nil {
+					st[obj] = closed
+				}
+			}
+			return true
+		})
+		return
+	}
+	for i, a := range g.Call.Args {
+		id, ok := ast.Unparen(a).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if obj == nil || c.spans[obj] == nil {
+			continue
+		}
+		if c.calleeEndsParam(g.Call, i) {
+			st[obj] = closed
+		}
 	}
 }
 

@@ -114,6 +114,46 @@ func fieldUseStillTracked(sh *trace.Shard, frag int32) bool {
 	return true
 }
 
+// The completion goroutine owns the End: Begin on the submit path, End
+// in the spawned reaper. Previously a false positive.
+func endInSpawnedGoroutine(sh *trace.Shard, done chan struct{}) {
+	pd := sh.Begin(trace.PhaseSend)
+	go func() {
+		<-done
+		sh.End(pd)
+	}()
+}
+
+func goEndDirect(sh *trace.Shard) {
+	pd := sh.Begin(trace.PhaseJoin)
+	go sh.End(pd)
+}
+
+// A go'd same-package helper that Ends its parameter takes over the
+// obligation.
+func endViaGoHelper(sh *trace.Shard) {
+	pd := sh.Begin(trace.PhaseWait)
+	go finish(sh, pd)
+}
+
+func finish(sh *trace.Shard, pd trace.Pending) {
+	sh.End(pd)
+}
+
+// Spawning an unrelated goroutine transfers nothing; the leak is still
+// reported.
+func goroutineNoEndStillLeaks(sh *trace.Shard, q chan int) bool {
+	pd := sh.Begin(trace.PhaseSend)
+	go func() {
+		q <- 1
+	}()
+	if cond() {
+		return false // want `still open on this return path`
+	}
+	sh.End(pd)
+	return true
+}
+
 func panicExempt(sh *trace.Shard) {
 	pd := sh.Begin(trace.PhaseJoin)
 	if cond() {

@@ -1,0 +1,80 @@
+package spscrole
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// FieldOp is one queue operation a function performs, identified by the
+// queue's field/global identity rather than an origin: it rides the
+// facts to whichever package supplies the real execution context.
+type FieldOp struct {
+	// Field is the queue identity, e.g. "(cyclojoin/internal/ring.node).procQ".
+	Field string `json:"field"`
+	// Kind is "push" or "pop".
+	Kind string `json:"kind"`
+	// Site is the operation's position, "file.go:12".
+	Site string `json:"site"`
+}
+
+// Summary is one function's SPSC-role effect, exported as facts.
+type Summary struct {
+	// Key is the function's dataflow.FuncKey.
+	Key string `json:"key,omitempty"`
+	// ParamPush lists combined receiver-first parameter indices the
+	// function transitively pushes to.
+	ParamPush []int `json:"paramPush,omitempty"`
+	// ParamPop lists parameter indices the function transitively pops
+	// from.
+	ParamPop []int `json:"paramPop,omitempty"`
+	// Pending holds field ops awaiting attribution: the function has no
+	// caller in its home package, so the importing call site supplies the
+	// goroutine origin.
+	Pending []FieldOp `json:"pending,omitempty"`
+}
+
+// roleFacts is the serialized fact blob.
+type roleFacts struct {
+	Funcs []*Summary `json:"funcs"`
+}
+
+// EncodeRoleFacts serializes the non-empty summaries deterministically.
+func EncodeRoleFacts(sums map[string]*Summary) []byte {
+	keys := make([]string, 0, len(sums))
+	for k, s := range sums {
+		if s == nil || (len(s.ParamPush) == 0 && len(s.ParamPop) == 0 && len(s.Pending) == 0) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	f := &roleFacts{}
+	for _, k := range keys {
+		s := sums[k]
+		s.Key = k
+		f.Funcs = append(f.Funcs, s)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// DecodeRoleFacts parses a fact blob, tolerating nil/garbage.
+func DecodeRoleFacts(data []byte) map[string]*Summary {
+	out := make(map[string]*Summary)
+	if len(data) == 0 {
+		return out
+	}
+	var f roleFacts
+	if err := json.Unmarshal(data, &f); err != nil {
+		return out
+	}
+	for _, s := range f.Funcs {
+		if s != nil && s.Key != "" {
+			out[s.Key] = s
+		}
+	}
+	return out
+}

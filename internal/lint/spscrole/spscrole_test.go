@@ -1,0 +1,19 @@
+package spscrole_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/linttest"
+	"cyclojoin/internal/lint/spscrole"
+)
+
+func TestSPSCRole(t *testing.T) {
+	linttest.Run(t, spscrole.Analyzer, "spscrole")
+}
+
+// TestSPSCRoleCrossPackage proves pending ops cross the package
+// boundary: dep's queue methods have no callers at home, so the
+// importing package's goroutines supply the producer origins.
+func TestSPSCRoleCrossPackage(t *testing.T) {
+	linttest.Run(t, spscrole.Analyzer, "spscdep/dep", "spscdep/use")
+}

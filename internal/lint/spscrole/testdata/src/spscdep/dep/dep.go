@@ -1,0 +1,16 @@
+// Package dep wraps an SPSC ring; its methods have no callers here, so
+// their queue ops ride the facts as pending and are attributed in the
+// importing package, where the goroutine structure is visible.
+package dep
+
+import "cyclojoin/internal/ringq"
+
+type Q struct {
+	ch *ringq.SPSC[int]
+}
+
+func New() *Q { return &Q{ch: ringq.NewSPSC[int](8)} }
+
+func (q *Q) Put(v int) { q.ch.TryPush(v) }
+
+func (q *Q) Get() (int, bool) { return q.ch.TryPop() }

@@ -44,7 +44,7 @@ const relationPkg = "cyclojoin/internal/relation"
 var Analyzer = &analysis.Analyzer{
 	Name:      "viewescape",
 	Doc:       "a relation.View alias (or anything it flows into, across calls) must not outlive the buffer credit without Materialize()",
-	Version:   "2",
+	Version:   "3",
 	UsesFacts: true,
 	Run:       run,
 }

@@ -699,7 +699,7 @@ func (n *node) deliver(buf *rdma.Buffer, frame []byte) bool {
 	// the point: the buffer credit travels with it (buf stays pinned), and
 	// the join loop releases the credit only after staging or Materialize.
 	//cyclolint:viewsafe credit travels with the view; procLoop releases it after staging or Materialize
-	if n.pushInput(n.procQ, n.procSpace, inflight{frag: frag, view: v, buf: buf}) {
+	if n.pushInput(n.procQ, n.procSpace, inflight{frag: frag, view: v, buf: buf}) { //cyclolint:role recvLoop and recvLoopWrites are alternative transports; exactly one receive entity runs per node
 		n.frecv.End(rspan)
 		return true
 	}
@@ -1042,7 +1042,7 @@ func (n *node) encodeOutbound(frag *relation.Fragment) (outbound, bool) {
 // inject hands a locally stored fragment to the join entity, as if it had
 // just arrived. It reports false if the node is shutting down.
 func (n *node) inject(frag *relation.Fragment) bool {
-	return n.pushInput(n.injectQ, n.injectSpace, inflight{frag: frag})
+	return n.pushInput(n.injectQ, n.injectSpace, inflight{frag: frag}) //cyclolint:role Run's inline tryInject precedes the loader goroutine hand-off; the two producers never overlap
 }
 
 // tryInject is inject's non-blocking fast path: push or report a full edge,
@@ -1154,10 +1154,10 @@ func (n *node) stageEncode(frag *relation.Fragment, buf *rdma.Buffer) (int, bool
 //
 //cyclolint:hotpath
 func (n *node) popOutbound() (outbound, bool) {
-	if ob, ok := n.requeueQ.TryPop(); ok {
+	if ob, ok := n.requeueQ.TryPop(); ok { //cyclolint:role sendLoop and sendLoopWrites are alternative transports; exactly one transmit entity runs per node
 		return ob, true
 	}
-	if ob, ok := n.sendQ.TryPop(); ok {
+	if ob, ok := n.sendQ.TryPop(); ok { //cyclolint:role sendLoop and sendLoopWrites are alternative transports; exactly one transmit entity runs per node
 		n.sendSpace.Signal()
 		return ob, true
 	}
