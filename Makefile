@@ -10,7 +10,7 @@ GO ?= go
 # of quietly taxing every CI run.
 LINT_BUDGET ?= 60s
 
-.PHONY: check build vet lint cyclolint lint-sarif lint-fix-clean test race chaos chaos-fuzz bench-metrics bench-ring bench-smoke bench-trace smoke-trace smoke-health
+.PHONY: check build vet lint cyclolint lint-sarif lint-stats lint-fix-clean test race chaos chaos-fuzz bench-metrics bench-ring bench-smoke bench-trace smoke-trace smoke-health
 
 check: build vet lint race chaos
 
@@ -47,6 +47,24 @@ cyclolint:
 lint-sarif:
 	$(GO) build -o bin/cyclolint ./cmd/cyclolint
 	./bin/cyclolint -sarif ./... > cyclolint.sarif || true
+
+# lint-stats captures the per-analyzer wall-time breakdown to
+# cyclolint-stats.txt (CI uploads it as a per-run artifact) and appends
+# one trend row to the committed LINT_STATS.md: date, suite version,
+# analyzer count, total wall time. Run it in any PR that changes the
+# suite and commit the row — the table makes wall-time creep visible
+# long before the LINT_BUDGET gate trips.
+lint-stats:
+	$(GO) build -o bin/cyclolint ./cmd/cyclolint
+	./bin/cyclolint -stats ./... 2> cyclolint-stats.txt; st=$$?; \
+	cat cyclolint-stats.txt; [ $$st -eq 0 ] || exit $$st
+	printf '| %s | %s | %s | %s |\n' \
+		"$$(date -u +%F)" \
+		"$$(./bin/cyclolint -V=full | sed 's/^cyclolint version //; s/+.*//')" \
+		"$$(grep -c 'cyclolint: stats: ' cyclolint-stats.txt | awk '{print $$1 - 1}')" \
+		"$$(awk '/cyclolint: stats: total/ {print $$NF}' cyclolint-stats.txt)" \
+		>> LINT_STATS.md
+	tail -1 LINT_STATS.md
 
 # lint-fix-clean asserts every mechanical fix is already applied: -fix
 # over the tree must be a no-op. CI runs it so a committed finding whose

@@ -4,7 +4,8 @@
 // Standalone, over package patterns, from anywhere in the module:
 //
 //	cyclolint ./...
-//	cyclolint -disable hotpathalloc ./internal/ring
+//	cyclolint -only shareguard,waitcycle ./...   (just the named analyzers)
+//	cyclolint -skip hotpathalloc ./internal/ring (all but the named ones)
 //	cyclolint -json ./...     (machine-readable diagnostics on stdout)
 //	cyclolint -sarif ./...    (SARIF 2.1.0 on stdout, for code scanning)
 //	cyclolint -fix ./...      (apply suggested fixes in place)
@@ -52,7 +53,7 @@ import (
 
 // version is the driver's own version; suiteVersion folds in each
 // analyzer's, so either kind of bump discards stale cached vet verdicts.
-const version = "v0.3.0"
+const version = "v0.4.0"
 
 // suiteVersion stamps the driver and every analyzer version into the
 // -V=full reply, which go vet hashes into its build-cache key.
@@ -83,14 +84,16 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("cyclolint", flag.ContinueOnError)
 	vFlag := fs.String("V", "", "print version and exit (go vet protocol)")
 	flagsFlag := fs.Bool("flags", false, "print flag definitions as JSON and exit (go vet protocol)")
-	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip (legacy alias of -skip)")
+	only := fs.String("only", "", "comma-separated analyzer names to run exclusively")
+	skip := fs.String("skip", "", "comma-separated analyzer names to skip")
 	jsonFlag := fs.Bool("json", false, "print diagnostics as JSON on stdout (standalone mode)")
 	sarifFlag := fs.Bool("sarif", false, "print diagnostics as SARIF 2.1.0 on stdout (standalone mode)")
 	fixFlag := fs.Bool("fix", false, "apply suggested fixes to the source files (standalone mode)")
 	statsFlag := fs.Bool("stats", false, "print per-analyzer wall time on stderr (standalone mode)")
 	budgetFlag := fs.Duration("budget", 0, "fail when total analysis wall time exceeds this duration (standalone mode)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: cyclolint [-disable names] [-json|-sarif] [-fix] [-stats] [-budget dur] [packages]\n       cyclolint <unit>.cfg  (go vet -vettool mode)\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: cyclolint [-only names] [-skip names] [-json|-sarif] [-fix] [-stats] [-budget dur] [packages]\n       cyclolint <unit>.cfg  (go vet -vettool mode)\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -108,7 +111,11 @@ func run(args []string) int {
 		fmt.Println("[]")
 		return 0
 	}
-	analyzers := selected(*disable)
+	analyzers, err := selected(*only, joinLists(*skip, *disable))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cyclolint: %v\n", err)
+		return 2
+	}
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runUnit(analyzers, rest[0])
@@ -119,21 +126,66 @@ func run(args []string) int {
 	return runStandalone(analyzers, rest, outputOptions{json: *jsonFlag, sarif: *sarifFlag, fix: *fixFlag, stats: *statsFlag, budget: *budgetFlag})
 }
 
-// selected filters the suite by the -disable list.
-func selected(disable string) []*analysis.Analyzer {
-	skip := make(map[string]bool)
-	for _, name := range strings.Split(disable, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			skip[name] = true
+// joinLists concatenates comma-separated name lists, tolerating empties.
+func joinLists(lists ...string) string {
+	var parts []string
+	for _, l := range lists {
+		if l != "" {
+			parts = append(parts, l)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// splitNames parses a comma-separated analyzer-name list, rejecting
+// names not in the suite — a typo silently running the full suite (or
+// none of it) is worse than an error.
+func splitNames(list string) (map[string]bool, error) {
+	known := make(map[string]bool)
+	for _, a := range lint.Analyzers() {
+		known[a.Name] = true
+	}
+	out := make(map[string]bool)
+	for _, name := range strings.Split(list, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown analyzer %q (see cyclolint -help for the suite)", name)
+		}
+		out[name] = true
+	}
+	return out, nil
+}
+
+// selected filters the suite: -only keeps exactly the named analyzers,
+// -skip (and its legacy alias -disable) removes the named ones. The
+// suite order is preserved either way.
+func selected(only, skip string) ([]*analysis.Analyzer, error) {
+	keep, err := splitNames(only)
+	if err != nil {
+		return nil, err
+	}
+	drop, err := splitNames(skip)
+	if err != nil {
+		return nil, err
+	}
+	for name := range keep {
+		if drop[name] {
+			return nil, fmt.Errorf("analyzer %q is in both -only and -skip", name)
 		}
 	}
 	var out []*analysis.Analyzer
 	for _, a := range lint.Analyzers() {
-		if !skip[a.Name] {
-			out = append(out, a)
+		if len(keep) > 0 && !keep[a.Name] {
+			continue
 		}
+		if drop[a.Name] {
+			continue
+		}
+		out = append(out, a)
 	}
-	return out
+	return out, nil
 }
 
 // located is a diagnostic resolved to a concrete file position, ready for

@@ -20,6 +20,8 @@ func fixedDiags() []located {
 		{pos: token.Position{Filename: "internal/health/health.go", Line: 353, Column: 2}, analyzer: "frozenpub", message: "snap is written after being atomically published at health.go:350; readers Load without locks — build a fresh object and re-Store it instead"},
 		{pos: token.Position{Filename: "internal/ring/node.go", Line: 454, Column: 9}, analyzer: "creditflow", message: "send credit buf (popped at node.go:450) is not returned on this path; the pool loses a send slot until restart"},
 		{pos: token.Position{Filename: "internal/ring/node.go", Line: 120, Column: 3}, analyzer: "spanpair", message: "trace span pd (Begin at node.go:110) is still open on this return path; call End before returning or defer it"},
+		{pos: token.Position{Filename: "internal/hotset/hotset.go", Line: 88, Column: 2}, analyzer: "shareguard", message: "(cyclojoin/internal/hotset.tracker).epoch has a plain write with no common guard across 2 goroutine origins: entry (write at hotset.go:88), go hotset.go:61 (read at hotset.go:140); no shared lock class, consistent atomic use, or happens-before protects it — serialize the accesses or annotate //cyclolint:sharesafe with the ownership argument"},
+		{pos: token.Position{Filename: "internal/ring/node.go", Line: 612, Column: 4}, analyzer: "waitcycle", message: "static wait cycle: go node.go:396 blocked at send of (cyclojoin/internal/ring.node).acks (node.go:612) and go node.go:401 blocked at recv of (cyclojoin/internal/ring.node).data (node.go:733) can each be released only past the other's block — reorder the hand-off, buffer the channel, or annotate //cyclolint:waitsafe with the progress argument"},
 	}
 	sortLocated(ds)
 	return ds
@@ -66,7 +68,10 @@ func TestEmitSARIFGolden(t *testing.T) {
 }
 
 func TestEmitStatsGolden(t *testing.T) {
-	analyzers := selected("")
+	analyzers, err := selected("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	tm := make(timings)
 	for i, a := range analyzers {
 		tm[a.Name] = time.Duration(i+1) * 10 * time.Millisecond
@@ -79,17 +84,53 @@ func TestEmitStatsGolden(t *testing.T) {
 // TestSuiteContainsProtocolAnalyzers guards the registration wiring: the
 // concurrency-protocol analyzers must stay in the default suite.
 func TestSuiteContainsProtocolAnalyzers(t *testing.T) {
+	full, err := selected("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	names := make(map[string]bool)
-	for _, a := range selected("") {
+	for _, a := range full {
 		names[a.Name] = true
 	}
-	for _, want := range []string{"spscrole", "frozenpub", "creditflow", "bufown", "spanpair"} {
+	for _, want := range []string{"spscrole", "frozenpub", "creditflow", "bufown", "spanpair", "shareguard", "waitcycle"} {
 		if !names[want] {
 			t.Errorf("analyzer %s missing from default suite", want)
 		}
 	}
-	if len(selected("spscrole,frozenpub")) != len(selected(""))-2 {
-		t.Errorf("-disable did not remove exactly the named analyzers")
+}
+
+// TestSelected covers the -only/-skip parsing: exclusive selection,
+// removal, rejection of unknown names and of contradictory lists.
+func TestSelected(t *testing.T) {
+	full, err := selected("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlyTwo, err := selected("shareguard, waitcycle", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onlyTwo) != 2 || onlyTwo[0].Name != "shareguard" || onlyTwo[1].Name != "waitcycle" {
+		t.Errorf("-only shareguard,waitcycle selected %d analyzers", len(onlyTwo))
+	}
+	skipped, err := selected("", "spscrole,frozenpub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != len(full)-2 {
+		t.Errorf("-skip did not remove exactly the named analyzers")
+	}
+	if _, err := selected("sharegaurd", ""); err == nil {
+		t.Errorf("-only with a misspelled analyzer name did not error")
+	}
+	if _, err := selected("", "nosuch"); err == nil {
+		t.Errorf("-skip with an unknown analyzer name did not error")
+	}
+	if _, err := selected("waitcycle", "waitcycle"); err == nil {
+		t.Errorf("an analyzer in both -only and -skip did not error")
+	}
+	if joinLists("a,b", "", "c") != "a,b,c" {
+		t.Errorf("joinLists mangles the legacy -disable merge")
 	}
 }
 

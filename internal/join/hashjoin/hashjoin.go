@@ -121,10 +121,19 @@ type partition struct {
 	keys []uint64
 	pay  []byte
 	payW int
+	// head/next/mask are written once by buildTable during
+	// SetupStationary and read-only by the probe workers Join launches
+	// later; the setup-then-join contract is the happens-before edge.
+
 	// head holds, per hash bucket, 1+index of the chain head (0 = empty).
+	//
+	//cyclolint:sharesafe built during SetupStationary, read-only once Join's probe workers start
 	head []int32
 	// next holds, per tuple, 1+index of the next tuple in its chain.
+	//
+	//cyclolint:sharesafe built during SetupStationary, read-only once Join's probe workers start
 	next []int32
+	//cyclolint:sharesafe built during SetupStationary, read-only once Join's probe workers start
 	mask uint64
 }
 

@@ -41,6 +41,13 @@ var hook = asValue
 func generic[T any](v T) {}
 
 func useGeneric() { go generic[int](1) }
+
+func (n *node) flush() {}
+
+func (n *node) launchValue() {
+	f := n.flush
+	go f()
+}
 `
 
 func buildOriginGraph(t *testing.T) *Graph {
@@ -133,6 +140,16 @@ func TestOrigins(t *testing.T) {
 	gen := of("generic")
 	if len(gen) != 1 || !strings.HasPrefix(gen[0], "go q.go:") {
 		t.Errorf("generic: got %v", gen)
+	}
+	// flush is launched through a method value (f := n.flush; go f()):
+	// the go statement's callee is not statically resolvable, so flush
+	// falls back to entry with no execution evidence — the conservative
+	// answer that keeps shareguard's prelaunch rule from firing on it.
+	if got := of("flush"); !reflect.DeepEqual(got, []string{EntryOrigin}) {
+		t.Errorf("flush: got %v, want [%s]", got, EntryOrigin)
+	}
+	if o.HasEvidence(get("flush")) {
+		t.Error("flush: a method-value launch must not count as execution evidence")
 	}
 
 	// Fact round-trip.

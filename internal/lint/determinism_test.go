@@ -16,7 +16,10 @@ import (
 // analyzers out of the suite.
 func protocolAnalyzers(t *testing.T) []*analysis.Analyzer {
 	t.Helper()
-	want := map[string]bool{"spscrole": true, "frozenpub": true, "creditflow": true}
+	want := map[string]bool{
+		"spscrole": true, "frozenpub": true, "creditflow": true,
+		"shareguard": true, "waitcycle": true,
+	}
 	var out []*analysis.Analyzer
 	for _, a := range lint.Analyzers() {
 		if want[a.Name] {
@@ -24,7 +27,7 @@ func protocolAnalyzers(t *testing.T) []*analysis.Analyzer {
 		}
 	}
 	if len(out) != len(want) {
-		t.Fatalf("suite has %d of the 3 protocol analyzers", len(out))
+		t.Fatalf("suite has %d of the %d protocol analyzers", len(out), len(want))
 	}
 	return out
 }
@@ -79,7 +82,7 @@ func transcript(t *testing.T, analyzers []*analysis.Analyzer) string {
 	return strings.Join(lines, "\n") + "\n---\n" + strings.Join(factLines, "\n")
 }
 
-// TestProtocolAnalyzersDeterministic runs the three new analyzers twice
+// TestProtocolAnalyzersDeterministic runs the fact-threading analyzers twice
 // over the whole module and requires byte-identical diagnostics and
 // facts. Map-iteration nondeterminism in the fixpoints or encoders would
 // flap vet's cache and CI; this runs under `make race` for the schedule

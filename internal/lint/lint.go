@@ -9,6 +9,8 @@
 //	spanpair     — trace Begin/End pairing on every return path
 //	spscrole     — each SPSC ring keeps a single producer and consumer goroutine
 //	frozenpub    — atomically published objects are frozen after the Store
+//	shareguard   — shared locations with a plain write need a common guard
+//	waitcycle    — no static wait-for cycles between goroutine origins
 //	unsafeonly   — unsafe confined to build-tagged endian files
 //	metricname   — metric names are greppable, unit-suffixed literals
 //
@@ -24,10 +26,12 @@ import (
 	"cyclojoin/internal/lint/hotpathalloc"
 	"cyclojoin/internal/lint/lockorder"
 	"cyclojoin/internal/lint/metricname"
+	"cyclojoin/internal/lint/shareguard"
 	"cyclojoin/internal/lint/spanpair"
 	"cyclojoin/internal/lint/spscrole"
 	"cyclojoin/internal/lint/unsafeonly"
 	"cyclojoin/internal/lint/viewescape"
+	"cyclojoin/internal/lint/waitcycle"
 )
 
 // Analyzers returns the full suite in stable order.
@@ -41,6 +45,8 @@ func Analyzers() []*analysis.Analyzer {
 		spanpair.Analyzer,
 		spscrole.Analyzer,
 		frozenpub.Analyzer,
+		shareguard.Analyzer,
+		waitcycle.Analyzer,
 		unsafeonly.Analyzer,
 		metricname.Analyzer,
 	}

@@ -45,6 +45,14 @@ var Analyzer = &analysis.Analyzer{
 var lockMethods = map[string]bool{"Lock": true, "RLock": true}
 var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
 
+// Lock-call kinds returned by LockCall.
+const (
+	// KindAcquire is a Lock/RLock call.
+	KindAcquire = 1
+	// KindRelease is an Unlock/RUnlock call.
+	KindRelease = 2
+)
+
 // localEdge is an Edge still tied to this package's positions and syntax,
 // so it can be reported on and directive-checked.
 type localEdge struct {
@@ -84,10 +92,10 @@ func run(pass *analysis.Pass) error {
 
 // mutexClass names the lock behind a Lock/Unlock selector base, or ""
 // when it is a local (untrackable) mutex.
-func mutexClass(pass *analysis.Pass, base ast.Expr) string {
+func mutexClass(info *types.Info, base ast.Expr) string {
 	switch x := ast.Unparen(base).(type) {
 	case *ast.SelectorExpr:
-		if fsel, ok := pass.TypesInfo.Selections[x]; ok {
+		if fsel, ok := info.Selections[x]; ok {
 			// A mutex field: class is the owning type plus field name.
 			t := fsel.Recv()
 			if ptr, ok := t.Underlying().(*types.Pointer); ok {
@@ -100,8 +108,8 @@ func mutexClass(pass *analysis.Pass, base ast.Expr) string {
 		}
 		// pkg.Var: a package-level mutex referenced across packages.
 		if id, ok := x.X.(*ast.Ident); ok {
-			if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
-				if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
 					return v.Pkg().Path() + "." + v.Name()
 				}
 			}
@@ -109,7 +117,7 @@ func mutexClass(pass *analysis.Pass, base ast.Expr) string {
 		return ""
 	case *ast.Ident:
 		// A package-level mutex in its own package; locals are skipped.
-		v, ok := objOf(pass, x).(*types.Var)
+		v, ok := objOf(info, x).(*types.Var)
 		if !ok || v.Pkg() == nil {
 			return ""
 		}
@@ -121,16 +129,19 @@ func mutexClass(pass *analysis.Pass, base ast.Expr) string {
 	return ""
 }
 
-func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
-	if o := pass.TypesInfo.Defs[id]; o != nil {
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
 		return o
 	}
-	return pass.TypesInfo.Uses[id]
+	return info.Uses[id]
 }
 
-// lockCall classifies call as a lock acquisition (kind 1) or release
-// (kind 2) of a trackable mutex class.
-func lockCall(pass *analysis.Pass, call *ast.CallExpr) (string, int) {
+// LockCall classifies call as a lock acquisition (KindAcquire) or
+// release (KindRelease) of a trackable mutex class, returning the
+// class name ("pkgpath.Type.field" or "pkgpath.var") and the kind, or
+// ("", 0) for anything else. shareguard reuses this so its guard sets
+// name lock classes exactly as lockorder's cycle reports do.
+func LockCall(info *types.Info, call *ast.CallExpr) (string, int) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", 0
@@ -138,13 +149,13 @@ func lockCall(pass *analysis.Pass, call *ast.CallExpr) (string, int) {
 	kind := 0
 	switch {
 	case lockMethods[sel.Sel.Name]:
-		kind = 1
+		kind = KindAcquire
 	case unlockMethods[sel.Sel.Name]:
-		kind = 2
+		kind = KindRelease
 	default:
 		return "", 0
 	}
-	selection, ok := pass.TypesInfo.Selections[sel]
+	selection, ok := info.Selections[sel]
 	if !ok {
 		return "", 0
 	}
@@ -155,7 +166,7 @@ func lockCall(pass *analysis.Pass, call *ast.CallExpr) (string, int) {
 	if !analysis.IsNamed(recv, "sync", "Mutex") && !analysis.IsNamed(recv, "sync", "RWMutex") {
 		return "", 0
 	}
-	cls := mutexClass(pass, sel.X)
+	cls := mutexClass(info, sel.X)
 	if cls == "" {
 		return "", 0
 	}
@@ -179,7 +190,7 @@ func solveAcquires(pass *analysis.Pass, g *dataflow.Graph, acquires map[string][
 				if !ok {
 					return true
 				}
-				if cls, kind := lockCall(pass, call); kind == 1 {
+				if cls, kind := LockCall(pass.TypesInfo, call); kind == KindAcquire {
 					set[cls] = true
 					return true
 				}
@@ -260,12 +271,12 @@ func (w *walker) walk(body ast.Node, held []heldLock) {
 		case *ast.DeferStmt:
 			return false
 		case *ast.CallExpr:
-			if cls, kind := lockCall(w.pass, x); kind != 0 {
+			if cls, kind := LockCall(w.pass.TypesInfo, x); kind != 0 {
 				switch kind {
-				case 1:
+				case KindAcquire:
 					w.addEdges(held, cls, x)
 					held = append(held, heldLock{class: cls, pos: x.Pos()})
-				case 2:
+				case KindRelease:
 					for i := len(held) - 1; i >= 0; i-- {
 						if held[i].class == cls {
 							held = append(held[:i], held[i+1:]...)

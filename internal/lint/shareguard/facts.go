@@ -1,0 +1,92 @@
+package shareguard
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Access is one guarded memory access a function performs, identified by
+// the location's field/global identity. Accesses of functions with no
+// in-package execution evidence ride the facts to whichever package
+// supplies the real goroutine context.
+type Access struct {
+	// Loc is the location identity, e.g. "(cyclojoin/internal/ring.node).epoch".
+	Loc string `json:"loc"`
+	// Write marks a store (plain or atomic); otherwise the access is a read.
+	Write bool `json:"write,omitempty"`
+	// Atomic marks sync/atomic-mediated accesses.
+	Atomic bool `json:"atomic,omitempty"`
+	// Guards is the sorted lock-class set held at the access (lockorder
+	// naming), including classes the function is always called with.
+	Guards []string `json:"guards,omitempty"`
+	// Site is the access position, "file.go:12".
+	Site string `json:"site"`
+	// PreGo marks accesses positioned before the function's first
+	// (transitive) goroutine launch: at the importing call site they
+	// inherit the site's pre-launch happens-before, if any.
+	PreGo bool `json:"preGo,omitempty"`
+}
+
+// Summary is one function's guarded-access effect, exported as facts.
+type Summary struct {
+	// Key is the function's dataflow.FuncKey.
+	Key string `json:"key,omitempty"`
+	// Pending holds accesses awaiting origin attribution: the function has
+	// no caller in its home package, so the importing call site supplies
+	// the goroutine origin and any additionally held locks.
+	Pending []Access `json:"pending,omitempty"`
+}
+
+// shareFacts is the serialized fact blob.
+type shareFacts struct {
+	Funcs []*Summary `json:"funcs,omitempty"`
+	// Safe lists locations annotated //cyclolint:sharesafe at their field
+	// declaration, merged transitively so importers skip them too.
+	Safe []string `json:"safe,omitempty"`
+}
+
+// EncodeShareFacts serializes the non-empty summaries and the safe-location
+// set deterministically.
+func EncodeShareFacts(sums map[string]*Summary, safe map[string]bool) []byte {
+	keys := make([]string, 0, len(sums))
+	for k, s := range sums {
+		if s == nil || len(s.Pending) == 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	f := &shareFacts{}
+	for _, k := range keys {
+		s := sums[k]
+		s.Key = k
+		f.Funcs = append(f.Funcs, s)
+	}
+	for loc := range safe {
+		f.Safe = append(f.Safe, loc)
+	}
+	sort.Strings(f.Safe)
+	data, err := json.Marshal(f)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// DecodeShareFacts parses a fact blob, tolerating nil/garbage.
+func DecodeShareFacts(data []byte) (map[string]*Summary, []string) {
+	out := make(map[string]*Summary)
+	if len(data) == 0 {
+		return out, nil
+	}
+	var f shareFacts
+	if err := json.Unmarshal(data, &f); err != nil {
+		return out, nil
+	}
+	for _, s := range f.Funcs {
+		if s != nil && s.Key != "" {
+			out[s.Key] = s
+		}
+	}
+	return out, f.Safe
+}

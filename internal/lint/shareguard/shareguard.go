@@ -1,0 +1,995 @@
+// Package shareguard is a compositional static data-race detector in the
+// RacerD style, built on cyclolint's dataflow IR.
+//
+// For every field/global memory location a function touches it records a
+// guarded access: read or write, the lock-class set held at the access
+// (reusing lockorder's class naming and held-stack walk), and whether the
+// access is atomic (sync/atomic functions; fields of sync/atomic types
+// are internally synchronized and skipped). Accesses are attributed to
+// goroutine origins (dataflow.Origins) exactly like spscrole attributes
+// queue endpoints — through helpers, `go` launches, and across packages
+// via per-function fact summaries. A diagnostic fires when one location
+// is reachable from two or more origins with at least one plain
+// (non-atomic) write and an empty common guard set between the
+// conflicting accesses.
+//
+// Three happens-before/ownership arguments silence an access without a
+// lock:
+//
+//   - ownership: accesses through a local whose every definition is a
+//     fresh value (allocation, call result, literal, channel receive) are
+//     goroutine-local until published — the producer filling a chunk it
+//     just allocated does not race the consumer that pops it later;
+//   - pre-launch: accesses positioned before the function's first
+//     (transitive) goroutine launch, in functions reachable only from
+//     entry code that has not launched yet, happen-before every origin —
+//     the single-assignment-before-`go` configuration pattern;
+//   - frozen publication: snapshots read via atomic Load land in owned
+//     locals, and the publish itself is an atomic store (frozenpub owns
+//     the after-publish mutation check).
+//
+// Sanctioned exceptions are annotated with the reason, either at the
+// access, on the function's doc comment, or on the field declaration
+// (which suppresses the location module-wide, riding the facts):
+//
+//	//cyclolint:sharesafe windowed counter: torn reads acceptable in telemetry
+//
+// In-package _test.go files are excluded, as in spscrole: test harnesses
+// would hang phantom origins on every access they exercise.
+package shareguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cyclojoin/internal/lint/analysis"
+	"cyclojoin/internal/lint/dataflow"
+	"cyclojoin/internal/lint/lockorder"
+)
+
+// ringqPkg's slot memory is disciplined by seqlock-style atomics the
+// chaos tier verifies dynamically; every slot write would be a finding.
+const ringqPkg = "cyclojoin/internal/ringq"
+
+// Analyzer reports shared locations with a plain write and no common
+// guard across goroutine origins.
+var Analyzer = &analysis.Analyzer{
+	Name:      "shareguard",
+	Doc:       "a location reachable from two goroutine origins with a plain write needs a common guard: one lock class, atomic discipline, or a happens-before; annotate //cyclolint:sharesafe for sanctioned ownership",
+	Version:   "1",
+	UsesFacts: true,
+	Run:       run,
+}
+
+// noLaunch is the firstLaunch sentinel for functions that never launch.
+const noLaunch = token.Pos(1 << 40)
+
+// rawAccess is one access before guard/origin finalization.
+type rawAccess struct {
+	loc    string
+	write  bool
+	atomic bool
+	held   []string // lock classes held at the site
+	extra  []string // guards imported with a pending access
+	label  string   // launch-label context; "" = fn's own origins
+	fn     *dataflow.Func
+	pos    token.Pos
+	preGo  bool // positioned before the (exported) function's first launch
+}
+
+// attrAccess is one access attributed to a single origin.
+type attrAccess struct {
+	loc      string
+	write    bool
+	atomic   bool
+	guards   []string
+	origin   string
+	pre      bool // pre-launch happens-before: cannot participate in a race
+	captured bool // executed inside a launched literal, not origin fan-out
+	pos      token.Pos
+	site     string
+}
+
+// callSite is one static call, recorded for the calledWith and pre-launch
+// fixpoints.
+type callSite struct {
+	caller    *dataflow.Func
+	calleeKey string
+	held      []string
+	label     string
+	launch    bool
+	pos       token.Pos
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	g        *dataflow.Graph
+	origins  *dataflow.Origins
+	imported map[string]*Summary
+	safe     map[string]bool
+	raw      []rawAccess
+	sites    []callSite
+	firstGo  map[string]token.Pos // per function key; noLaunch if none
+	cw       map[string][]string  // calledWith: guard classes held at every call site
+	preCtx   map[string]bool      // function runs only before any launch
+	sums     map[string]*Summary
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == ringqPkg {
+		return nil
+	}
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	c := &checker{
+		pass:     pass,
+		g:        dataflow.NewGraph(pass.Fset, pass.Pkg, pass.TypesInfo, files),
+		imported: make(map[string]*Summary),
+		safe:     make(map[string]bool),
+		firstGo:  make(map[string]token.Pos),
+		cw:       make(map[string][]string),
+		preCtx:   make(map[string]bool),
+		sums:     make(map[string]*Summary),
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		sums, safe := DecodeShareFacts(pass.ImportedFacts(imp.Path()))
+		for k, s := range sums {
+			c.imported[k] = s
+		}
+		for _, loc := range safe {
+			c.safe[loc] = true
+		}
+	}
+	c.origins = dataflow.NewOrigins(c.g)
+	c.scanSafeFields(files)
+	for _, fn := range c.g.All() {
+		c.sums[fn.Key()] = &Summary{}
+		c.firstGo[fn.Key()] = noLaunch
+		c.walkFn(fn)
+	}
+	c.solveFirstLaunch()
+	c.solvePreCtx()
+	c.solveCalledWith()
+	attributed := c.attribute()
+	c.pass.Export(EncodeShareFacts(c.sums, c.safe))
+	c.report(attributed)
+	return nil
+}
+
+// scanSafeFields collects field declarations carrying a sharesafe
+// directive: the location is sanctioned module-wide.
+func (c *checker) scanSafeFields(files []*ast.File) {
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if !c.pass.HasDirective(file, field, "sharesafe") {
+						continue
+					}
+					for _, name := range field.Names {
+						c.safe["("+c.g.Pkg.Path()+"."+ts.Name.Name+")."+name.Name] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---- the held-stack walk: accesses, lock classes, call sites ----
+
+type fnState struct {
+	fn       *dataflow.Func
+	params   []*types.Var
+	owned    map[types.Object]bool
+	suppress bool              // function-level sharesafe directive
+	skip     map[ast.Node]bool // nodes already emitted as atomic accesses
+	// skipPop marks release calls on an early-exit branch (an if-body
+	// that ends in return/break/continue): the guard-clause idiom
+	//
+	//	mu.Lock()
+	//	if busy { mu.Unlock(); return }
+	//	busy = true
+	//
+	// must not unlock the fallthrough path of the linear walk.
+	skipPop map[*ast.CallExpr]bool
+}
+
+type heldLock struct{ class string }
+
+func (c *checker) walkFn(fn *dataflow.Func) {
+	st := &fnState{
+		fn:       fn,
+		params:   dataflow.ParamObjects(fn),
+		owned:    c.ownedLocals(fn),
+		suppress: analysis.FuncHasDirective(fn.Decl, "sharesafe"),
+		skip:     make(map[ast.Node]bool),
+		skipPop:  c.branchReleases(fn),
+	}
+	c.walk(st, fn.Decl.Body, "", nil)
+}
+
+// branchReleases collects release calls sitting inside an if-body that
+// ends in a terminating statement. The linear walk skips popping those:
+// they only fire on the early-exit path, and the code after the if still
+// holds the lock.
+func (c *checker) branchReleases(fn *dataflow.Func) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fn.Decl.Body, func(x ast.Node) bool {
+		ifs, ok := x.(*ast.IfStmt)
+		if !ok || !terminates(ifs.Body) {
+			return true
+		}
+		ast.Inspect(ifs.Body, func(y ast.Node) bool {
+			if call, ok := y.(*ast.CallExpr); ok {
+				if _, kind := lockorder.LockCall(c.pass.TypesInfo, call); kind == lockorder.KindRelease {
+					out[call] = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// terminates reports whether a block's last statement leaves the
+// enclosing sequence: return, break/continue/goto, or a panic call.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walk traverses n in source order. label == "" means code runs under
+// fn's own origin set; a launch label pins execution to that site. held
+// is the lockorder-style held stack, reset inside launched literals.
+func (c *checker) walk(st *fnState, n ast.Node, label string, held []heldLock) {
+	if n == nil {
+		return
+	}
+	fn := st.fn
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.GoStmt:
+			if pos := x.Pos(); pos < c.firstGo[fn.Key()] && label == "" {
+				c.firstGo[fn.Key()] = pos
+			}
+			l := c.origins.GoLabel(x)
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				for _, a := range x.Call.Args {
+					c.walk(st, a, label, held)
+				}
+				c.walk(st, lit.Body, l, nil)
+				return false
+			}
+			c.callAt(st, x.Call, l, nil, true)
+			for _, a := range x.Call.Args {
+				c.walk(st, a, label, held)
+			}
+			if sel, ok := ast.Unparen(x.Call.Fun).(*ast.SelectorExpr); ok {
+				c.walk(st, sel.X, label, held)
+			}
+			return false
+		case *ast.FuncLit:
+			// A non-launched literal (callback, closure): it may run on any
+			// goroutine with no locks guaranteed held.
+			c.walk(st, x.Body, label, nil)
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the lock held to the end of the walk;
+			// deferred accesses themselves are out of scope, as in lockorder.
+			return false
+		case *ast.CallExpr:
+			if cls, kind := lockorder.LockCall(c.pass.TypesInfo, x); kind != 0 {
+				switch kind {
+				case lockorder.KindAcquire:
+					held = append(held, heldLock{class: cls})
+				case lockorder.KindRelease:
+					if st.skipPop[x] {
+						break // early-exit branch: the fallthrough keeps the lock
+					}
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i].class == cls {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if base, write, ok := c.atomicOp(x); ok {
+				core := peelToCore(base)
+				st.skip[core] = true
+				c.emit(st, core, write, true, label, held)
+				return true
+			}
+			c.callAt(st, x, label, held, false)
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				c.emit(st, lhs, true, false, label, held)
+			}
+			return true
+		case *ast.IncDecStmt:
+			c.emit(st, x.X, true, false, label, held)
+			return true
+		case *ast.SelectorExpr:
+			if !st.skip[x] {
+				c.emit(st, x, false, false, label, held)
+			}
+			return true
+		case *ast.Ident:
+			if !st.skip[x] {
+				c.emit(st, x, false, false, label, held)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// callAt records a static call site (for the calledWith and pre-launch
+// fixpoints) and folds an imported callee's pending accesses into this
+// site's context.
+func (c *checker) callAt(st *fnState, call *ast.CallExpr, label string, held []heldLock, launch bool) {
+	callee := c.g.StaticCallee(call)
+	if callee == nil {
+		return
+	}
+	key := dataflow.FuncKey(callee)
+	c.sites = append(c.sites, callSite{
+		caller:    st.fn,
+		calleeKey: key,
+		held:      classesOf(held),
+		label:     label,
+		launch:    launch,
+		pos:       call.Pos(),
+	})
+	sum := c.imported[key]
+	if sum == nil {
+		return
+	}
+	for _, p := range sum.Pending {
+		if c.safe[p.Loc] {
+			continue
+		}
+		c.raw = append(c.raw, rawAccess{
+			loc:    p.Loc,
+			write:  p.Write,
+			atomic: p.Atomic,
+			held:   classesOf(held),
+			extra:  p.Guards,
+			label:  label,
+			fn:     st.fn,
+			pos:    call.Pos(),
+			preGo:  p.PreGo,
+		})
+	}
+}
+
+// emit records one access to a trackable, non-owned, non-suppressed
+// location.
+func (c *checker) emit(st *fnState, e ast.Expr, write, atomic bool, label string, held []heldLock) {
+	core := peelToCore(e)
+	t := c.g.Info.TypeOf(core)
+	if t != nil {
+		if isSyncPrimitive(t) {
+			return
+		}
+		if _, isChan := t.Underlying().(*types.Chan); isChan && !write {
+			return
+		}
+	}
+	if obj := rootObject(c.g, core); obj != nil && st.owned[obj] {
+		return
+	}
+	if st.suppress {
+		return
+	}
+	if file := c.pass.File(e.Pos()); file != nil && c.pass.HasDirective(file, e, "sharesafe") {
+		return
+	}
+	loc, _ := dataflow.ResourceIdent(c.g, st.params, core)
+	if loc == "" || c.safe[loc] {
+		return
+	}
+	c.raw = append(c.raw, rawAccess{
+		loc:    loc,
+		write:  write,
+		atomic: atomic,
+		held:   classesOf(held),
+		label:  label,
+		fn:     st.fn,
+		pos:    e.Pos(),
+		preGo:  true,
+	})
+}
+
+// peelToCore unwraps parens, derefs, indexing and address-of down to the
+// selector/identifier that names the accessed storage.
+func peelToCore(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return e
+			}
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// rootObject resolves the base variable an access chain hangs off:
+// x in x.f[i].g. Nil when the chain roots at a call or literal.
+func rootObject(g *dataflow.Graph, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.Ident:
+			return g.Info.Uses[x]
+		default:
+			return nil
+		}
+	}
+}
+
+func classesOf(held []heldLock) []string {
+	if len(held) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(held))
+	for _, h := range held {
+		set[h.class] = true
+	}
+	out := make([]string, 0, len(set))
+	for cls := range set {
+		out = append(out, cls)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- atomic access classification ----
+
+var atomicWriteMethods = map[string]bool{
+	"Store": true, "Add": true, "Swap": true, "CompareAndSwap": true, "And": true, "Or": true,
+}
+
+// atomicOp recognizes a sync/atomic package-function call on a plain
+// location (&x.f), returning the location expression and writeness.
+// Method calls on sync/atomic types are not returned here: those fields
+// are internally synchronized and skipped as locations entirely.
+func (c *checker) atomicOp(call *ast.CallExpr) (ast.Expr, bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false, false
+	}
+	obj, ok := c.g.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return nil, false, false
+	}
+	if _, isSel := c.g.Info.Selections[sel]; isSel {
+		return nil, false, false // a method on an atomic type, not atomic.F
+	}
+	name := sel.Sel.Name
+	switch {
+	case strings.HasPrefix(name, "Load"):
+		return call.Args[0], false, true
+	case strings.HasPrefix(name, "Store"), strings.HasPrefix(name, "Add"),
+		strings.HasPrefix(name, "Swap"), strings.HasPrefix(name, "CompareAndSwap"),
+		strings.HasPrefix(name, "And"), strings.HasPrefix(name, "Or"):
+		return call.Args[0], true, true
+	}
+	return nil, false, false
+}
+
+// isSyncPrimitive reports whether t is internally synchronized storage:
+// sync and sync/atomic types, and ringq's Waiter eventcount.
+func isSyncPrimitive(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	case ringqPkg:
+		return obj.Name() == "Waiter"
+	}
+	return false
+}
+
+// ---- ownership: fresh locals are goroutine-local ----
+
+// ownedLocals computes the function's owned locals: every definition is a
+// fresh value (allocation, composite literal, call result, channel
+// receive, scalar expression) or another owned local. An assignment from
+// a parameter, global, or field bans the local — it aliases shared state.
+func (c *checker) ownedLocals(fn *dataflow.Func) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	for _, p := range dataflow.ParamObjects(fn) {
+		params[p] = true
+	}
+	type def struct {
+		dep   types.Object
+		fresh bool
+	}
+	defs := make(map[types.Object][]def)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := c.g.Info.Defs[id]
+		if obj == nil {
+			obj = c.g.Info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || params[v] || dataflow.GlobalVar(v) {
+			return
+		}
+		dep, fresh := c.rhsClass(rhs, params)
+		defs[v] = append(defs[v], def{dep: dep, fresh: fresh})
+	}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					record(x.Lhs[i], x.Rhs[i])
+				}
+			} else if len(x.Rhs) == 1 {
+				for _, lhs := range x.Lhs {
+					record(lhs, x.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if len(x.Values) == 0 {
+					record(name, nil) // zero value: fresh
+				} else if i < len(x.Values) {
+					record(name, x.Values[i])
+				} else if len(x.Values) == 1 {
+					record(name, x.Values[0])
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Tok == token.DEFINE {
+				if x.Key != nil {
+					record(x.Key, x.X)
+				}
+				if x.Value != nil {
+					record(x.Value, x.X)
+				}
+			}
+		}
+		return true
+	})
+	owned := make(map[types.Object]bool, len(defs))
+	for v := range defs {
+		owned[v] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for v, ds := range defs {
+			if !owned[v] {
+				continue
+			}
+			for _, d := range ds {
+				if d.fresh || (d.dep != nil && owned[d.dep]) {
+					continue
+				}
+				owned[v] = false
+				changed = true
+				break
+			}
+		}
+	}
+	return owned
+}
+
+// rhsClass classifies a definition's right-hand side: fresh (a value no
+// other goroutine can reach yet), dependent on another local, or aliasing
+// shared state (neither).
+func (c *checker) rhsClass(e ast.Expr, params map[types.Object]bool) (types.Object, bool) {
+	if e == nil {
+		return nil, true // zero value
+	}
+	e = ast.Unparen(e)
+	if t := c.g.Info.TypeOf(e); t != nil {
+		if _, isChan := t.Underlying().(*types.Chan); isChan {
+			// The channel value itself is shared plumbing, but holding it
+			// does not alias element storage.
+			return nil, true
+		}
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr, *ast.CompositeLit, *ast.BasicLit, *ast.FuncLit, *ast.BinaryExpr:
+		return nil, true
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			return nil, true // ownership transfers with the element
+		}
+		return c.rhsClass(x.X, params)
+	case *ast.StarExpr:
+		return c.rhsClass(x.X, params)
+	case *ast.IndexExpr:
+		return c.rhsClass(x.X, params)
+	case *ast.SliceExpr:
+		return c.rhsClass(x.X, params)
+	case *ast.TypeAssertExpr:
+		return c.rhsClass(x.X, params)
+	case *ast.Ident:
+		obj := c.g.Info.Uses[x]
+		switch o := obj.(type) {
+		case *types.Const, *types.Nil:
+			return nil, true
+		case *types.Var:
+			if !o.IsField() && !params[o] && !dataflow.GlobalVar(o) {
+				return o, false
+			}
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// ---- fixpoints: first launch, pre-launch context, calledWith ----
+
+// solveFirstLaunch propagates launch positions up the call graph: a call
+// to a function that (transitively) launches a goroutine is itself a
+// launch point for pre-launch purposes.
+func (c *checker) solveFirstLaunch() {
+	for changed := true; changed; {
+		changed = false
+		for _, s := range c.sites {
+			if c.firstGo[s.calleeKey] == noLaunch || !inPackage(c, s.calleeKey) {
+				continue
+			}
+			ck := s.caller.Key()
+			if s.pos < c.firstGo[ck] {
+				c.firstGo[ck] = s.pos
+				changed = true
+			}
+		}
+	}
+}
+
+func inPackage(c *checker, key string) bool {
+	_, ok := c.sums[key]
+	return ok
+}
+
+// solvePreCtx marks functions that only ever run before any goroutine
+// launch: entry-only origins, every in-package call site positioned
+// before its caller's first launch, callers themselves pre-launch.
+func (c *checker) solvePreCtx() {
+	entryOnly := func(fn *dataflow.Func) bool {
+		o := c.origins.Of(fn)
+		return len(o) == 1 && o[0] == dataflow.EntryOrigin
+	}
+	for _, fn := range c.g.All() {
+		c.preCtx[fn.Key()] = entryOnly(fn)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range c.sites {
+			if !c.preCtx[s.calleeKey] || !inPackage(c, s.calleeKey) {
+				continue
+			}
+			if s.launch || s.label != "" || !c.preCtx[s.caller.Key()] || s.pos >= c.firstGo[s.caller.Key()] {
+				c.preCtx[s.calleeKey] = false
+				changed = true
+			}
+		}
+	}
+}
+
+// solveCalledWith computes, per function, the guard classes held at every
+// in-package call site (the intersection): an access in a helper called
+// only under a lock is guarded by that lock.
+func (c *checker) solveCalledWith() {
+	bySite := make(map[string][]callSite)
+	for _, s := range c.sites {
+		if inPackage(c, s.calleeKey) {
+			bySite[s.calleeKey] = append(bySite[s.calleeKey], s)
+		}
+	}
+	top := []string{"\x00top"}
+	for key := range c.sums {
+		if len(bySite[key]) == 0 {
+			c.cw[key] = nil
+		} else {
+			c.cw[key] = top
+		}
+	}
+	isTop := func(s []string) bool { return len(s) == 1 && s[0] == top[0] }
+	const maxRounds = 8
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for key, sites := range bySite {
+			cur := c.cw[key]
+			var next []string
+			first := true
+			for _, s := range sites {
+				var contrib []string
+				if s.launch {
+					contrib = nil // a new goroutine starts with nothing held
+				} else {
+					contrib = append(contrib, s.held...)
+					if s.label == "" {
+						callerCW := c.cw[s.caller.Key()]
+						if isTop(callerCW) {
+							contrib = top // unresolved: intersect-identity
+						} else {
+							contrib = append(contrib, callerCW...)
+						}
+					}
+				}
+				if isTop(contrib) {
+					continue
+				}
+				if first {
+					next = dedupSorted(contrib)
+					first = false
+				} else {
+					next = intersect(next, dedupSorted(contrib))
+				}
+			}
+			if first {
+				next = top // all sites unresolved this round
+			}
+			if !sameStrings(cur, next) {
+				c.cw[key] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for key, v := range c.cw {
+		if isTop(v) {
+			c.cw[key] = nil // unreachable recursion cluster: assume unguarded
+		}
+	}
+}
+
+func dedupSorted(s []string) []string {
+	if len(s) == 0 {
+		return nil
+	}
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func intersect(a, b []string) []string {
+	set := make(map[string]bool, len(b))
+	for _, v := range b {
+		set[v] = true
+	}
+	var out []string
+	for _, v := range a {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- attribution ----
+
+// attribute finalizes every raw access: guards gain the calledWith set,
+// pre-launch happens-before is resolved, and the access fans out to the
+// goroutine origins of its context. Accesses of functions with no
+// in-package execution evidence also land in the exported summaries.
+func (c *checker) attribute() []attrAccess {
+	var out []attrAccess
+	for _, r := range c.raw {
+		fnKey := r.fn.Key()
+		guards := append(append([]string(nil), r.held...), r.extra...)
+		if r.label == "" {
+			guards = append(guards, c.cw[fnKey]...)
+		}
+		guards = dedupSorted(guards)
+		preHere := r.label == "" && c.preCtx[fnKey] && r.pos < c.firstGo[fnKey]
+		pre := r.preGo && preHere
+		site := c.g.PosString(r.pos)
+		ctx := []string{r.label}
+		if r.label == "" {
+			ctx = c.origins.Of(r.fn)
+		}
+		if !c.origins.HasEvidence(r.fn) && len(ctx) == 1 && ctx[0] == dataflow.EntryOrigin {
+			c.sums[fnKey].Pending = append(c.sums[fnKey].Pending, Access{
+				Loc:    r.loc,
+				Write:  r.write,
+				Atomic: r.atomic,
+				Guards: guards,
+				Site:   site,
+				PreGo:  r.preGo && r.pos < c.firstGo[fnKey],
+			})
+		}
+		for _, origin := range ctx {
+			out = append(out, attrAccess{
+				loc:      r.loc,
+				write:    r.write,
+				atomic:   r.atomic,
+				guards:   guards,
+				origin:   origin,
+				pre:      pre,
+				captured: r.label != "",
+				pos:      r.pos,
+				site:     site,
+			})
+		}
+	}
+	return out
+}
+
+// ---- reporting ----
+
+func (c *checker) report(accesses []attrAccess) {
+	byLoc := make(map[string][]attrAccess)
+	var locs []string
+	for _, a := range accesses {
+		if a.pre {
+			continue
+		}
+		if _, ok := byLoc[a.loc]; !ok {
+			locs = append(locs, a.loc)
+		}
+		byLoc[a.loc] = append(byLoc[a.loc], a)
+	}
+	sort.Strings(locs)
+	for _, loc := range locs {
+		as := byLoc[loc]
+		// A local is per-invocation storage: it only becomes shared when a
+		// launched literal captures it, so at least one side of a conflict
+		// must execute inside a launch — multi-origin fan-out of the
+		// declaring function alone duplicates the same invocation-local
+		// access, it does not share the variable.
+		local := strings.HasPrefix(loc, "local ")
+		// Conflict: a plain write and an access from a different origin with
+		// no guard class in common.
+		conflict := make(map[int]bool)
+		for i, w := range as {
+			if !w.write || w.atomic {
+				continue
+			}
+			for j, b := range as {
+				if b.origin == w.origin {
+					continue
+				}
+				if local && !w.captured && !b.captured {
+					continue
+				}
+				if len(intersect(w.guards, b.guards)) > 0 {
+					continue
+				}
+				conflict[i] = true
+				conflict[j] = true
+			}
+		}
+		if len(conflict) == 0 {
+			continue
+		}
+		byOrigin := make(map[string]attrAccess)
+		first := token.Pos(noLaunch)
+		for i := range as {
+			if !conflict[i] {
+				continue
+			}
+			a := as[i]
+			if prev, ok := byOrigin[a.origin]; !ok || a.pos < prev.pos {
+				byOrigin[a.origin] = a
+			}
+			if a.pos < first {
+				first = a.pos
+			}
+		}
+		origins := make([]string, 0, len(byOrigin))
+		for o := range byOrigin {
+			origins = append(origins, o)
+		}
+		sort.Strings(origins)
+		parts := make([]string, len(origins))
+		for i, o := range origins {
+			a := byOrigin[o]
+			kind := "read"
+			if a.write {
+				kind = "write"
+			}
+			if a.atomic {
+				kind = "atomic " + kind
+			}
+			parts[i] = o + " (" + kind + " at " + a.site + ")"
+		}
+		c.pass.Reportf(first,
+			"%s has a plain write with no common guard across %d goroutine origins: %s; no shared lock class, consistent atomic use, or happens-before protects it — serialize the accesses or annotate //cyclolint:sharesafe with the ownership argument",
+			loc, len(origins), strings.Join(parts, ", "))
+	}
+}

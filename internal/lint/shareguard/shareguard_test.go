@@ -1,0 +1,20 @@
+package shareguard_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/linttest"
+	"cyclojoin/internal/lint/shareguard"
+)
+
+func TestShareguard(t *testing.T) {
+	linttest.Run(t, shareguard.Analyzer, "shareguard")
+}
+
+// TestShareguardFacts exercises the fact-threading path: the guarded
+// write lives in a dependency package, the unguarded read in the
+// importer, and the conflict is only visible once the dependency's
+// pending access summary crosses the package boundary.
+func TestShareguardFacts(t *testing.T) {
+	linttest.Run(t, shareguard.Analyzer, "sharedep/dep", "sharedep")
+}

@@ -1,0 +1,26 @@
+// Package dep owns a counter whose writes are mutex-guarded; whether an
+// importer's reads honor the guard is decided by the fact-threading path.
+package dep
+
+import "sync"
+
+type D struct {
+	mu    sync.Mutex
+	Count int
+}
+
+// Add is never executed inside this package: the access summary rides
+// the facts and is attributed at the importing call site.
+func (d *D) Add() {
+	d.mu.Lock()
+	d.Count++
+	d.mu.Unlock()
+}
+
+// Snapshot reads under the same guard.
+func (d *D) Snapshot() int {
+	d.mu.Lock()
+	n := d.Count
+	d.mu.Unlock()
+	return n
+}

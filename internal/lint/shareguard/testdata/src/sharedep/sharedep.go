@@ -1,0 +1,28 @@
+package sharedep
+
+import "cyclolinttest/sharedep/dep"
+
+// Run launches an unguarded watcher while the entry goroutine keeps
+// writing through dep's guarded path: the guarded write crosses the
+// package boundary as a fact, the plain read does not share its guard.
+func Run(d *dep.D) {
+	go watch(d)
+	d.Add() // want `\(cyclolinttest/sharedep/dep\.D\)\.Count has a plain write with no common guard across 2 goroutine origins`
+	d.Add()
+}
+
+// RunGuarded keeps both sides under dep's mutex: clean.
+func RunGuarded(d *dep.D) {
+	go func() {
+		for {
+			_ = d.Snapshot()
+		}
+	}()
+	d.Add()
+}
+
+func watch(d *dep.D) {
+	for {
+		_ = d.Count
+	}
+}

@@ -1,0 +1,83 @@
+package shareguard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type srv struct {
+	mu      sync.Mutex
+	guarded int
+	bump    int
+	racy    int
+	mixed   uint64
+	cfg     int
+	solo    int
+	//cyclolint:sharesafe windowed gauge: torn reads acceptable in telemetry
+	stat int
+	done chan struct{}
+}
+
+// Start configures the server, launches the worker, and then keeps
+// touching fields from the entry goroutine.
+func Start(s *srv) {
+	s.cfg = 42 // pre-launch: happens-before the worker
+	go s.loop()
+	s.racy = 1  // want `\(cyclolinttest/shareguard\.srv\)\.racy has a plain write with no common guard across 2 goroutine origins`
+	s.mixed = 0 // want `\(cyclolinttest/shareguard\.srv\)\.mixed has a plain write with no common guard across 2 goroutine origins`
+	s.solo = 7  //cyclolint:sharesafe solo is rewritten only during drain, serialized by done
+	s.stat = 1
+	s.mu.Lock()
+	s.guarded++
+	s.bumpLocked()
+	s.mu.Unlock()
+}
+
+func (s *srv) loop() {
+	for {
+		s.mu.Lock()
+		s.guarded++
+		s.bumpLocked()
+		s.mu.Unlock()
+		s.racy++
+		atomic.AddUint64(&s.mixed, 1)
+		s.solo++ //cyclolint:sharesafe solo is rewritten only during drain, serialized by done
+		s.stat++
+		if s.cfg == 0 {
+			return
+		}
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+	}
+}
+
+// bumpLocked is only ever called with s.mu held: the calledWith
+// intersection guards s.bump on both origins.
+func (s *srv) bumpLocked() { s.bump++ }
+
+// fill demonstrates ownership: the chunk is freshly allocated, so its
+// field writes are goroutine-local until it is handed off.
+type chunk struct {
+	n   int
+	buf []byte
+}
+
+var sink chan *chunk
+
+func Fill() {
+	go drain()
+	for {
+		c := &chunk{buf: make([]byte, 64)}
+		c.n = len(c.buf)
+		sink <- c
+	}
+}
+
+func drain() {
+	for c := range sink {
+		_ = c.n
+	}
+}

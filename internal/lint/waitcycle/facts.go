@@ -1,0 +1,94 @@
+package waitcycle
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Op is one blocking or releasing operation a function performs, in the
+// dataflow blocking-edge vocabulary (dataflow.Mode*). Ops are ordered by
+// Ord within their function; Group ties together the arms of one select
+// statement and Loop names the innermost enclosing for-loop, both of
+// which the deadlock check needs to decide reachability.
+type Op struct {
+	// Res is the resource identity ("(pkg.T).ch", "pkg.wg"); empty for
+	// param-indexed ops.
+	Res string `json:"res,omitempty"`
+	// Param is the combined receiver-first parameter index the op targets,
+	// or -1 when Res names the resource directly.
+	Param int `json:"param"`
+	// Mode is the blocking-edge kind (send, recv, close, park, signal,
+	// wait, done).
+	Mode string `json:"mode"`
+	// Ord is the op's source-order index within its function.
+	Ord int `json:"ord"`
+	// Group is the select-statement group id ("" = standalone op).
+	Group string `json:"group,omitempty"`
+	// Loop is the innermost enclosing for-loop id ("" = none).
+	Loop string `json:"loop,omitempty"`
+	// NB marks an op that can release a peer but never parks itself: a
+	// select arm with a default, or an op suppressed by //cyclolint:waitsafe.
+	NB bool `json:"nb,omitempty"`
+	// Site is the op's position, "file.go:12".
+	Site string `json:"site"`
+}
+
+// Summary is one function's blocking-edge effect, exported as facts.
+type Summary struct {
+	// Key is the function's dataflow.FuncKey.
+	Key string `json:"key,omitempty"`
+	// ParamOps lists ops on the function's own parameters, folded into
+	// callers at the call site (transitively, like spscrole's push/pop
+	// summaries).
+	ParamOps []Op `json:"paramOps,omitempty"`
+	// Pending holds resource-named ops awaiting attribution: the function
+	// has no caller in its home package, so the importing call site
+	// supplies the goroutine origin and sequence position.
+	Pending []Op `json:"pending,omitempty"`
+}
+
+// waitFacts is the serialized fact blob.
+type waitFacts struct {
+	Funcs []*Summary `json:"funcs"`
+}
+
+// EncodeWaitFacts serializes the non-empty summaries deterministically.
+func EncodeWaitFacts(sums map[string]*Summary) []byte {
+	keys := make([]string, 0, len(sums))
+	for k, s := range sums {
+		if s == nil || (len(s.ParamOps) == 0 && len(s.Pending) == 0) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	f := &waitFacts{}
+	for _, k := range keys {
+		s := sums[k]
+		s.Key = k
+		f.Funcs = append(f.Funcs, s)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// DecodeWaitFacts parses a fact blob, tolerating nil/garbage.
+func DecodeWaitFacts(data []byte) map[string]*Summary {
+	out := make(map[string]*Summary)
+	if len(data) == 0 {
+		return out
+	}
+	var f waitFacts
+	if err := json.Unmarshal(data, &f); err != nil {
+		return out
+	}
+	for _, s := range f.Funcs {
+		if s != nil && s.Key != "" {
+			out[s.Key] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package waitcycle
+
+import (
+	"sync"
+
+	"cyclojoin/internal/ringq"
+)
+
+// ---- a true two-channel deadlock: both origins send first ----
+
+type dl struct {
+	a chan int
+	b chan int
+}
+
+func Deadlock(d *dl) {
+	go d.fwd()
+	go d.rev()
+}
+
+func (d *dl) fwd() {
+	d.a <- 1 // want `static wait cycle: go waitcycle\.go:\d+ blocked at send of \(cyclolinttest/waitcycle\.dl\)\.a`
+	<-d.b
+}
+
+func (d *dl) rev() {
+	d.b <- 2
+	<-d.a
+}
+
+// ---- the same shape correctly ordered: clean ----
+
+type ok2 struct {
+	c chan int
+	d chan int
+}
+
+func Pipeline(p *ok2) {
+	go p.produce()
+	go p.consume()
+}
+
+func (p *ok2) produce() {
+	p.c <- 1
+	<-p.d
+}
+
+func (p *ok2) consume() {
+	<-p.c
+	p.d <- 2
+}
+
+// ---- the deadlock hidden behind a helper: param ops fold at the site ----
+
+type ho struct {
+	a chan int
+	b chan int
+}
+
+func Handoff(h *ho) {
+	go h.left()
+	go h.right()
+}
+
+func (h *ho) left() {
+	push(h.a) // want `static wait cycle: go waitcycle\.go:\d+ blocked at send of \(cyclolinttest/waitcycle\.ho\)\.a`
+	<-h.b
+}
+
+func (h *ho) right() {
+	push(h.b)
+	<-h.a
+}
+
+func push(ch chan int) { ch <- 1 }
+
+// ---- the eventcount park/signal ring: clean via the shared-loop rule ----
+
+type rq struct {
+	notEmpty ringq.Waiter
+	notFull  ringq.Waiter
+}
+
+func Ring(r *rq) {
+	go r.produce()
+	go r.consume()
+}
+
+func (r *rq) produce() {
+	for {
+		<-r.notFull.C()
+		r.notEmpty.Signal()
+	}
+}
+
+func (r *rq) consume() {
+	for {
+		<-r.notEmpty.C()
+		r.notFull.Signal()
+	}
+}
+
+// ---- a select with a default arm never parks: clean ----
+
+type nb struct {
+	a chan int
+	b chan int
+}
+
+func Polling(s *nb) {
+	go s.one()
+	go s.two()
+}
+
+func (s *nb) one() {
+	select {
+	case s.a <- 1:
+	default:
+	}
+	<-s.b
+}
+
+func (s *nb) two() {
+	select {
+	case s.b <- 2:
+	default:
+	}
+	<-s.a
+}
+
+// ---- a WaitGroup ordered against a channel hand-off ----
+
+type wgp struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func Waitdead(w *wgp) {
+	go w.worker()
+	go w.closer()
+}
+
+func (w *wgp) worker() {
+	w.ch <- 1 // want `static wait cycle: go waitcycle\.go:\d+ blocked at send of \(cyclolinttest/waitcycle\.wgp\)\.ch`
+	w.wg.Done()
+}
+
+func (w *wgp) closer() {
+	w.wg.Wait()
+	<-w.ch
+}
+
+// ---- the sanctioned deadlock shape: waitsafe silences the pair ----
+
+type sup struct {
+	a chan int
+	b chan int
+}
+
+func Suppressed(s *sup) {
+	go s.fwd()
+	go s.rev()
+}
+
+func (s *sup) fwd() {
+	s.a <- 1 //cyclolint:waitsafe recovery drains a before b, ordered by the epoch barrier
+	<-s.b
+}
+
+func (s *sup) rev() {
+	s.b <- 2
+	<-s.a
+}

@@ -1,0 +1,25 @@
+package dep
+
+// W is a worker whose blocking protocol is only attributable at the
+// importing launch site: Run has no caller in this package, so its ops
+// cross the package boundary as pending facts.
+type W struct {
+	A chan int
+	B chan int
+}
+
+func (w *W) Run() {
+	w.A <- 1
+	<-w.B
+}
+
+// V is the same worker shape for the correctly-ordered importer.
+type V struct {
+	A chan int
+	B chan int
+}
+
+func (v *V) Run() {
+	v.A <- 1
+	<-v.B
+}

@@ -1,0 +1,884 @@
+// Package waitcycle reports static wait-for cycles between goroutine
+// origins, built on the dataflow IR's blocking-edge extension.
+//
+// Every function's blocking and releasing operations — channel sends,
+// receives and closes, ringq.Waiter parks and signals, WaitGroup waits
+// and dones — are collected in source order and attributed to goroutine
+// origins exactly like spscrole attributes queue endpoints: through
+// helpers via param-op summaries folded at the call site, through `go`
+// launches, and across packages via per-function pending facts. A
+// diagnostic fires when two origins each block on an operation whose
+// every release lies past the other origin's block: origin A parks at a
+// point only B can release, while B parks at a point only A can release.
+//
+// The reachability rules are deliberately optimistic — the analyzer
+// only claims a cycle when the release structure is visible and ordered
+// against it:
+//
+//   - a release in a third origin, a different call frame, or a select
+//     arm always counts as reachable;
+//   - a release sharing a for-loop with the peer's blocking point counts
+//     as reachable (the eventcount park/signal ring pattern interleaves
+//     across iterations);
+//   - a release ordered before the peer's blocking point in the same
+//     frame counts as reachable — it may have banked the wakeup — except
+//     a channel rendezvous in the blocked op's own origin, which cannot
+//     satisfy a send/recv that had not started yet;
+//   - an operation on an untrackable resource (a timeout channel, an
+//     interface-typed queue) makes its whole select progressable, and a
+//     blocked op with no visible release at all is assumed released
+//     elsewhere.
+//
+// Sanctioned blocking points are annotated with the progress argument,
+// at the operation, on the select statement, or on the function's doc
+// comment:
+//
+//	//cyclolint:waitsafe the peer drains acks before data in recovery
+//
+// In-package _test.go files are excluded, as in spscrole and shareguard.
+package waitcycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cyclojoin/internal/lint/analysis"
+	"cyclojoin/internal/lint/dataflow"
+)
+
+// ringqPkg's own park/signal plumbing implements the waiters the rest of
+// the tree blocks on; analyzing it against itself is circular.
+const ringqPkg = "cyclojoin/internal/ringq"
+
+// Analyzer reports pairs of goroutine origins statically ordered into a
+// mutual wait.
+var Analyzer = &analysis.Analyzer{
+	Name:      "waitcycle",
+	Doc:       "two goroutine origins that each block on an operation released only past the other's block form a static wait cycle; reorder the hand-off, buffer the channel, or annotate //cyclolint:waitsafe with the progress argument",
+	Version:   "1",
+	UsesFacts: true,
+	Run:       run,
+}
+
+// rawOp is one blocking-edge operation before origin attribution.
+type rawOp struct {
+	res        string // resource identity; "" for param-indexed ops
+	param      int    // receiver-first param index when res == ""
+	mode       string
+	label      string // launch-label context; "" = fn's own origins
+	fn         *dataflow.Func
+	pos        token.Pos
+	sub        int    // fold order among ops sharing one call position
+	group      string // select group id ("" = standalone)
+	loop       string // innermost for-loop id ("" = none)
+	site       string
+	nonBlock   bool // cannot park: select-with-default arm or untracked escape
+	suppressed bool // //cyclolint:waitsafe: releaser only
+}
+
+// attrOp is one operation attributed to a single origin.
+type attrOp struct {
+	res        string
+	mode       string
+	origin     string
+	frame      string // function key + launch label: sequential execution unit
+	seq        int64  // (pos, sub) packed; orders ops within a frame
+	group      string
+	loop       string
+	pos        token.Pos
+	site       string
+	nonBlock   bool
+	suppressed bool
+}
+
+// callSite is one static call, recorded for param-op folding and pending
+// attribution.
+type callSite struct {
+	fn         *dataflow.Func
+	call       *ast.CallExpr
+	key        string
+	label      string // launch label for go sites, else the walking context
+	launch     bool
+	pos        token.Pos // attribution position (frame end for deferred calls)
+	loop       string
+	site       string
+	suppressed bool
+}
+
+// loopRange is one for/range statement's source extent.
+type loopRange struct {
+	pos, end token.Pos
+	id       string
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	g        *dataflow.Graph
+	origins  *dataflow.Origins
+	imported map[string]*Summary
+	raw      []rawOp
+	rawParam map[string][]rawOp // param-indexed ops per function key
+	sites    []callSite
+	byCaller map[string][]callSite
+	loops    map[*dataflow.Func][]loopRange
+	sums     map[string]*Summary
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == ringqPkg {
+		return nil
+	}
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	c := &checker{
+		pass:     pass,
+		g:        dataflow.NewGraph(pass.Fset, pass.Pkg, pass.TypesInfo, files),
+		imported: make(map[string]*Summary),
+		rawParam: make(map[string][]rawOp),
+		byCaller: make(map[string][]callSite),
+		loops:    make(map[*dataflow.Func][]loopRange),
+		sums:     make(map[string]*Summary),
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		for k, s := range DecodeWaitFacts(pass.ImportedFacts(imp.Path())) {
+			c.imported[k] = s
+		}
+	}
+	c.origins = dataflow.NewOrigins(c.g)
+	for _, fn := range c.g.All() {
+		c.sums[fn.Key()] = &Summary{}
+		c.collectLoops(fn)
+		c.walkFn(fn)
+	}
+	for _, s := range c.sites {
+		c.byCaller[s.fn.Key()] = append(c.byCaller[s.fn.Key()], s)
+	}
+	c.solveParams()
+	c.foldSites()
+	attributed := c.attribute()
+	c.pass.Export(EncodeWaitFacts(c.sums))
+	c.check(attributed)
+	return nil
+}
+
+// collectLoops records every for/range statement's extent, so ops can be
+// assigned their innermost enclosing loop by position.
+func (c *checker) collectLoops(fn *dataflow.Func) {
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			c.loops[fn] = append(c.loops[fn], loopRange{
+				pos: n.Pos(), end: n.End(), id: "loop@" + c.g.PosString(n.Pos()),
+			})
+		}
+		return true
+	})
+}
+
+// loopAt returns the innermost loop id containing pos ("" if none).
+func (c *checker) loopAt(fn *dataflow.Func, pos token.Pos) string {
+	best := ""
+	span := token.Pos(1 << 60)
+	for _, l := range c.loops[fn] {
+		if l.pos <= pos && pos < l.end && l.end-l.pos < span {
+			best, span = l.id, l.end-l.pos
+		}
+	}
+	return best
+}
+
+// ---- the attribution walk ----
+
+type fnState struct {
+	fn       *dataflow.Func
+	params   []*types.Var
+	suppress bool // function-level waitsafe directive
+}
+
+func (c *checker) walkFn(fn *dataflow.Func) {
+	st := &fnState{
+		fn:       fn,
+		params:   dataflow.ParamObjects(fn),
+		suppress: analysis.FuncHasDirective(fn.Decl, "waitsafe"),
+	}
+	c.walk(st, fn.Decl.Body, "", fn.Decl.Body.End())
+}
+
+// walk traverses n in source order. label == "" means code runs under
+// fn's own origin set; a launch label pins execution to that site. end is
+// the enclosing frame's close, where deferred operations take effect.
+func (c *checker) walk(st *fnState, n ast.Node, label string, end token.Pos) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.GoStmt:
+			l := c.origins.GoLabel(x)
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				for _, a := range x.Call.Args {
+					c.walk(st, a, label, end)
+				}
+				c.walk(st, lit.Body, l, lit.Body.End())
+				return false
+			}
+			c.site(st, x.Call, l, true, x.Pos())
+			for _, a := range x.Call.Args {
+				c.walk(st, a, label, end)
+			}
+			if sel, ok := ast.Unparen(x.Call.Fun).(*ast.SelectorExpr); ok {
+				c.walk(st, sel.X, label, end)
+			}
+			return false
+		case *ast.FuncLit:
+			// A non-launched literal (callback, closure): approximate it as
+			// running in the enclosing context, with its own frame end.
+			c.walk(st, x.Body, label, x.Body.End())
+			return false
+		case *ast.DeferStmt:
+			c.deferred(st, x.Call, label, end)
+			for _, a := range x.Call.Args {
+				c.walk(st, a, label, end)
+			}
+			return false
+		case *ast.SelectStmt:
+			c.selectStmt(st, x, label, end)
+			return false
+		case *ast.SendStmt:
+			c.emit(st, dataflow.ModeSend, x.Chan, x, label, x.Pos(), 0, "", false)
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c.recvOp(st, x, x, label, "", false)
+			}
+			return true
+		case *ast.RangeStmt:
+			if t := c.g.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					c.emit(st, dataflow.ModeRecv, x.X, x, label, x.X.Pos(), 0, "", false)
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			c.callOp(st, x, label, x.Pos())
+			return true
+		}
+		return true
+	})
+}
+
+// recvOp classifies a `<-x` expression as a Waiter park or a channel
+// receive.
+func (c *checker) recvOp(st *fnState, x *ast.UnaryExpr, at ast.Node, label, group string, nonBlock bool) {
+	if w, ok := dataflow.WaiterPark(c.g, x); ok {
+		c.emit(st, dataflow.ModePark, w, at, label, x.Pos(), 0, group, nonBlock)
+		return
+	}
+	c.emit(st, dataflow.ModeRecv, x.X, at, label, x.Pos(), 0, group, nonBlock)
+}
+
+// callOp classifies a call: a channel close, a Waiter/WaitGroup method,
+// or a static call site to fold summaries at.
+func (c *checker) callOp(st *fnState, call *ast.CallExpr, label string, pos token.Pos) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if _, builtin := c.g.Info.Uses[id].(*types.Builtin); builtin && len(call.Args) == 1 {
+			c.emit(st, dataflow.ModeClose, call.Args[0], call, label, pos, 0, "", false)
+			return
+		}
+	}
+	if e, mode, ok := dataflow.SyncCall(c.g, call); ok {
+		c.emit(st, mode, e, call, label, pos, 0, "", false)
+		return
+	}
+	c.site(st, call, label, false, pos)
+}
+
+// deferred processes a deferred call's operations at the frame's end:
+// the op orders after everything else the frame does.
+func (c *checker) deferred(st *fnState, call *ast.CallExpr, label string, end token.Pos) {
+	c.callOp(st, call, label, end)
+}
+
+// selectStmt attributes each comm clause as one group: the select
+// progresses if any arm can. A default arm, or an arm on an untrackable
+// resource (a timeout channel, a call result), makes the whole group
+// non-blocking.
+func (c *checker) selectStmt(st *fnState, x *ast.SelectStmt, label string, end token.Pos) {
+	group := "sel@" + c.g.PosString(x.Pos())
+	escape := false
+	for _, cl := range x.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			escape = true // default arm
+			continue
+		}
+		if ch := commChan(cc.Comm); ch != nil {
+			if u, ok := ch.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				ch = u.X
+			}
+			if _, isPark := dataflow.WaiterC(c.g, ch); !isPark {
+				if loc, idx := dataflow.ResourceIdent(c.g, st.params, ch); loc == "" && idx < 0 {
+					escape = true
+				}
+			}
+		}
+	}
+	sup := c.hasWaitsafe(x)
+	for _, cl := range x.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			if ok {
+				for _, s := range cc.Body {
+					c.walk(st, s, label, end)
+				}
+			}
+			continue
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			c.emitSel(st, dataflow.ModeSend, comm.Chan, comm, label, comm.Pos(), group, escape, sup)
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				c.selRecv(st, u, comm, label, group, escape, sup)
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					c.selRecv(st, u, comm, label, group, escape, sup)
+				}
+			}
+		}
+		for _, s := range cc.Body {
+			c.walk(st, s, label, end)
+		}
+	}
+}
+
+// commChan extracts the channel expression of a comm clause, nil when it
+// has none.
+func commChan(comm ast.Stmt) ast.Expr {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		return s.Chan
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) selRecv(st *fnState, u *ast.UnaryExpr, at ast.Node, label, group string, nonBlock, sup bool) {
+	if w, ok := dataflow.WaiterPark(c.g, u); ok {
+		c.emitSel(st, dataflow.ModePark, w, at, label, u.Pos(), group, nonBlock, sup)
+		return
+	}
+	c.emitSel(st, dataflow.ModeRecv, u.X, at, label, u.Pos(), group, nonBlock, sup)
+}
+
+func (c *checker) emitSel(st *fnState, mode string, res ast.Expr, at ast.Node, label string, pos token.Pos, group string, nonBlock, sup bool) {
+	c.emitOp(st, mode, res, at, label, pos, 0, group, nonBlock, sup)
+}
+
+func (c *checker) emit(st *fnState, mode string, res ast.Expr, at ast.Node, label string, pos token.Pos, sub int, group string, nonBlock bool) {
+	c.emitOp(st, mode, res, at, label, pos, sub, group, nonBlock, false)
+}
+
+// emitOp resolves the operation's resource identity and records it as a
+// raw op (named) or a param op (receiver-first index).
+func (c *checker) emitOp(st *fnState, mode string, res ast.Expr, at ast.Node, label string, pos token.Pos, sub int, group string, nonBlock, sup bool) {
+	suppressed := sup || st.suppress || c.hasWaitsafe(at)
+	loc, idx := dataflow.ResourceIdent(c.g, st.params, res)
+	op := rawOp{
+		res:        loc,
+		param:      idx,
+		mode:       mode,
+		label:      label,
+		fn:         st.fn,
+		pos:        pos,
+		sub:        sub,
+		group:      group,
+		loop:       c.loopAt(st.fn, pos),
+		site:       c.g.PosString(pos),
+		nonBlock:   nonBlock,
+		suppressed: suppressed,
+	}
+	if idx >= 0 {
+		// An op on the function's own parameter: it belongs to the caller's
+		// summary. Ops inside launched literals are not foldable (they run
+		// on a goroutine the caller's sequence does not order).
+		if label == "" {
+			key := st.fn.Key()
+			c.rawParam[key] = append(c.rawParam[key], op)
+		}
+		return
+	}
+	if loc == "" {
+		return
+	}
+	c.raw = append(c.raw, op)
+}
+
+// site records a static call for summary folding.
+func (c *checker) site(st *fnState, call *ast.CallExpr, label string, launch bool, pos token.Pos) {
+	callee := c.g.StaticCallee(call)
+	if callee == nil {
+		return
+	}
+	c.sites = append(c.sites, callSite{
+		fn:         st.fn,
+		call:       call,
+		key:        dataflow.FuncKey(callee),
+		label:      label,
+		launch:     launch,
+		pos:        pos,
+		loop:       c.loopAt(st.fn, pos),
+		site:       c.g.PosString(pos),
+		suppressed: st.suppress || c.hasWaitsafe(call),
+	})
+}
+
+func (c *checker) hasWaitsafe(n ast.Node) bool {
+	file := c.pass.File(n.Pos())
+	return file != nil && c.pass.HasDirective(file, n, "waitsafe")
+}
+
+// ---- param-op summaries (phase A fixpoint) ----
+
+// solveParams computes each function's ParamOps: its direct operations
+// on parameters plus callee param ops whose argument resolves to one of
+// its own parameters, to a fixpoint.
+func (c *checker) solveParams() {
+	const maxRounds = 10
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, fn := range c.g.All() {
+			key := fn.Key()
+			params := dataflow.ParamObjects(fn)
+			raws := append([]rawOp(nil), c.rawParam[key]...)
+			for _, s := range c.byCaller[key] {
+				if s.launch || s.label != "" {
+					continue
+				}
+				sum := c.summaryFor(s.key)
+				if sum == nil || len(sum.ParamOps) == 0 {
+					continue
+				}
+				args := dataflow.CallArgs(c.g, s.call)
+				for _, po := range sum.ParamOps {
+					if po.Param < 0 || po.Param >= len(args) {
+						continue
+					}
+					j, ok := dataflow.ParamIndex(c.g, args[po.Param], params)
+					if !ok {
+						continue
+					}
+					raws = append(raws, rawOp{
+						param:      j,
+						mode:       po.Mode,
+						pos:        s.pos,
+						sub:        po.Ord,
+						group:      composeGroup(s.site, po.Group),
+						loop:       composeLoop(s.loop, s.site, po.Loop),
+						site:       s.site,
+						nonBlock:   po.NB,
+						suppressed: s.suppressed,
+					})
+				}
+			}
+			ops := toOps(raws)
+			if !opsEqual(c.sums[key].ParamOps, ops) {
+				c.sums[key].ParamOps = ops
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func (c *checker) summaryFor(key string) *Summary {
+	if s, ok := c.sums[key]; ok {
+		return s
+	}
+	return c.imported[key]
+}
+
+// composeGroup scopes a callee's select-group id by the call site.
+func composeGroup(site, g string) string {
+	if g == "" {
+		return ""
+	}
+	return site + "/" + g
+}
+
+// composeLoop scopes a callee's loop id by the call site, falling back
+// to the site's own innermost loop.
+func composeLoop(siteLoop, site, l string) string {
+	if l == "" {
+		return siteLoop
+	}
+	return site + "/" + l
+}
+
+// toOps sorts raw ops by source position and converts them to summary
+// form with dense Ord indices.
+func toOps(raws []rawOp) []Op {
+	sort.SliceStable(raws, func(i, j int) bool {
+		if raws[i].pos != raws[j].pos {
+			return raws[i].pos < raws[j].pos
+		}
+		return raws[i].sub < raws[j].sub
+	})
+	var out []Op
+	for i, r := range raws {
+		out = append(out, Op{
+			Res:   r.res,
+			Param: r.param,
+			Mode:  r.mode,
+			Ord:   i,
+			Group: r.group,
+			Loop:  r.loop,
+			NB:    r.nonBlock || r.suppressed,
+			Site:  r.site,
+		})
+	}
+	return out
+}
+
+func opsEqual(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- summary folding at call sites (phase B) ----
+
+// foldSites expands callee summaries into the caller's frame: param ops
+// whose argument names a concrete resource, and — for imported
+// evidence-less functions — pending ops awaiting an origin.
+func (c *checker) foldSites() {
+	for _, s := range c.sites {
+		sum, inPkg := c.sums[s.key], true
+		if sum == nil {
+			sum, inPkg = c.imported[s.key], false
+		}
+		if sum == nil {
+			continue
+		}
+		args := dataflow.CallArgs(c.g, s.call)
+		params := dataflow.ParamObjects(s.fn)
+		for _, po := range sum.ParamOps {
+			if po.Param < 0 || po.Param >= len(args) {
+				continue
+			}
+			loc, _ := dataflow.ResourceIdent(c.g, params, args[po.Param])
+			if loc == "" {
+				continue // caller-param chains live in phase A; the rest is untrackable
+			}
+			c.raw = append(c.raw, rawOp{
+				res:        loc,
+				param:      -1,
+				mode:       po.Mode,
+				label:      s.label,
+				fn:         s.fn,
+				pos:        s.pos,
+				sub:        po.Ord,
+				group:      composeGroup(s.site, po.Group),
+				loop:       composeLoop(s.loop, s.site, po.Loop),
+				site:       s.site,
+				nonBlock:   po.NB,
+				suppressed: s.suppressed,
+			})
+		}
+		if inPkg {
+			continue // in-package named ops are attributed at their own decl
+		}
+		for _, po := range sum.Pending {
+			if po.Res == "" {
+				continue
+			}
+			c.raw = append(c.raw, rawOp{
+				res:        po.Res,
+				param:      -1,
+				mode:       po.Mode,
+				label:      s.label,
+				fn:         s.fn,
+				pos:        s.pos,
+				sub:        po.Ord,
+				group:      composeGroup(s.site, po.Group),
+				loop:       composeLoop(s.loop, s.site, po.Loop),
+				site:       s.site,
+				nonBlock:   po.NB,
+				suppressed: s.suppressed,
+			})
+		}
+	}
+}
+
+// ---- attribution ----
+
+// seqOf packs an op's position and fold order into one comparable
+// sequence value.
+func seqOf(pos token.Pos, sub int) int64 {
+	if sub > 0xfff {
+		sub = 0xfff
+	}
+	return int64(pos)<<12 | int64(sub)
+}
+
+// attribute fans each raw op out to the goroutine origins of its
+// context, and exports the ops of evidence-less entry functions as
+// pending facts for the importing call site to attribute.
+func (c *checker) attribute() []*attrOp {
+	// Pending Ord: source order among the function's own-context ops.
+	type fnOp struct {
+		idx int
+		seq int64
+	}
+	perFn := make(map[string][]fnOp)
+	for i, r := range c.raw {
+		if r.label == "" {
+			k := r.fn.Key()
+			perFn[k] = append(perFn[k], fnOp{idx: i, seq: seqOf(r.pos, r.sub)})
+		}
+	}
+	pendingOrd := make(map[int]int)
+	for _, ops := range perFn {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].seq < ops[j].seq })
+		for ord, o := range ops {
+			pendingOrd[o.idx] = ord
+		}
+	}
+	var out []*attrOp
+	for i, r := range c.raw {
+		fnKey := r.fn.Key()
+		ctx := []string{r.label}
+		if r.label == "" {
+			ctx = c.origins.Of(r.fn)
+		}
+		if r.label == "" && !c.origins.HasEvidence(r.fn) &&
+			len(ctx) == 1 && ctx[0] == dataflow.EntryOrigin {
+			c.sums[fnKey].Pending = append(c.sums[fnKey].Pending, Op{
+				Res:   r.res,
+				Param: -1,
+				Mode:  r.mode,
+				Ord:   pendingOrd[i],
+				Group: r.group,
+				Loop:  r.loop,
+				NB:    r.nonBlock || r.suppressed,
+				Site:  r.site,
+			})
+		}
+		frame := fnKey + "\x00" + r.label
+		for _, origin := range ctx {
+			out = append(out, &attrOp{
+				res:        r.res,
+				mode:       r.mode,
+				origin:     origin,
+				frame:      frame,
+				seq:        seqOf(r.pos, r.sub),
+				group:      r.group,
+				loop:       r.loop,
+				pos:        r.pos,
+				site:       r.site,
+				nonBlock:   r.nonBlock,
+				suppressed: r.suppressed,
+			})
+		}
+	}
+	return out
+}
+
+// ---- the wait-cycle check ----
+
+// blockGroup is one point where an origin may park: a standalone
+// blocking op, or the arms of one select.
+type blockGroup struct {
+	origin, frame string
+	seq           int64
+	loop          string
+	ops           []*attrOp
+	member        map[*attrOp]bool
+	nonBlock      bool
+	suppressed    bool
+}
+
+func (c *checker) check(attributed []*attrOp) {
+	byRes := make(map[string][]*attrOp)
+	for _, a := range attributed {
+		byRes[a.res] = append(byRes[a.res], a)
+	}
+	groups := c.blockGroups(attributed)
+	type finding struct {
+		pos token.Pos
+		key string
+		msg string
+	}
+	var findings []finding
+	seen := make(map[string]bool)
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			a, b := groups[i], groups[j]
+			if a.origin == b.origin || a.suppressed || b.suppressed {
+				continue
+			}
+			if !c.stuck(a, b, byRes) || !c.stuck(b, a, byRes) {
+				continue
+			}
+			ra, rb := a.ops[0], b.ops[0]
+			if rb.pos < ra.pos {
+				ra, rb = rb, ra
+				a, b = b, a
+			}
+			key := ra.site + "|" + rb.site
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			findings = append(findings, finding{
+				pos: ra.pos,
+				key: key,
+				msg: "static wait cycle: " + a.origin + " blocked at " + ra.mode + " of " + ra.res +
+					" (" + ra.site + ") and " + b.origin + " blocked at " + rb.mode + " of " + rb.res +
+					" (" + rb.site + ") can each be released only past the other's block — reorder the hand-off, buffer the channel, or annotate //cyclolint:waitsafe with the progress argument",
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos != findings[j].pos {
+			return findings[i].pos < findings[j].pos
+		}
+		return findings[i].key < findings[j].key
+	})
+	for _, f := range findings {
+		c.pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// blockGroups collects the blocking candidates: grouped select arms and
+// standalone parks, excluding the entry origin (external callers park at
+// their own risk; origins here are launch sites this package created).
+func (c *checker) blockGroups(attributed []*attrOp) []*blockGroup {
+	byKey := make(map[string]*blockGroup)
+	var order []string
+	for _, a := range attributed {
+		if !dataflow.BlockingMode(a.mode) || a.origin == dataflow.EntryOrigin {
+			continue
+		}
+		gid := a.group
+		if gid == "" {
+			gid = "op@" + a.site + "#" + a.mode
+		}
+		key := a.frame + "\x00" + a.origin + "\x00" + gid
+		g, ok := byKey[key]
+		if !ok {
+			g = &blockGroup{origin: a.origin, frame: a.frame, member: make(map[*attrOp]bool)}
+			byKey[key] = g
+			order = append(order, key)
+		}
+		g.ops = append(g.ops, a)
+		g.member[a] = true
+		g.nonBlock = g.nonBlock || a.nonBlock
+		g.suppressed = g.suppressed || a.suppressed
+	}
+	var out []*blockGroup
+	for _, key := range order {
+		g := byKey[key]
+		if g.nonBlock {
+			continue
+		}
+		sort.Slice(g.ops, func(i, j int) bool { return g.ops[i].seq < g.ops[j].seq })
+		g.seq = g.ops[0].seq
+		g.loop = g.ops[0].loop
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].frame != out[j].frame {
+			return out[i].frame < out[j].frame
+		}
+		if out[i].origin != out[j].origin {
+			return out[i].origin < out[j].origin
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// stuck reports whether group a cannot progress while group b is
+// blocked: every arm of a has at least one visible releaser and all of
+// them are unreachable.
+func (c *checker) stuck(a, b *blockGroup, byRes map[string][]*attrOp) bool {
+	for _, op := range a.ops {
+		usable, released := 0, false
+		for _, r := range byRes[op.res] {
+			if r == op || a.member[r] {
+				continue // a select cannot release itself
+			}
+			if !dataflow.Releases(op.mode, r.mode) {
+				continue
+			}
+			usable++
+			if b.member[r] || c.reachable(op, r, a, b) {
+				released = true
+				break
+			}
+		}
+		if usable == 0 || released {
+			return false
+		}
+	}
+	return true
+}
+
+// reachable reports whether releaser r can execute while groups a and b
+// are blocked (op is the blocked operation of a under test).
+func (c *checker) reachable(op, r *attrOp, a, b *blockGroup) bool {
+	pivot := b
+	if r.origin == a.origin {
+		pivot = a
+	} else if r.origin != b.origin {
+		return true // a third origin is not ordered against either block
+	}
+	if r.frame != pivot.frame {
+		return true // another frame of the same origin: ordering unknown
+	}
+	if r.loop != "" && r.loop == pivot.loop {
+		return true // shared loop: iterations interleave with the block
+	}
+	if r.seq > pivot.seq {
+		return false // strictly behind the blocking point
+	}
+	// Ordered before the blocking point: the wakeup may be banked (a
+	// close is sticky, a Signal or Done persists) — except a channel
+	// rendezvous in the blocked op's own origin, which cannot satisfy a
+	// send/recv that had not started yet.
+	if pivot == a && r.mode != dataflow.ModeClose &&
+		(op.mode == dataflow.ModeSend || op.mode == dataflow.ModeRecv) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,20 @@
+package waitcycle_test
+
+import (
+	"testing"
+
+	"cyclojoin/internal/lint/linttest"
+	"cyclojoin/internal/lint/waitcycle"
+)
+
+func TestWaitcycle(t *testing.T) {
+	linttest.Run(t, waitcycle.Analyzer, "waitcycle")
+}
+
+// TestWaitcycleFacts exercises the fact-threading path: the worker's
+// blocking protocol lives in a dependency package with no local caller,
+// and the cycle is only visible once its pending ops fold in at the
+// importer's launch site.
+func TestWaitcycleFacts(t *testing.T) {
+	linttest.Run(t, waitcycle.Analyzer, "waitdep/dep", "waitdep")
+}

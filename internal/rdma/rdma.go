@@ -291,8 +291,14 @@ const CQDepth = 256
 // protection checks.
 type Buffer struct {
 	data []byte
-	n    int
-	dev  *Device
+	// n moves with the buffer: exactly one goroutine holds a buffer
+	// between post and completion, and every hand-off (queue-pair post,
+	// completion channel, free pool) is a channel send that orders the
+	// accesses. bufown enforces the single-owner protocol dynamically.
+	//
+	//cyclolint:sharesafe ownership transfers with the buffer through channel hand-offs
+	n   int
+	dev *Device
 }
 
 // Data exposes the buffer's full registered extent for encoding into.

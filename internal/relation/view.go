@@ -25,11 +25,21 @@ import (
 // Materialize to copy the data out where ownership is genuinely needed
 // (retained results, hot-set storage, shipping setup structures). A View
 // must not be shared between goroutines without external synchronization.
+// The fields below follow the view's owner: Bind runs in whichever
+// goroutine holds the underlying receive buffer, and readers see the
+// view only after the buffer hand-off (procQ, completion channel) that
+// viewescape polices. The hand-off is the happens-before edge.
 type View struct {
-	frag    Fragment
-	rel     Relation
-	frame   []byte
-	scratch []uint64 // portable-path key storage, reused across binds
+	//cyclolint:sharesafe rebound only by the buffer owner; readers follow the buffer hand-off
+	frag Fragment
+	//cyclolint:sharesafe rebound only by the buffer owner; readers follow the buffer hand-off
+	rel Relation
+	//cyclolint:sharesafe rebound only by the buffer owner; readers follow the buffer hand-off
+	frame []byte
+	// portable-path key storage, reused across binds
+	//
+	//cyclolint:sharesafe rebound only by the buffer owner; readers follow the buffer hand-off
+	scratch []uint64
 }
 
 // Bind parses frame into v, replacing any previous binding. It runs all of

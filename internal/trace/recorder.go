@@ -340,7 +340,11 @@ type Pending struct {
 	phase Phase
 	// Frag and Hop are the correlation key; Begin presets them to -1.
 	Frag, Hop int32
-	// Arg and Aux become the span's magnitudes.
+	// Arg and Aux become the span's magnitudes. A Pending is a plain
+	// value owned by whichever goroutine carries it; when one rides
+	// inside a work request the queue hand-off orders the accesses.
+	//
+	//cyclolint:sharesafe a Pending is stack-carried; cross-goroutine moves ride queue hand-offs
 	Arg, Aux int64
 }
 
